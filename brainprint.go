@@ -1,0 +1,309 @@
+// Package brainprint is a from-scratch Go reproduction of
+// "De-anonymization Attacks on Neuroimaging Datasets" (Ravindra & Grama,
+// SIGMOD 2021): it demonstrates that functional-MRI connectomes carry an
+// individual-specific signature that lets an attacker holding one
+// de-anonymized dataset re-identify the same subjects in any other
+// anonymized dataset.
+//
+// The package is a facade over the implementation in internal/: it
+// exposes the synthetic cohort generators that stand in for the HCP and
+// ADHD-200 datasets (see DESIGN.md for the substitution argument), the
+// three attacks (identity, task, and task-performance inference), the
+// experiment drivers that regenerate every figure and table of the
+// paper, and the voxel-level fMRI simulation + preprocessing pipeline.
+//
+// Quick start:
+//
+//	cohort, _ := brainprint.GenerateHCP(brainprint.DefaultHCPParams())
+//	res, _ := brainprint.RunFigure1(cohort, brainprint.DefaultAttackConfig())
+//	fmt.Println(res.Render())
+package brainprint
+
+import (
+	"math/rand"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/core"
+	"brainprint/internal/defense"
+	"brainprint/internal/experiments"
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+	"brainprint/internal/sampling"
+	"brainprint/internal/stats"
+	"brainprint/internal/synth"
+	"brainprint/internal/tsne"
+)
+
+// Matrix is the dense matrix type used throughout the library.
+type Matrix = linalg.Matrix
+
+// NewMatrix returns a zero-initialized r×c matrix.
+func NewMatrix(r, c int) *Matrix { return linalg.NewMatrix(r, c) }
+
+// ---- Synthetic cohorts (the HCP / ADHD-200 stand-ins) ----
+
+// Task identifies an HCP scan condition.
+type Task = synth.Task
+
+// HCP scan conditions.
+const (
+	Rest1         = synth.Rest1
+	Rest2         = synth.Rest2
+	Emotion       = synth.Emotion
+	Gambling      = synth.Gambling
+	Language      = synth.Language
+	Motor         = synth.Motor
+	Relational    = synth.Relational
+	Social        = synth.Social
+	WorkingMemory = synth.WorkingMemory
+)
+
+// Encoding is the phase-encoding direction of an HCP scan.
+type Encoding = synth.Encoding
+
+// Phase encodings.
+const (
+	LR = synth.LR
+	RL = synth.RL
+)
+
+// Scan is one synthetic acquisition (region×time series).
+type Scan = synth.Scan
+
+// HCPParams configures the HCP-like cohort generator.
+type HCPParams = synth.HCPParams
+
+// HCPCohort is a generated HCP-like dataset.
+type HCPCohort = synth.HCPCohort
+
+// ADHDParams configures the ADHD-200-like cohort generator.
+type ADHDParams = synth.ADHDParams
+
+// ADHDCohort is a generated ADHD-200-like dataset.
+type ADHDCohort = synth.ADHDCohort
+
+// ADHDGroup is the diagnostic label of an ADHD-like subject.
+type ADHDGroup = synth.ADHDGroup
+
+// Diagnostic groups.
+const (
+	Control  = synth.Control
+	Subtype1 = synth.Subtype1
+	Subtype2 = synth.Subtype2
+	Subtype3 = synth.Subtype3
+)
+
+// DefaultHCPParams returns the reduced-scale test configuration.
+func DefaultHCPParams() HCPParams { return synth.DefaultHCPParams() }
+
+// PaperScaleHCPParams returns the 100-subject, 360-region configuration
+// matching the paper's dimensions (64620 connectome features).
+func PaperScaleHCPParams() HCPParams { return synth.PaperScaleHCPParams() }
+
+// DefaultADHDParams returns the reduced-scale test configuration.
+func DefaultADHDParams() ADHDParams { return synth.DefaultADHDParams() }
+
+// PaperScaleADHDParams returns the full ADHD-200-sized configuration.
+func PaperScaleADHDParams() ADHDParams { return synth.PaperScaleADHDParams() }
+
+// GenerateHCP builds an HCP-like cohort deterministically from the seed.
+func GenerateHCP(p HCPParams) (*HCPCohort, error) { return synth.GenerateHCP(p) }
+
+// GenerateADHD builds an ADHD-200-like cohort deterministically.
+func GenerateADHD(p ADHDParams) (*ADHDCohort, error) { return synth.GenerateADHD(p) }
+
+// ---- Connectomes and group matrices ----
+
+// Connectome is a region×region functional correlation matrix.
+type Connectome = connectome.Connectome
+
+// ConnectomeOptions configures connectome construction.
+type ConnectomeOptions = connectome.Options
+
+// ConnectomeFromSeries computes the Pearson-correlation connectome of a
+// regions×time series matrix.
+func ConnectomeFromSeries(series *Matrix, opt ConnectomeOptions) (*Connectome, error) {
+	return connectome.FromRegionSeries(series, opt)
+}
+
+// GroupMatrix stacks the vectorized connectomes of the scans into the
+// features×subjects matrix the attack operates on.
+func GroupMatrix(scans []*Scan, opt ConnectomeOptions) (*Matrix, error) {
+	return experiments.BuildGroupMatrix(scans, opt)
+}
+
+// ---- The attacks ----
+
+// SamplingMethod selects the feature-scoring distribution.
+type SamplingMethod = sampling.Method
+
+// Feature-sampling methods.
+const (
+	SamplingUniform  = sampling.Uniform
+	SamplingL2Norm   = sampling.L2Norm
+	SamplingLeverage = sampling.Leverage
+)
+
+// AttackConfig configures the identification attack.
+type AttackConfig = core.AttackConfig
+
+// AttackResult reports one de-anonymization run.
+type AttackResult = core.AttackResult
+
+// DefaultAttackConfig returns the paper's configuration: the top 100
+// leverage-score features, selected deterministically.
+func DefaultAttackConfig() AttackConfig { return core.DefaultAttackConfig() }
+
+// Deanonymize matches the anonymous subjects (columns of anon) against
+// the de-anonymized subjects (columns of known) in the principal
+// features subspace of the known group.
+func Deanonymize(known, anon *Matrix, cfg AttackConfig) (*AttackResult, error) {
+	return core.Deanonymize(known, anon, cfg)
+}
+
+// TSNEConfig configures the t-SNE embedding.
+type TSNEConfig = tsne.Config
+
+// TaskPredictConfig configures the task-prediction attack.
+type TaskPredictConfig = core.TaskPredictConfig
+
+// TaskPredictResult reports one task-prediction run.
+type TaskPredictResult = core.TaskPredictResult
+
+// TaskPredict embeds scans with t-SNE and labels anonymous scans by
+// their nearest known neighbour.
+func TaskPredict(points *Matrix, labels []int, known []bool, cfg TaskPredictConfig) (*TaskPredictResult, error) {
+	return core.TaskPredict(points, labels, known, cfg)
+}
+
+// PerformanceConfig configures the performance-prediction attack.
+type PerformanceConfig = core.PerformanceConfig
+
+// PerformanceResult reports the nRMSE of performance prediction.
+type PerformanceResult = core.PerformanceResult
+
+// DefaultPerformanceConfig returns a paper-shaped configuration.
+func DefaultPerformanceConfig() PerformanceConfig { return core.DefaultPerformanceConfig() }
+
+// PerformancePredict regresses per-subject scores on leverage-selected
+// connectome features over repeated train/test splits.
+func PerformancePredict(group *Matrix, scores []float64, cfg PerformanceConfig) (*PerformanceResult, error) {
+	return core.PerformancePredict(group, scores, cfg)
+}
+
+// LeverageScores returns the leverage score of every row of the matrix.
+func LeverageScores(a *Matrix) ([]float64, error) { return sampling.LeverageScores(a) }
+
+// OptimalAssignment solves the maximum-total-similarity one-to-one
+// matching between known and anonymous subjects (Hungarian algorithm) —
+// a strengthening of the paper's independent per-subject argmax that
+// applies when the attacker knows both datasets cover the same
+// population.
+func OptimalAssignment(sim *Matrix) ([]int, error) { return match.AssignmentMatch(sim) }
+
+// OptimalAssignmentAccuracy returns the identification accuracy of the
+// optimal assignment (truth nil = aligned datasets).
+func OptimalAssignmentAccuracy(sim *Matrix, truth []int) (float64, error) {
+	return match.AssignmentAccuracy(sim, truth)
+}
+
+// Summary is a mean ± standard-deviation pair.
+type Summary = stats.Summary
+
+// ---- Experiment drivers (one per paper figure/table) ----
+
+// SimilarityResult is the outcome of a pairwise-similarity experiment.
+type SimilarityResult = experiments.SimilarityResult
+
+// CrossTaskResult is the Figure 5 cross-task accuracy matrix.
+type CrossTaskResult = experiments.CrossTaskResult
+
+// TaskClusterResult is the Figure 6 t-SNE clustering outcome.
+type TaskClusterResult = experiments.TaskClusterResult
+
+// Table1Result holds the per-task performance-prediction errors.
+type Table1Result = experiments.Table1Result
+
+// Figure9Result is the ADHD full-cohort result with transfer accuracy.
+type Figure9Result = experiments.Figure9Result
+
+// Table2Result holds the multi-site noise sweep.
+type Table2Result = experiments.Table2Result
+
+// RunFigure1 regenerates Figure 1 (resting-state similarity matrix).
+func RunFigure1(c *HCPCohort, cfg AttackConfig) (*SimilarityResult, error) {
+	return experiments.Figure1(c, cfg)
+}
+
+// RunFigure2 regenerates Figure 2 (language-task similarity matrix).
+func RunFigure2(c *HCPCohort, cfg AttackConfig) (*SimilarityResult, error) {
+	return experiments.Figure2(c, cfg)
+}
+
+// RunFigure5 regenerates Figure 5 (cross-task identification accuracy).
+func RunFigure5(c *HCPCohort, cfg AttackConfig) (*CrossTaskResult, error) {
+	return experiments.Figure5(c, cfg)
+}
+
+// RunFigure6 regenerates Figure 6 (t-SNE task clustering + prediction).
+func RunFigure6(c *HCPCohort, knownFraction float64, tcfg TSNEConfig, seed int64) (*TaskClusterResult, error) {
+	return experiments.Figure6(c, knownFraction, tcfg, seed)
+}
+
+// RunTable1 regenerates Table 1 (task-performance prediction error).
+func RunTable1(c *HCPCohort, cfg PerformanceConfig) (*Table1Result, error) {
+	return experiments.Table1(c, cfg)
+}
+
+// RunFigure7 regenerates Figure 7 (ADHD subtype-1 similarity).
+func RunFigure7(c *ADHDCohort, cfg AttackConfig) (*SimilarityResult, error) {
+	return experiments.Figure7(c, cfg)
+}
+
+// RunFigure8 regenerates Figure 8 (ADHD subtype-3 similarity).
+func RunFigure8(c *ADHDCohort, cfg AttackConfig) (*SimilarityResult, error) {
+	return experiments.Figure8(c, cfg)
+}
+
+// RunFigure9 regenerates Figure 9 (full ADHD cohort + transfer
+// accuracies).
+func RunFigure9(c *ADHDCohort, cfg AttackConfig, trials int, trainFraction float64, seed int64) (*Figure9Result, error) {
+	return experiments.Figure9(c, cfg, trials, trainFraction, seed)
+}
+
+// RunTable2 regenerates Table 2 (multi-site noise robustness).
+func RunTable2(hcp *HCPCohort, adhd *ADHDCohort, levels []float64, trials int, cfg AttackConfig, seed int64) (*Table2Result, error) {
+	return experiments.Table2(hcp, adhd, levels, trials, cfg, seed)
+}
+
+// ---- Defense (§4) ----
+
+// DefenseStrategy selects where a publisher spends the noise budget.
+type DefenseStrategy = defense.Strategy
+
+// Defense strategies.
+const (
+	DefenseTargeted = defense.Targeted
+	DefenseUniform  = defense.Uniform
+)
+
+// DefenseProtectResult reports one protection run.
+type DefenseProtectResult = defense.Result
+
+// Protect perturbs a to-be-released group matrix with the chosen
+// strategy, spending the same total distortion budget either on the
+// top-leverage signature features (targeted) or uniformly.
+func Protect(group *Matrix, strategy DefenseStrategy, topFeatures int, sigma float64, rng *rand.Rand) (*DefenseProtectResult, error) {
+	return defense.Protect(group, strategy, topFeatures, sigma, rng)
+}
+
+// DefenseResult is the privacy/utility sweep of the §4 defense.
+type DefenseResult = experiments.DefenseResult
+
+// RunDefense evaluates the paper's §4 countermeasure: noise on the
+// signature features of the released dataset, targeted vs uniform at
+// matched distortion, measuring identification accuracy (privacy) and
+// task-prediction accuracy (utility).
+func RunDefense(c *HCPCohort, sigmas []float64, topFeatures int, cfg AttackConfig, seed int64) (*DefenseResult, error) {
+	return experiments.DefenseSweep(c, sigmas, topFeatures, cfg, seed)
+}

@@ -1,0 +1,277 @@
+package brainprint_test
+
+// Facade tests: exercise the public API exactly as a downstream user
+// would, covering the documented quickstart flow and every exported
+// entry point's happy path.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"brainprint"
+)
+
+func facadeCohort(t *testing.T) *brainprint.HCPCohort {
+	t.Helper()
+	p := brainprint.DefaultHCPParams()
+	p.Subjects = 12
+	p.Regions = 40
+	p.RestFrames = 150
+	p.TaskFrames = 110
+	c, err := brainprint.GenerateHCP(p)
+	if err != nil {
+		t.Fatalf("GenerateHCP: %v", err)
+	}
+	return c
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cohort := facadeCohort(t)
+	knownScans, err := cohort.ScansFor(brainprint.Rest1, brainprint.LR)
+	if err != nil {
+		t.Fatalf("ScansFor: %v", err)
+	}
+	known, err := brainprint.GroupMatrix(knownScans, brainprint.ConnectomeOptions{})
+	if err != nil {
+		t.Fatalf("GroupMatrix: %v", err)
+	}
+	anonScans, err := cohort.ScansFor(brainprint.Rest2, brainprint.RL)
+	if err != nil {
+		t.Fatalf("ScansFor: %v", err)
+	}
+	anon, err := brainprint.GroupMatrix(anonScans, brainprint.ConnectomeOptions{})
+	if err != nil {
+		t.Fatalf("GroupMatrix: %v", err)
+	}
+	res, err := brainprint.Deanonymize(known, anon, brainprint.DefaultAttackConfig())
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("quickstart accuracy %.2f want >= 0.9", res.Accuracy)
+	}
+	if heat := brainprint.RenderHeatmap(res.Similarity, 40); !strings.Contains(heat, "scale:") {
+		t.Error("heatmap rendering broken")
+	}
+}
+
+func TestFacadeExperimentRunners(t *testing.T) {
+	cohort := facadeCohort(t)
+	cfg := brainprint.DefaultAttackConfig()
+	cfg.Features = 60
+
+	f1, err := brainprint.RunFigure1(cohort, cfg)
+	if err != nil {
+		t.Fatalf("RunFigure1: %v", err)
+	}
+	if f1.DiagMean <= f1.OffMean {
+		t.Error("figure 1 contrast inverted")
+	}
+	f2, err := brainprint.RunFigure2(cohort, cfg)
+	if err != nil {
+		t.Fatalf("RunFigure2: %v", err)
+	}
+	if f2.Accuracy < 0.3 {
+		t.Errorf("figure 2 accuracy %.2f suspiciously low", f2.Accuracy)
+	}
+}
+
+func TestFacadeTaskAndPerformance(t *testing.T) {
+	cohort := facadeCohort(t)
+	f6, err := brainprint.RunFigure6(cohort, 0.5, brainprint.TSNEConfig{Perplexity: 8, Iterations: 150, Seed: 2}, 2)
+	if err != nil {
+		t.Fatalf("RunFigure6: %v", err)
+	}
+	if f6.Accuracy < 0.8 {
+		t.Errorf("task prediction %.2f want >= 0.8", f6.Accuracy)
+	}
+	pcfg := brainprint.DefaultPerformanceConfig()
+	pcfg.Trials = 4
+	t1, err := brainprint.RunTable1(cohort, pcfg)
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if len(t1.Rows) != 4 {
+		t.Errorf("table 1 rows = %d want 4", len(t1.Rows))
+	}
+}
+
+func TestFacadeADHDAndNoise(t *testing.T) {
+	p := brainprint.DefaultADHDParams()
+	p.Controls = 8
+	p.Subtype1 = 5
+	p.Subtype2 = 0
+	p.Subtype3 = 4
+	p.Regions = 36
+	p.Frames = 120
+	adhd, err := brainprint.GenerateADHD(p)
+	if err != nil {
+		t.Fatalf("GenerateADHD: %v", err)
+	}
+	cfg := brainprint.DefaultAttackConfig()
+	cfg.Features = 60
+	f7, err := brainprint.RunFigure7(adhd, cfg)
+	if err != nil {
+		t.Fatalf("RunFigure7: %v", err)
+	}
+	if f7.NumSubj != 5 {
+		t.Errorf("subtype-1 subjects = %d want 5", f7.NumSubj)
+	}
+	f9, err := brainprint.RunFigure9(adhd, cfg, 3, 0.7, 4)
+	if err != nil {
+		t.Fatalf("RunFigure9: %v", err)
+	}
+	if f9.MixedTransfer.N != 3 {
+		t.Errorf("transfer trials = %d want 3", f9.MixedTransfer.N)
+	}
+
+	hcp := facadeCohort(t)
+	t2, err := brainprint.RunTable2(hcp, adhd, []float64{0.1}, 2, cfg, 5)
+	if err != nil {
+		t.Fatalf("RunTable2: %v", err)
+	}
+	if len(t2.HCP) != 1 || len(t2.ADHD) != 1 {
+		t.Error("table 2 rows missing")
+	}
+}
+
+func TestFacadeImagingPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	grid, err := brainprint.NewGrid(12, 12, 12, 2)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	phantom, err := brainprint.NewPhantom(grid, brainprint.DefaultPhantomParams(), rng)
+	if err != nil {
+		t.Fatalf("NewPhantom: %v", err)
+	}
+	atlas := brainprint.SymmetricAtlas("t", 6)
+	labels := atlas.LabelVoxels(phantom)
+	series := make([][]float64, 6)
+	for r := range series {
+		s := make([]float64, 40)
+		for i := range s {
+			s[i] = math.Sin(float64(i)/7 + float64(r))
+		}
+		series[r] = s
+	}
+	params := brainprint.DefaultAcquisitionParams()
+	params.Frames = 40
+	params.MotionMax = 0.3
+	raw, _, err := brainprint.Acquire(phantom,
+		&brainprint.RegionActivity{Labels: labels, Series: series}, params, rng)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	pipe := brainprint.DefaultPipeline(brainprint.MNIGrid(12))
+	clean, ctx, err := pipe.Run(raw)
+	if err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	var brainVoxels []int
+	for i, b := range ctx.BrainMask {
+		if b {
+			brainVoxels = append(brainVoxels, i)
+		}
+	}
+	regLabels := make([]int, len(brainVoxels))
+	regionSeries, err := brainprint.ReduceToRegions(clean, brainVoxels, regLabels, 6)
+	if err != nil {
+		t.Fatalf("ReduceToRegions: %v", err)
+	}
+	con, err := brainprint.ConnectomeFromSeries(regionSeries, brainprint.ConnectomeOptions{})
+	if err != nil {
+		t.Fatalf("ConnectomeFromSeries: %v", err)
+	}
+	if con.NumRegions() != 6 || con.NumEdges() != 15 {
+		t.Errorf("connectome %d regions %d edges", con.NumRegions(), con.NumEdges())
+	}
+}
+
+func TestFacadeNoiseAndLeverage(t *testing.T) {
+	cohort := facadeCohort(t)
+	scan, err := cohort.Scan(0, brainprint.Rest1, brainprint.LR)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	noisy, err := brainprint.AddSeriesNoise(scan.Series, 0.2, rng)
+	if err != nil {
+		t.Fatalf("AddSeriesNoise: %v", err)
+	}
+	if noisy.EqualApprox(scan.Series, 1e-9) {
+		t.Error("noise had no effect")
+	}
+	scans, _ := cohort.ScansFor(brainprint.Rest1, brainprint.LR)
+	group, _ := brainprint.GroupMatrix(scans, brainprint.ConnectomeOptions{})
+	scores, err := brainprint.LeverageScores(group)
+	if err != nil {
+		t.Fatalf("LeverageScores: %v", err)
+	}
+	if len(scores) != group.Rows() {
+		t.Errorf("scores = %d want %d", len(scores), group.Rows())
+	}
+}
+
+func TestFacadeRenderHelpers(t *testing.T) {
+	m := brainprint.NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	if s := brainprint.RenderHeatmap(m, 10); !strings.Contains(s, "scale:") {
+		t.Error("RenderHeatmap broken")
+	}
+	pts := brainprint.NewMatrix(2, 2)
+	pts.Set(1, 0, 1)
+	pts.Set(1, 1, 1)
+	if s := brainprint.RenderScatter(pts, []int{0, 1}, 10, 5); !strings.Contains(s, "1") {
+		t.Error("RenderScatter broken")
+	}
+	if s := brainprint.RenderTable([]string{"h"}, [][]string{{"v"}}); !strings.Contains(s, "v") {
+		t.Error("RenderTable broken")
+	}
+}
+
+// ExampleDeanonymize demonstrates the identification attack on a tiny
+// cohort. Generation and the attack are fully deterministic, so the
+// output is stable.
+func ExampleDeanonymize() {
+	params := brainprint.DefaultHCPParams()
+	params.Subjects = 8
+	params.Regions = 30
+	params.RestFrames = 120
+	params.TaskFrames = 80
+	cohort, err := brainprint.GenerateHCP(params)
+	if err != nil {
+		panic(err)
+	}
+	knownScans, _ := cohort.ScansFor(brainprint.Rest1, brainprint.LR)
+	anonScans, _ := cohort.ScansFor(brainprint.Rest2, brainprint.RL)
+	known, _ := brainprint.GroupMatrix(knownScans, brainprint.ConnectomeOptions{})
+	anon, _ := brainprint.GroupMatrix(anonScans, brainprint.ConnectomeOptions{})
+	res, err := brainprint.Deanonymize(known, anon, brainprint.DefaultAttackConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accuracy: %.0f%%, features: %d of %d\n",
+		100*res.Accuracy, len(res.Features), known.Rows())
+	// Output: accuracy: 100%, features: 100 of 435
+}
+
+// ExampleLeverageScores shows the feature-scoring primitive behind the
+// principal features subspace method.
+func ExampleLeverageScores() {
+	m := brainprint.NewMatrix(4, 2)
+	// Feature 0 spans a direction no other feature covers.
+	m.Set(0, 0, 5)
+	m.Set(1, 1, 1)
+	m.Set(2, 1, 1)
+	m.Set(3, 1, 1)
+	scores, err := brainprint.LeverageScores(m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("feature 0 leverage: %.2f\n", scores[0])
+	// Output: feature 0 leverage: 1.00
+}

@@ -1,0 +1,243 @@
+// Command brainprint regenerates the paper's figures and tables on
+// synthetic cohorts. Each experiment prints a textual rendering of the
+// corresponding artifact (ASCII heatmaps for matrix figures, aligned
+// tables for the result tables).
+//
+// Usage:
+//
+//	brainprint -experiment fig1|fig2|fig5|fig6|fig7|fig8|fig9|table1|table2|all [flags]
+//
+// The -scale flag selects cohort dimensions: "small" is fast and good
+// for smoke runs, "medium" is a compromise, and "paper" matches the
+// paper's 100 subjects × 360 regions (slow; minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"brainprint"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: fig1, fig2, fig5, fig6, fig7, fig8, fig9, table1, table2, defense, or all")
+		scale      = flag.String("scale", "small", "cohort scale: small, medium, or paper")
+		subjects   = flag.Int("subjects", 0, "override subject count (0 = scale default)")
+		regions    = flag.Int("regions", 0, "override region count (0 = scale default)")
+		features   = flag.Int("features", 100, "size of the principal features subspace")
+		trials     = flag.Int("trials", 5, "repeated trials for resampled experiments")
+		seed       = flag.Int64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *scale, *subjects, *regions, *features, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "brainprint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, scale string, subjects, regions, features, trials int, seed int64) error {
+	hcpParams, adhdParams, err := paramsForScale(scale, subjects, regions, seed)
+	if err != nil {
+		return err
+	}
+	attack := brainprint.DefaultAttackConfig()
+	attack.Features = features
+
+	var (
+		hcp  *brainprint.HCPCohort
+		adhd *brainprint.ADHDCohort
+	)
+	needHCP := func() (*brainprint.HCPCohort, error) {
+		if hcp != nil {
+			return hcp, nil
+		}
+		start := time.Now()
+		c, err := brainprint.GenerateHCP(hcpParams)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("generated HCP-like cohort: %d subjects, %d regions (%.1fs)\n\n",
+			hcpParams.Subjects, hcpParams.Regions, time.Since(start).Seconds())
+		hcp = c
+		return hcp, nil
+	}
+	needADHD := func() (*brainprint.ADHDCohort, error) {
+		if adhd != nil {
+			return adhd, nil
+		}
+		start := time.Now()
+		c, err := brainprint.GenerateADHD(adhdParams)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("generated ADHD-like cohort: %d subjects, %d regions (%.1fs)\n\n",
+			adhdParams.NumSubjects(), adhdParams.Regions, time.Since(start).Seconds())
+		adhd = c
+		return adhd, nil
+	}
+
+	experiments := []string{experiment}
+	if experiment == "all" {
+		experiments = []string{"fig1", "fig2", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "table2", "defense"}
+	}
+	for _, exp := range experiments {
+		start := time.Now()
+		var rendered string
+		switch exp {
+		case "fig1":
+			c, err := needHCP()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure1(c, attack)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "fig2":
+			c, err := needHCP()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure2(c, attack)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "fig5":
+			c, err := needHCP()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure5(c, attack)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "fig6":
+			c, err := needHCP()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure6(c, 0.5, brainprint.TSNEConfig{Perplexity: 20, Iterations: 400, Seed: seed}, seed)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "table1":
+			c, err := needHCP()
+			if err != nil {
+				return err
+			}
+			cfg := brainprint.DefaultPerformanceConfig()
+			cfg.Features = features
+			cfg.Trials = trials * 4
+			cfg.Seed = seed
+			res, err := brainprint.RunTable1(c, cfg)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "fig7":
+			c, err := needADHD()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure7(c, attack)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "fig8":
+			c, err := needADHD()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure8(c, attack)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "fig9":
+			c, err := needADHD()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunFigure9(c, attack, trials, 0.7, seed)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "table2":
+			h, err := needHCP()
+			if err != nil {
+				return err
+			}
+			a, err := needADHD()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunTable2(h, a, []float64{0.1, 0.2, 0.3}, trials, attack, seed)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		case "defense":
+			c, err := needHCP()
+			if err != nil {
+				return err
+			}
+			res, err := brainprint.RunDefense(c, []float64{0, 0.2, 0.4, 0.8}, 2*features, attack, seed)
+			if err != nil {
+				return err
+			}
+			rendered = res.Render()
+		default:
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		fmt.Println(rendered)
+		fmt.Printf("[%s completed in %.1fs]\n\n", exp, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// paramsForScale maps the scale presets to cohort parameters.
+func paramsForScale(scale string, subjects, regions int, seed int64) (brainprint.HCPParams, brainprint.ADHDParams, error) {
+	var hcp brainprint.HCPParams
+	var adhd brainprint.ADHDParams
+	switch scale {
+	case "small":
+		hcp = brainprint.DefaultHCPParams()
+		hcp.Subjects = 20
+		hcp.Regions = 60
+		adhd = brainprint.DefaultADHDParams()
+	case "medium":
+		hcp = brainprint.DefaultHCPParams()
+		hcp.Subjects = 50
+		hcp.Regions = 120
+		adhd = brainprint.DefaultADHDParams()
+		adhd.Controls = 60
+		adhd.Subtype1 = 24
+		adhd.Subtype2 = 4
+		adhd.Subtype3 = 18
+		adhd.Regions = 116
+	case "paper":
+		hcp = brainprint.PaperScaleHCPParams()
+		adhd = brainprint.PaperScaleADHDParams()
+	default:
+		return hcp, adhd, fmt.Errorf("unknown scale %q (want small, medium, or paper)", scale)
+	}
+	if subjects > 0 {
+		hcp.Subjects = subjects
+	}
+	if regions > 0 {
+		hcp.Regions = regions
+	}
+	hcp.Seed = seed
+	adhd.Seed = seed + 1
+	return hcp, adhd, nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParamsForScale(t *testing.T) {
+	for _, scale := range []string{"small", "medium", "paper"} {
+		hcp, adhd, err := paramsForScale(scale, 0, 0, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", scale, err)
+		}
+		if err := hcp.Validate(); err != nil {
+			t.Errorf("%s hcp params invalid: %v", scale, err)
+		}
+		if err := adhd.Validate(); err != nil {
+			t.Errorf("%s adhd params invalid: %v", scale, err)
+		}
+		if hcp.Seed != 3 || adhd.Seed != 4 {
+			t.Errorf("%s: seeds not propagated", scale)
+		}
+	}
+	if _, _, err := paramsForScale("galactic", 0, 0, 1); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+}
+
+func TestParamsForScaleOverrides(t *testing.T) {
+	hcp, _, err := paramsForScale("small", 7, 44, 1)
+	if err != nil {
+		t.Fatalf("paramsForScale: %v", err)
+	}
+	if hcp.Subjects != 7 || hcp.Regions != 44 {
+		t.Errorf("overrides ignored: %d subjects, %d regions", hcp.Subjects, hcp.Regions)
+	}
+}
+
+func TestPaperScaleKeepsCalibration(t *testing.T) {
+	hcp, adhd, err := paramsForScale("paper", 0, 0, 1)
+	if err != nil {
+		t.Fatalf("paramsForScale: %v", err)
+	}
+	if hcp.EncodingVariation < 0.2 {
+		t.Error("paper scale should use the thin-margin calibration")
+	}
+	if hcp.Regions != 360 || adhd.Regions != 116 {
+		t.Errorf("paper-scale regions %d/%d want 360/116", hcp.Regions, adhd.Regions)
+	}
+}
+
+// TestRunSingleExperiments smoke-tests the CLI driver end to end on a
+// tiny cohort for each experiment that only needs one dataset.
+func TestRunSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	for _, exp := range []string{"fig1", "fig7"} {
+		if err := run(exp, "small", 8, 30, 60, 2, 5); err != nil {
+			t.Errorf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", "small", 8, 30, 60, 2, 5); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run("fig1", "nope", 0, 0, 60, 2, 5); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+}

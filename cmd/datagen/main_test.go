@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"brainprint/internal/synth"
+)
+
+func TestRunHCPRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "hcp.gob")
+	csvDir := filepath.Join(dir, "csv")
+	if err := run("hcp", out, csvDir, 3, 16, 2); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	cohort, err := synth.LoadHCP(f)
+	if err != nil {
+		t.Fatalf("LoadHCP: %v", err)
+	}
+	if cohort.Params.Subjects != 3 || cohort.Params.Regions != 16 {
+		t.Errorf("params lost: %+v", cohort.Params)
+	}
+	if _, err := cohort.Scan(2, synth.Language, synth.RL); err != nil {
+		t.Errorf("scan index broken after load: %v", err)
+	}
+	// CSV exports present.
+	if _, err := os.Stat(filepath.Join(csvDir, "subject000_rest1_lr.csv")); err != nil {
+		t.Errorf("missing series CSV: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "performance.csv")); err != nil {
+		t.Errorf("missing performance CSV: %v", err)
+	}
+}
+
+func TestRunADHDRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "adhd.gob")
+	if err := run("adhd", out, "", 0, 20, 3); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	cohort, err := synth.LoadADHD(f)
+	if err != nil {
+		t.Fatalf("LoadADHD: %v", err)
+	}
+	if cohort.Params.Regions != 20 {
+		t.Errorf("regions = %d want 20", cohort.Params.Regions)
+	}
+	if len(cohort.Scans) != 2*cohort.Params.NumSubjects() {
+		t.Error("scan count wrong after load")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("meg", filepath.Join(dir, "x.gob"), "", 0, 0, 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run("hcp", "/nonexistent-dir/x.gob", "", 2, 8, 1); err == nil {
+		t.Error("expected error for unwritable output")
+	}
+}

@@ -1,0 +1,117 @@
+package brainprint
+
+import (
+	"math/rand"
+
+	"brainprint/internal/atlas"
+	"brainprint/internal/fmri"
+	"brainprint/internal/preprocess"
+	"brainprint/internal/report"
+	"brainprint/internal/synth"
+)
+
+// This file exposes the voxel-level half of the library: the digital
+// head phantom, the scanner simulator with its artifact models, the
+// Figure-4 preprocessing pipeline, and brain atlases. Together with the
+// region-level cohort generators these cover the full path
+// raw 4-D image → preprocessed image → region series → connectome.
+
+// Grid describes the spatial sampling of a volume.
+type Grid = fmri.Grid
+
+// Volume is a single 3-D image.
+type Volume = fmri.Volume
+
+// Series is a 4-D fMRI acquisition.
+type Series = fmri.Series
+
+// Phantom is the digital head phantom used by the scanner simulator.
+type Phantom = fmri.Phantom
+
+// PhantomParams controls phantom construction.
+type PhantomParams = fmri.PhantomParams
+
+// AcquisitionParams configures the scanner simulation.
+type AcquisitionParams = fmri.AcquisitionParams
+
+// MotionTrace records simulated (or estimated) head translations.
+type MotionTrace = fmri.MotionTrace
+
+// RegionActivity adapts region-level time series to voxel activity.
+type RegionActivity = fmri.RegionActivity
+
+// NewGrid returns a grid after validating the dimensions.
+func NewGrid(nx, ny, nz int, voxelMM float64) (Grid, error) { return fmri.NewGrid(nx, ny, nz, voxelMM) }
+
+// MNIGrid returns the standard registration target grid.
+func MNIGrid(n int) Grid { return fmri.MNIGrid(n) }
+
+// DefaultPhantomParams returns raw-EPI-like phantom contrast settings.
+func DefaultPhantomParams() PhantomParams { return fmri.DefaultPhantomParams() }
+
+// NewPhantom builds a head phantom.
+func NewPhantom(g Grid, p PhantomParams, rng *rand.Rand) (*Phantom, error) {
+	return fmri.NewPhantom(g, p, rng)
+}
+
+// DefaultAcquisitionParams returns HCP-like scan parameters with mild
+// artifact levels.
+func DefaultAcquisitionParams() AcquisitionParams { return fmri.DefaultAcquisitionParams() }
+
+// Acquire simulates a full scan of the phantom, returning the raw series
+// and the ground-truth motion trace.
+func Acquire(ph *Phantom, activity fmri.ActivitySource, p AcquisitionParams, rng *rand.Rand) (*Series, *MotionTrace, error) {
+	return fmri.Acquire(ph, activity, p, rng)
+}
+
+// Pipeline is the composable preprocessing pipeline of Figure 4.
+type Pipeline = preprocess.Pipeline
+
+// PipelineContext carries the evolving brain mask and provenance log.
+type PipelineContext = preprocess.Context
+
+// DefaultPipeline returns the standard pipeline: motion correction,
+// skull stripping, bias correction, registration, temporal bandpass,
+// global signal regression and z-scoring.
+func DefaultPipeline(target Grid) *Pipeline { return preprocess.Default(target) }
+
+// Atlas is a parcellation of the brain into regions.
+type Atlas = atlas.Atlas
+
+// GlasserAtlas returns the 360-region HCP-style atlas (64620 features).
+func GlasserAtlas() *Atlas { return atlas.GlasserLike() }
+
+// AALAtlas returns the 116-region ADHD-200-style atlas (6670 features).
+func AALAtlas() *Atlas { return atlas.AALLike() }
+
+// SymmetricAtlas builds a hemisphere-symmetric atlas with n regions
+// (n must be even).
+func SymmetricAtlas(name string, n int) *Atlas { return atlas.SymmetricAtlas(name, n) }
+
+// ReduceToRegions collapses a preprocessed voxel series into a
+// regions×time matrix by averaging within atlas regions.
+func ReduceToRegions(s *Series, brainVoxels []int, labels []int, numRegions int) (*Matrix, error) {
+	return atlas.ReduceSeries(s, brainVoxels, labels, numRegions)
+}
+
+// ---- Rendering helpers ----
+
+// RenderHeatmap renders a matrix as an ASCII intensity map.
+func RenderHeatmap(m *Matrix, maxCells int) string { return report.Heatmap(m, nil, nil, maxCells) }
+
+// RenderScatter renders labelled 2-D points as an ASCII scatter plot.
+func RenderScatter(points *Matrix, labels []int, width, height int) string {
+	return report.Scatter(points, labels, width, height)
+}
+
+// RenderTable renders rows under headers with aligned columns.
+func RenderTable(headers []string, rows [][]string) string { return report.Table(headers, rows) }
+
+// ---- Noise injection (§3.3.5) ----
+
+// AddSeriesNoise implements the paper's multi-site simulation: Gaussian
+// noise with mean equal to the signal mean and variance a fraction of
+// the signal variance, per region time series.
+func AddSeriesNoise(series *Matrix, fraction float64, rng *rand.Rand) (*Matrix, error) {
+	return synth.AddSeriesNoise(series, fraction, rng)
+}

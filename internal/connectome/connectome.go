@@ -1,0 +1,230 @@
+// Package connectome builds functional connectomes: region×region
+// correlation matrices computed from region-averaged time series, their
+// vectorized (upper-triangle) feature form, and the group matrices the
+// attack operates on (features × subjects).
+//
+// A connectome can equivalently be read as a weighted complete graph
+// whose nodes are regions and whose edge weights are co-activation
+// correlations (§1); the graph accessors expose that view.
+package connectome
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"brainprint/internal/linalg"
+	"brainprint/internal/stats"
+)
+
+// Connectome is the functional connectome of one scan: a symmetric
+// regions×regions Pearson correlation matrix with unit diagonal.
+type Connectome struct {
+	C *linalg.Matrix
+}
+
+// Options configures connectome construction.
+type Options struct {
+	// FisherZ applies the Fisher z-transform atanh(r) to every
+	// correlation, a common variance-stabilization step.
+	FisherZ bool
+}
+
+// FromRegionSeries computes the connectome of a regions×time matrix:
+// every row is z-scored and pairwise Pearson correlations are assembled
+// into the co-firing matrix of §3.1.1. Constant rows (e.g. empty atlas
+// regions) correlate 0 with everything.
+func FromRegionSeries(series *linalg.Matrix, opt Options) (*Connectome, error) {
+	n, t := series.Dims()
+	if n == 0 || t < 2 {
+		return nil, fmt.Errorf("connectome: need at least 1 region and 2 time points, got %dx%d", n, t)
+	}
+	// Z-score rows; after normalization, Pearson correlation reduces to a
+	// scaled dot product, which keeps the O(n²t) loop tight.
+	z := linalg.NewMatrix(n, t)
+	valid := make([]bool, n)
+	for i := 0; i < n; i++ {
+		row := series.Row(i)
+		valid[i] = stats.ZScore(row)
+		z.SetRow(i, row)
+	}
+	c := linalg.NewMatrix(n, n)
+	inv := 1 / float64(t)
+	for i := 0; i < n; i++ {
+		c.Set(i, i, 1)
+		if !valid[i] {
+			continue
+		}
+		zi := z.RowView(i)
+		for j := i + 1; j < n; j++ {
+			if !valid[j] {
+				continue
+			}
+			r := linalg.Dot(zi, z.RowView(j)) * inv
+			// Clamp tiny numerical excursions outside [−1, 1].
+			if r > 1 {
+				r = 1
+			} else if r < -1 {
+				r = -1
+			}
+			if opt.FisherZ {
+				r = stats.FisherZ(r)
+			}
+			c.Set(i, j, r)
+			c.Set(j, i, r)
+		}
+	}
+	return &Connectome{C: c}, nil
+}
+
+// NumRegions returns the number of regions.
+func (c *Connectome) NumRegions() int { return c.C.Rows() }
+
+// NumEdges returns the number of distinct region pairs.
+func (c *Connectome) NumEdges() int {
+	n := c.C.Rows()
+	return n * (n - 1) / 2
+}
+
+// Vectorize flattens the strict upper triangle of the connectome into a
+// feature vector of length n(n−1)/2, ordered row-major: (0,1), (0,2),
+// …, (0,n−1), (1,2), …. The paper exploits the symmetry of the matrix in
+// exactly this way (§3.1.1).
+func (c *Connectome) Vectorize() []float64 {
+	n := c.C.Rows()
+	out := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, c.C.At(i, j))
+		}
+	}
+	return out
+}
+
+// FromVector rebuilds a connectome from its vectorized upper triangle
+// (the inverse of Vectorize): the diagonal is set to 1 and both
+// triangles are filled symmetrically. n is the region count; the vector
+// must have exactly n(n−1)/2 entries.
+func FromVector(vec []float64, n int) (*Connectome, error) {
+	want := n * (n - 1) / 2
+	if len(vec) != want {
+		return nil, fmt.Errorf("connectome: vector length %d != %d for %d regions", len(vec), want, n)
+	}
+	c := linalg.NewMatrix(n, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		c.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			c.Set(i, j, vec[k])
+			c.Set(j, i, vec[k])
+			k++
+		}
+	}
+	return &Connectome{C: c}, nil
+}
+
+// EdgeIndex returns the position of edge (i, j), i ≠ j, in the
+// vectorized form. Order of i and j does not matter.
+func EdgeIndex(n, i, j int) (int, error) {
+	if i == j || i < 0 || j < 0 || i >= n || j >= n {
+		return 0, fmt.Errorf("connectome: invalid edge (%d,%d) for %d regions", i, j, n)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	// Offset of row i in the packed triangle plus the column offset.
+	return i*n - i*(i+1)/2 + (j - i - 1), nil
+}
+
+// EdgeFromIndex inverts EdgeIndex: it returns the region pair (i, j),
+// i < j, at the given vector position.
+func EdgeFromIndex(n, idx int) (int, int, error) {
+	if idx < 0 || idx >= n*(n-1)/2 {
+		return 0, 0, fmt.Errorf("connectome: edge index %d out of range for %d regions", idx, n)
+	}
+	// Walk rows; each row i contributes n−1−i edges.
+	i := 0
+	for {
+		rowLen := n - 1 - i
+		if idx < rowLen {
+			return i, i + 1 + idx, nil
+		}
+		idx -= rowLen
+		i++
+	}
+}
+
+// Edge is one weighted edge of the connectome graph view.
+type Edge struct {
+	I, J   int
+	Weight float64
+}
+
+// Edges returns all edges with |weight| ≥ minAbs, sorted by descending
+// absolute weight.
+func (c *Connectome) Edges(minAbs float64) []Edge {
+	n := c.C.Rows()
+	var out []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := c.C.At(i, j)
+			if math.Abs(w) >= minAbs {
+				out = append(out, Edge{I: i, J: j, Weight: w})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return math.Abs(out[a].Weight) > math.Abs(out[b].Weight) })
+	return out
+}
+
+// NodeStrength returns the sum of absolute edge weights incident to each
+// region, the standard weighted-graph notion of node strength.
+func (c *Connectome) NodeStrength() []float64 {
+	n := c.C.Rows()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			out[i] += math.Abs(c.C.At(i, j))
+		}
+	}
+	return out
+}
+
+// GroupMatrix stacks vectorized connectomes into the group matrix of
+// §3.1.2: one column per subject (scan), one row per connectome feature.
+// All connectomes must share the same region count.
+func GroupMatrix(cons []*Connectome) (*linalg.Matrix, error) {
+	if len(cons) == 0 {
+		return nil, fmt.Errorf("connectome: empty group")
+	}
+	n := cons[0].NumRegions()
+	m := cons[0].NumEdges()
+	out := linalg.NewMatrix(m, len(cons))
+	for s, c := range cons {
+		if c.NumRegions() != n {
+			return nil, fmt.Errorf("connectome: subject %d has %d regions, want %d", s, c.NumRegions(), n)
+		}
+		out.SetCol(s, c.Vectorize())
+	}
+	return out, nil
+}
+
+// GroupMatrixFromVectors stacks precomputed feature vectors (one per
+// subject) into a features×subjects group matrix.
+func GroupMatrixFromVectors(vecs [][]float64) (*linalg.Matrix, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("connectome: empty group")
+	}
+	m := len(vecs[0])
+	out := linalg.NewMatrix(m, len(vecs))
+	for s, v := range vecs {
+		if len(v) != m {
+			return nil, fmt.Errorf("connectome: subject %d has %d features, want %d", s, len(v), m)
+		}
+		out.SetCol(s, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/linalg"
+	"brainprint/internal/sampling"
+	"brainprint/internal/synth"
+	"brainprint/internal/tsne"
+)
+
+// groupMatrix converts scans to a features×subjects group matrix.
+func groupMatrix(t *testing.T, scans []*synth.Scan) *linalg.Matrix {
+	t.Helper()
+	cons := make([]*connectome.Connectome, len(scans))
+	for i, s := range scans {
+		c, err := connectome.FromRegionSeries(s.Series, connectome.Options{})
+		if err != nil {
+			t.Fatalf("connectome: %v", err)
+		}
+		cons[i] = c
+	}
+	g, err := connectome.GroupMatrix(cons)
+	if err != nil {
+		t.Fatalf("GroupMatrix: %v", err)
+	}
+	return g
+}
+
+func testCohort(t *testing.T) *synth.HCPCohort {
+	t.Helper()
+	p := synth.DefaultHCPParams()
+	p.Subjects = 16
+	p.Regions = 48
+	p.RestFrames = 180
+	p.TaskFrames = 140
+	c, err := synth.GenerateHCP(p)
+	if err != nil {
+		t.Fatalf("GenerateHCP: %v", err)
+	}
+	return c
+}
+
+func restGroups(t *testing.T, c *synth.HCPCohort) (known, anon *linalg.Matrix) {
+	t.Helper()
+	lr, err := c.ScansFor(synth.Rest1, synth.LR)
+	if err != nil {
+		t.Fatalf("ScansFor: %v", err)
+	}
+	rl, err := c.ScansFor(synth.Rest2, synth.RL)
+	if err != nil {
+		t.Fatalf("ScansFor: %v", err)
+	}
+	return groupMatrix(t, lr), groupMatrix(t, rl)
+}
+
+func TestDeanonymizeRestHighAccuracy(t *testing.T) {
+	c := testCohort(t)
+	known, anon := restGroups(t, c)
+	res, err := Deanonymize(known, anon, DefaultAttackConfig())
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("rest-to-rest accuracy = %.2f want >= 0.90 (paper: >0.94)", res.Accuracy)
+	}
+	if len(res.Features) != 100 {
+		t.Errorf("selected %d features want 100", len(res.Features))
+	}
+	if r, cc := res.Similarity.Dims(); r != 16 || cc != 16 {
+		t.Errorf("similarity dims %dx%d", r, cc)
+	}
+	if len(res.Predictions) != 16 {
+		t.Errorf("predictions = %d", len(res.Predictions))
+	}
+}
+
+func TestDeanonymizeFullFeatureBaseline(t *testing.T) {
+	c := testCohort(t)
+	known, anon := restGroups(t, c)
+	res, err := Deanonymize(known, anon, AttackConfig{Features: 0})
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	features, _ := known.Dims()
+	if len(res.Features) != features {
+		t.Errorf("baseline should use all %d features, used %d", features, len(res.Features))
+	}
+	if res.Accuracy < 0.8 {
+		t.Errorf("full-feature accuracy = %.2f unexpectedly low", res.Accuracy)
+	}
+}
+
+func TestDeanonymizeLeverageBeatsUniform(t *testing.T) {
+	c := testCohort(t)
+	known, anon := restGroups(t, c)
+	lev, err := Deanonymize(known, anon, DefaultAttackConfig())
+	if err != nil {
+		t.Fatalf("Deanonymize leverage: %v", err)
+	}
+	// Uniform random selection of the same budget, averaged over seeds.
+	var uniformAcc float64
+	const reps = 5
+	for s := int64(0); s < reps; s++ {
+		uni, err := Deanonymize(known, anon, AttackConfig{Features: 100, Method: sampling.Uniform, Seed: s})
+		if err != nil {
+			t.Fatalf("Deanonymize uniform: %v", err)
+		}
+		uniformAcc += uni.Accuracy
+	}
+	uniformAcc /= reps
+	t.Logf("leverage=%.3f uniform(avg)=%.3f", lev.Accuracy, uniformAcc)
+	if lev.Accuracy < uniformAcc-1e-9 {
+		t.Errorf("leverage (%.3f) should not lose to uniform (%.3f)", lev.Accuracy, uniformAcc)
+	}
+}
+
+func TestDeanonymizeCrossTaskOrdering(t *testing.T) {
+	c := testCohort(t)
+	lr := func(task synth.Task) *linalg.Matrix {
+		scans, err := c.ScansFor(task, synth.LR)
+		if err != nil {
+			t.Fatalf("ScansFor: %v", err)
+		}
+		return groupMatrix(t, scans)
+	}
+	rl := func(task synth.Task) *linalg.Matrix {
+		scans, err := c.ScansFor(task, synth.RL)
+		if err != nil {
+			t.Fatalf("ScansFor: %v", err)
+		}
+		return groupMatrix(t, scans)
+	}
+	cfg := DefaultAttackConfig()
+	cfg.Features = 80
+	restRes, err := Deanonymize(lr(synth.Rest1), rl(synth.Rest2), cfg)
+	if err != nil {
+		t.Fatalf("rest: %v", err)
+	}
+	motorRes, err := Deanonymize(lr(synth.Motor), rl(synth.Motor), cfg)
+	if err != nil {
+		t.Fatalf("motor: %v", err)
+	}
+	t.Logf("rest=%.3f motor=%.3f", restRes.Accuracy, motorRes.Accuracy)
+	// The paper's central Figure 5 finding: motor is far less
+	// identifying than rest.
+	if restRes.Accuracy <= motorRes.Accuracy {
+		t.Errorf("rest (%.3f) should identify better than motor (%.3f)", restRes.Accuracy, motorRes.Accuracy)
+	}
+}
+
+func TestDeanonymizeValidation(t *testing.T) {
+	if _, err := Deanonymize(linalg.NewMatrix(10, 3), linalg.NewMatrix(8, 3), DefaultAttackConfig()); err == nil {
+		t.Error("expected feature mismatch error")
+	}
+}
+
+func TestDeanonymizeRandomizedSelection(t *testing.T) {
+	c := testCohort(t)
+	known, anon := restGroups(t, c)
+	res, err := Deanonymize(known, anon, AttackConfig{Features: 100, Method: sampling.Leverage, Deterministic: false, Seed: 3})
+	if err != nil {
+		t.Fatalf("Deanonymize randomized: %v", err)
+	}
+	if res.Accuracy < 0.6 {
+		t.Errorf("randomized leverage accuracy = %.2f suspiciously low", res.Accuracy)
+	}
+}
+
+func TestTaskPredict(t *testing.T) {
+	p := synth.DefaultHCPParams()
+	p.Subjects = 10
+	p.Regions = 40
+	p.RestFrames = 120
+	p.TaskFrames = 120
+	c, err := synth.GenerateHCP(p)
+	if err != nil {
+		t.Fatalf("GenerateHCP: %v", err)
+	}
+	// One scan per subject per condition (LR), labels = condition index.
+	var vecs [][]float64
+	var labels []int
+	for ci, task := range synth.TaskConditions {
+		scans, err := c.ScansFor(task, synth.LR)
+		if err != nil {
+			t.Fatalf("ScansFor: %v", err)
+		}
+		for _, s := range scans {
+			con, err := connectome.FromRegionSeries(s.Series, connectome.Options{})
+			if err != nil {
+				t.Fatalf("connectome: %v", err)
+			}
+			vecs = append(vecs, con.Vectorize())
+			labels = append(labels, ci)
+		}
+	}
+	points, err := connectome.GroupMatrixFromVectors(vecs)
+	if err != nil {
+		t.Fatalf("GroupMatrixFromVectors: %v", err)
+	}
+	pointsT := points.T() // rows = scans
+
+	// Half the subjects' labels known (the §3.3.2 setup).
+	known := make([]bool, len(labels))
+	rng := rand.New(rand.NewSource(5))
+	for i := range known {
+		known[i] = i%len(synth.TaskConditions) < 0 || rng.Float64() < 0.5
+	}
+	// Ensure at least one known per class.
+	for ci := range synth.TaskConditions {
+		known[ci*p.Subjects] = true
+	}
+	res, err := TaskPredict(pointsT, labels, known, TaskPredictConfig{
+		TSNE: tsne.Config{Perplexity: 12, Iterations: 250, Seed: 1},
+	})
+	if err != nil {
+		t.Fatalf("TaskPredict: %v", err)
+	}
+	t.Logf("task prediction accuracy = %.3f, KL = %.3f", res.Accuracy, res.KL)
+	if res.Accuracy < 0.85 {
+		t.Errorf("task prediction accuracy = %.3f want >= 0.85 (paper: ~100%%)", res.Accuracy)
+	}
+	if rows, cols := res.Embedding.Dims(); rows != len(labels) || cols != 2 {
+		t.Errorf("embedding dims %dx%d", rows, cols)
+	}
+	if len(res.PerLabel) == 0 {
+		t.Error("per-label accuracies missing")
+	}
+}
+
+func TestTaskPredictValidation(t *testing.T) {
+	pts := linalg.NewMatrix(6, 4)
+	if _, err := TaskPredict(pts, []int{0, 1}, make([]bool, 6), TaskPredictConfig{}); err == nil {
+		t.Error("expected label length error")
+	}
+	labels := make([]int, 6)
+	if _, err := TaskPredict(pts, labels, make([]bool, 6), TaskPredictConfig{
+		TSNE: tsne.Config{Iterations: 10},
+	}); err == nil {
+		t.Error("expected no-known-scans error")
+	}
+	allKnown := make([]bool, 6)
+	for i := range allKnown {
+		allKnown[i] = true
+	}
+	if _, err := TaskPredict(pts, labels, allKnown, TaskPredictConfig{
+		TSNE: tsne.Config{Iterations: 10},
+	}); err == nil {
+		t.Error("expected no-anonymous-scans error")
+	}
+}
+
+func TestPerformancePredict(t *testing.T) {
+	p := synth.DefaultHCPParams()
+	p.Subjects = 30
+	p.Regions = 40
+	p.RestFrames = 100
+	p.TaskFrames = 160
+	c, err := synth.GenerateHCP(p)
+	if err != nil {
+		t.Fatalf("GenerateHCP: %v", err)
+	}
+	scans, err := c.ScansFor(synth.Language, synth.LR)
+	if err != nil {
+		t.Fatalf("ScansFor: %v", err)
+	}
+	group := groupMatrix(t, scans)
+	cfg := DefaultPerformanceConfig()
+	cfg.Trials = 10
+	cfg.Seed = 1
+	res, err := PerformancePredict(group, c.Performance[synth.Language], cfg)
+	if err != nil {
+		t.Fatalf("PerformancePredict: %v", err)
+	}
+	t.Logf("train nRMSE = %v, test nRMSE = %v", res.TrainNRMSE, res.TestNRMSE)
+	if res.TestNRMSE.Mean > 25 {
+		t.Errorf("test nRMSE %.2f%% way off (paper: < 4%%)", res.TestNRMSE.Mean)
+	}
+	if res.TrainNRMSE.Mean > res.TestNRMSE.Mean+5 {
+		t.Errorf("train error (%v) should not exceed test error (%v) materially",
+			res.TrainNRMSE.Mean, res.TestNRMSE.Mean)
+	}
+}
+
+func TestPerformancePredictValidation(t *testing.T) {
+	g := linalg.NewMatrix(20, 4)
+	if _, err := PerformancePredict(g, []float64{1, 2}, DefaultPerformanceConfig()); err == nil {
+		t.Error("expected score mismatch error")
+	}
+	if _, err := PerformancePredict(g, []float64{1, 2, 3, 4}, DefaultPerformanceConfig()); err == nil {
+		t.Error("expected too-few-subjects error")
+	}
+	scores := []float64{1, 1, 1, 1, 1, 1}
+	g6 := linalg.NewMatrix(20, 6)
+	if _, err := PerformancePredict(g6, scores, DefaultPerformanceConfig()); err == nil {
+		t.Error("expected constant-score error")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+)
+
+// syntheticGroups builds aligned known/anon groups with a controllable
+// noise level (duplicated from match tests at a smaller scale to keep
+// the packages independent).
+func syntheticGroups(rng *rand.Rand, features, subjects int, noise float64) (*linalg.Matrix, *linalg.Matrix) {
+	known := linalg.NewMatrix(features, subjects)
+	anon := linalg.NewMatrix(features, subjects)
+	for s := 0; s < subjects; s++ {
+		proto := make([]float64, features)
+		for f := range proto {
+			proto[f] = rng.NormFloat64()
+		}
+		k := make([]float64, features)
+		a := make([]float64, features)
+		for f := range proto {
+			k[f] = proto[f] + noise*rng.NormFloat64()
+			a[f] = proto[f] + noise*rng.NormFloat64()
+		}
+		known.SetCol(s, k)
+		anon.SetCol(s, a)
+	}
+	return known, anon
+}
+
+// TestDeanonymizePermutationEquivariance: shuffling the anonymous
+// subjects must shuffle the predictions identically — the attack cannot
+// depend on column order.
+func TestDeanonymizePermutationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	known, anon := syntheticGroups(rng, 300, 12, 0.4)
+	cfg := AttackConfig{Features: 50, Deterministic: true}
+	base, err := Deanonymize(known, anon, cfg)
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	perm := rng.Perm(12)
+	shuffled := linalg.NewMatrix(300, 12)
+	for newPos, orig := range perm {
+		shuffled.SetCol(newPos, anon.Col(orig))
+	}
+	shufRes, err := Deanonymize(known, shuffled, cfg)
+	if err != nil {
+		t.Fatalf("Deanonymize shuffled: %v", err)
+	}
+	for newPos, orig := range perm {
+		if shufRes.Predictions[newPos] != base.Predictions[orig] {
+			t.Fatalf("prediction for shuffled column %d (orig %d): %d vs %d",
+				newPos, orig, shufRes.Predictions[newPos], base.Predictions[orig])
+		}
+	}
+	// Accuracy against the permutation ground truth must match the
+	// aligned accuracy.
+	acc, err := match.Accuracy(shufRes.Similarity, perm)
+	if err != nil {
+		t.Fatalf("Accuracy: %v", err)
+	}
+	if acc != base.Accuracy {
+		t.Errorf("permuted accuracy %v != aligned %v", acc, base.Accuracy)
+	}
+}
+
+// TestDeanonymizeScaleInvariance: the attack matches by Pearson
+// correlation, so rescaling an anonymous subject's features must not
+// change its prediction.
+func TestDeanonymizeScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	known, anon := syntheticGroups(rng, 200, 10, 0.3)
+	cfg := AttackConfig{Features: 40, Deterministic: true}
+	base, err := Deanonymize(known, anon, cfg)
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	scaled := anon.Clone()
+	for s := 0; s < 10; s++ {
+		col := scaled.Col(s)
+		for f := range col {
+			col[f] = 3*col[f] + 0.5
+		}
+		scaled.SetCol(s, col)
+	}
+	res, err := Deanonymize(known, scaled, cfg)
+	if err != nil {
+		t.Fatalf("Deanonymize scaled: %v", err)
+	}
+	for s := range res.Predictions {
+		if res.Predictions[s] != base.Predictions[s] {
+			t.Fatalf("affine rescaling changed prediction for subject %d", s)
+		}
+	}
+}
+
+// TestDeanonymizeConstantFeatureRows: dead features (all-zero rows, as
+// empty atlas regions produce) must not break the attack.
+func TestDeanonymizeConstantFeatureRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	known, anon := syntheticGroups(rng, 150, 8, 0.3)
+	// Zero out a band of features in both groups.
+	for f := 20; f < 50; f++ {
+		for s := 0; s < 8; s++ {
+			known.Set(f, s, 0)
+			anon.Set(f, s, 0)
+		}
+	}
+	res, err := Deanonymize(known, anon, AttackConfig{Features: 60, Deterministic: true})
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if res.Accuracy < 0.8 {
+		t.Errorf("dead features degraded accuracy to %v", res.Accuracy)
+	}
+}
+
+// TestDeanonymizeSingleAnonymousSubject: a one-column target dataset is
+// the "single patient record" threat; it must work.
+func TestDeanonymizeSingleAnonymousSubject(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	known, anon := syntheticGroups(rng, 120, 9, 0.3)
+	single := linalg.NewMatrix(120, 1)
+	single.SetCol(0, anon.Col(4))
+	res, err := Deanonymize(known, single, AttackConfig{Features: 40, Deterministic: true})
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if len(res.Predictions) != 1 {
+		t.Fatalf("predictions = %d", len(res.Predictions))
+	}
+	if res.Predictions[0] != 4 {
+		t.Errorf("single-subject prediction %d want 4", res.Predictions[0])
+	}
+}
+
+// TestDeanonymizeMoreFeaturesThanAvailable: requesting more features
+// than exist must fall back to all features rather than erroring.
+func TestDeanonymizeMoreFeaturesThanAvailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	known, anon := syntheticGroups(rng, 30, 6, 0.2)
+	res, err := Deanonymize(known, anon, AttackConfig{Features: 500, Deterministic: true})
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	if len(res.Features) != 30 {
+		t.Errorf("used %d features want all 30", len(res.Features))
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brainprint/internal/linalg"
+	"brainprint/internal/sampling"
+	"brainprint/internal/stats"
+	"brainprint/internal/svr"
+)
+
+// PerformanceConfig configures the §3.3.3 task-performance prediction.
+type PerformanceConfig struct {
+	// Features is the size of the principal features subspace computed
+	// on the training split; default 100.
+	Features int
+	// TrainFraction of subjects goes to the training set; default 0.8
+	// (the paper's 80/20 split).
+	TrainFraction float64
+	// Trials is the number of random resplits; the paper repeats 1000
+	// times; default 30 keeps tests fast.
+	Trials int
+	// SVR holds the regressor hyperparameters.
+	SVR svr.Config
+	// Seed drives the splits.
+	Seed int64
+}
+
+// DefaultPerformanceConfig returns a fast, paper-shaped configuration.
+func DefaultPerformanceConfig() PerformanceConfig {
+	return PerformanceConfig{Features: 100, TrainFraction: 0.8, Trials: 30}
+}
+
+// PerformanceResult reports normalized RMSE over the resampling trials,
+// the metric of Table 1.
+type PerformanceResult struct {
+	TrainNRMSE stats.Summary // in percent of the target range
+	TestNRMSE  stats.Summary
+}
+
+// PerformancePredict regresses per-subject scores on leverage-selected
+// connectome features: for each trial the subjects are split
+// train/test, the principal features subspace is computed on the
+// training group matrix only, a linear SVR is fitted on the training
+// subjects and evaluated on both splits (§3.3.3).
+//
+// group is features×subjects; scores has one target per subject.
+func PerformancePredict(group *linalg.Matrix, scores []float64, cfg PerformanceConfig) (*PerformanceResult, error) {
+	features, subjects := group.Dims()
+	if subjects != len(scores) {
+		return nil, fmt.Errorf("core: %d subjects but %d scores", subjects, len(scores))
+	}
+	if subjects < 5 {
+		return nil, fmt.Errorf("core: need at least 5 subjects, got %d", subjects)
+	}
+	if cfg.Features <= 0 {
+		cfg.Features = 100
+	}
+	if cfg.Features > features {
+		cfg.Features = features
+	}
+	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
+		cfg.TrainFraction = 0.8
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 30
+	}
+	nTrain := int(float64(subjects) * cfg.TrainFraction)
+	if nTrain < 2 {
+		nTrain = 2
+	}
+	if nTrain >= subjects {
+		nTrain = subjects - 1
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trainErrs := make([]float64, 0, cfg.Trials)
+	testErrs := make([]float64, 0, cfg.Trials)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		perm := rng.Perm(subjects)
+		trainIdx := perm[:nTrain]
+		testIdx := perm[nTrain:]
+
+		trainGroup := group.SelectCols(trainIdx)
+		featIdx, _, err := sampling.PrincipalFeatures(trainGroup, cfg.Features)
+		if err != nil {
+			return nil, err
+		}
+		// Design matrices: samples × selected features.
+		xTrain := group.SelectRows(featIdx).SelectCols(trainIdx).T()
+		xTest := group.SelectRows(featIdx).SelectCols(testIdx).T()
+		yTrain := selectScores(scores, trainIdx)
+		yTest := selectScores(scores, testIdx)
+
+		svrCfg := cfg.SVR
+		svrCfg.Seed = rng.Int63()
+		model, err := svr.Train(xTrain, yTrain, svrCfg)
+		if err != nil {
+			return nil, err
+		}
+		predTrain, err := model.PredictBatch(xTrain)
+		if err != nil {
+			return nil, err
+		}
+		predTest, err := model.PredictBatch(xTest)
+		if err != nil {
+			return nil, err
+		}
+		// Normalize by the full cohort's score range so train and test
+		// errors are comparable (a tiny test split can have a degenerate
+		// range).
+		lo, hi := stats.MinMax(scores)
+		if hi == lo {
+			return nil, fmt.Errorf("core: constant scores")
+		}
+		trainRMSE, err := stats.RMSE(predTrain, yTrain)
+		if err != nil {
+			return nil, err
+		}
+		testRMSE, err := stats.RMSE(predTest, yTest)
+		if err != nil {
+			return nil, err
+		}
+		trainErrs = append(trainErrs, 100*trainRMSE/(hi-lo))
+		testErrs = append(testErrs, 100*testRMSE/(hi-lo))
+	}
+	return &PerformanceResult{
+		TrainNRMSE: stats.Summarize(trainErrs),
+		TestNRMSE:  stats.Summarize(testErrs),
+	}, nil
+}
+
+func selectScores(scores []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = scores[j]
+	}
+	return out
+}

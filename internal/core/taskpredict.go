@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"brainprint/internal/knn"
+	"brainprint/internal/linalg"
+	"brainprint/internal/tsne"
+)
+
+// TaskPredictConfig configures the §3.3.2 task-prediction attack.
+type TaskPredictConfig struct {
+	// TSNE configures the embedding (perplexity, iterations, seed, ...).
+	TSNE tsne.Config
+	// Neighbours is the k of the k-NN label assignment; the paper uses
+	// the single nearest neighbour (default 1).
+	Neighbours int
+}
+
+// TaskPredictResult reports one task-prediction run.
+type TaskPredictResult struct {
+	// Embedding is the n×2 t-SNE map of every scan ("task-identifying
+	// signatures", Figure 6).
+	Embedding *linalg.Matrix
+	// KL is the final t-SNE objective value.
+	KL float64
+	// Predicted holds the predicted label of every scan: known scans
+	// keep their given label, anonymous scans get their neighbour vote.
+	Predicted []int
+	// Accuracy is the fraction of anonymous scans labelled correctly.
+	Accuracy float64
+	// PerLabel maps each label to the accuracy over anonymous scans of
+	// that label.
+	PerLabel map[int]float64
+}
+
+// TaskPredict embeds the scan feature matrix (rows = scans, columns =
+// connectome features) with t-SNE and assigns each anonymous scan the
+// label of its nearest known scan in the embedding, as in §3.3.2.
+// labels[i] is the task label of scan i; known[i] marks the scans whose
+// labels the attacker knows. Accuracy is computed over the anonymous
+// scans against their (withheld) true labels.
+func TaskPredict(points *linalg.Matrix, labels []int, known []bool, cfg TaskPredictConfig) (*TaskPredictResult, error) {
+	n, _ := points.Dims()
+	if n != len(labels) || n != len(known) {
+		return nil, fmt.Errorf("core: %d points, %d labels, %d known flags", n, len(labels), len(known))
+	}
+	k := cfg.Neighbours
+	if k <= 0 {
+		k = 1
+	}
+	emb, err := tsne.Embed(points, cfg.TSNE)
+	if err != nil {
+		return nil, err
+	}
+
+	var refPoints [][]float64
+	var refLabels []int
+	for i := 0; i < n; i++ {
+		if known[i] {
+			refPoints = append(refPoints, emb.Y.Row(i))
+			refLabels = append(refLabels, labels[i])
+		}
+	}
+	if len(refPoints) == 0 {
+		return nil, fmt.Errorf("core: no known-label scans to learn from")
+	}
+	clf, err := knn.Fit(refPoints, refLabels)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TaskPredictResult{
+		Embedding: emb.Y,
+		KL:        emb.KL,
+		Predicted: make([]int, n),
+		PerLabel:  make(map[int]float64),
+	}
+	perLabelTotal := make(map[int]int)
+	perLabelHit := make(map[int]int)
+	var anon, correct int
+	for i := 0; i < n; i++ {
+		if known[i] {
+			res.Predicted[i] = labels[i]
+			continue
+		}
+		pred, err := clf.Predict(emb.Y.Row(i), k)
+		if err != nil {
+			return nil, err
+		}
+		res.Predicted[i] = pred
+		anon++
+		perLabelTotal[labels[i]]++
+		if pred == labels[i] {
+			correct++
+			perLabelHit[labels[i]]++
+		}
+	}
+	if anon == 0 {
+		return nil, fmt.Errorf("core: no anonymous scans to predict")
+	}
+	res.Accuracy = float64(correct) / float64(anon)
+	for label, total := range perLabelTotal {
+		res.PerLabel[label] = float64(perLabelHit[label]) / float64(total)
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package defense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brainprint/internal/linalg"
+)
+
+func randomGroup(rng *rand.Rand, features, subjects int) *linalg.Matrix {
+	m := linalg.NewMatrix(features, subjects)
+	for i := range m.RawData() {
+		m.RawData()[i] = 0.5 * rng.NormFloat64()
+	}
+	return m
+}
+
+func TestStrategyString(t *testing.T) {
+	if Targeted.String() != "targeted" || Uniform.String() != "uniform" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(5).String() == "" {
+		t.Error("unknown strategy should render")
+	}
+}
+
+func TestProtectValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGroup(rng, 20, 5)
+	if _, err := Protect(linalg.NewMatrix(0, 0), Targeted, 1, 0.1, rng); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, err := Protect(g, Targeted, 0, 0.1, rng); err == nil {
+		t.Error("expected topFeatures error")
+	}
+	if _, err := Protect(g, Targeted, 21, 0.1, rng); err == nil {
+		t.Error("expected topFeatures range error")
+	}
+	if _, err := Protect(g, Targeted, 5, -1, rng); err == nil {
+		t.Error("expected negative sigma error")
+	}
+	if _, err := Protect(g, Strategy(9), 5, 0.1, rng); err == nil {
+		t.Error("expected unknown strategy error")
+	}
+}
+
+func TestProtectTargetedTouchesOnlySelectedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGroup(rng, 30, 6)
+	res, err := Protect(g, Targeted, 5, 0.2, rng)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if len(res.PerturbedFeatures) != 5 {
+		t.Fatalf("perturbed %d features want 5", len(res.PerturbedFeatures))
+	}
+	touched := make(map[int]bool)
+	for _, f := range res.PerturbedFeatures {
+		touched[f] = true
+	}
+	for f := 0; f < 30; f++ {
+		orig := g.RowView(f)
+		prot := res.Protected.RowView(f)
+		changed := false
+		for s := range orig {
+			if orig[s] != prot[s] {
+				changed = true
+			}
+		}
+		if changed != touched[f] {
+			t.Errorf("feature %d: changed=%v touched=%v", f, changed, touched[f])
+		}
+	}
+	// Input untouched.
+	if res.Protected == g {
+		t.Error("Protect must not alias its input")
+	}
+}
+
+func TestProtectUniformTouchesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGroup(rng, 25, 4)
+	res, err := Protect(g, Uniform, 5, 0.3, rng)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if len(res.PerturbedFeatures) != 25 {
+		t.Errorf("uniform should list all features, got %d", len(res.PerturbedFeatures))
+	}
+}
+
+func TestProtectBudgetsMatch(t *testing.T) {
+	// Expected total squared noise must match between strategies.
+	rng := rand.New(rand.NewSource(4))
+	g := randomGroup(rng, 400, 30)
+	const sigma = 0.2
+	const top = 50
+	var targetedSq, uniformSq float64
+	const reps = 30
+	for r := 0; r < reps; r++ {
+		tRes, err := Protect(g, Targeted, top, sigma, rng)
+		if err != nil {
+			t.Fatalf("Protect: %v", err)
+		}
+		uRes, err := Protect(g, Uniform, top, sigma, rng)
+		if err != nil {
+			t.Fatalf("Protect: %v", err)
+		}
+		d := tRes.Protected.Sub(g).FrobeniusNorm()
+		targetedSq += d * d
+		d = uRes.Protected.Sub(g).FrobeniusNorm()
+		uniformSq += d * d
+	}
+	ratio := targetedSq / uniformSq
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("distortion budgets differ: ratio %.3f", ratio)
+	}
+}
+
+func TestProtectZeroSigmaIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGroup(rng, 15, 3)
+	res, err := Protect(g, Targeted, 5, 0, rng)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	if !res.Protected.EqualApprox(g, 0) {
+		t.Error("zero sigma should not change the matrix")
+	}
+	if res.Distortion != 0 {
+		t.Errorf("distortion = %v want 0", res.Distortion)
+	}
+}
+
+func TestClampCorrelations(t *testing.T) {
+	m, _ := linalg.NewMatrixFromRows([][]float64{{1.5, -2}, {0.5, 0.9}})
+	ClampCorrelations(m)
+	if m.At(0, 0) != 1 || m.At(0, 1) != -1 {
+		t.Errorf("clamp failed: %v", m)
+	}
+	if m.At(1, 0) != 0.5 {
+		t.Error("in-range values must be untouched")
+	}
+}
+
+func TestTargetedHitsHighLeverageRows(t *testing.T) {
+	// Build a matrix with one dominant row; targeted protection must
+	// perturb it.
+	rng := rand.New(rand.NewSource(6))
+	g := linalg.NewMatrix(40, 4)
+	for i := range g.RawData() {
+		g.RawData()[i] = 0.01 * rng.NormFloat64()
+	}
+	g.Set(7, 0, 3)
+	g.Set(7, 1, -3)
+	g.Set(7, 2, 2)
+	g.Set(7, 3, -1)
+	res, err := Protect(g, Targeted, 3, 0.5, rng)
+	if err != nil {
+		t.Fatalf("Protect: %v", err)
+	}
+	found := false
+	for _, f := range res.PerturbedFeatures {
+		if f == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dominant row 7 not targeted: %v", res.PerturbedFeatures)
+	}
+	if math.Abs(res.Distortion) == 0 {
+		t.Error("distortion should be positive")
+	}
+}

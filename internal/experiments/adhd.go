@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/core"
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+	"brainprint/internal/report"
+	"brainprint/internal/sampling"
+	"brainprint/internal/stats"
+	"brainprint/internal/synth"
+)
+
+// Figure7 reproduces the paper's Figure 7: session-1 vs session-2
+// similarity of ADHD subtype-1 (combined type) subjects.
+func Figure7(c *synth.ADHDCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
+	return adhdSimilarity(c, cfg, "Figure 7: ADHD subtype-1 inter-session similarity", synth.Subtype1)
+}
+
+// Figure8 reproduces Figure 8 for subtype 3 (inattentive type).
+func Figure8(c *synth.ADHDCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
+	return adhdSimilarity(c, cfg, "Figure 8: ADHD subtype-3 inter-session similarity", synth.Subtype3)
+}
+
+// adhdSimilarity runs the attack between the two sessions of the given
+// diagnostic groups.
+func adhdSimilarity(c *synth.ADHDCohort, cfg core.AttackConfig, name string, groups ...synth.ADHDGroup) (*SimilarityResult, error) {
+	subjects := c.SubjectsInGroups(groups...)
+	if len(subjects) < 2 {
+		return nil, fmt.Errorf("experiments: only %d subjects in groups %v", len(subjects), groups)
+	}
+	known, anon, err := adhdPair(c, subjects)
+	if err != nil {
+		return nil, err
+	}
+	return pairSimilarity(name, known, anon, cfg)
+}
+
+// adhdPair builds session-1 and session-2 group matrices for a subject
+// subset.
+func adhdPair(c *synth.ADHDCohort, subjects []int) (*linalg.Matrix, *linalg.Matrix, error) {
+	s1, err := c.SessionScans(subjects, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	s2, err := c.SessionScans(subjects, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	known, err := BuildGroupMatrixADHD(s1, connectome.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	anon, err := BuildGroupMatrixADHD(s2, connectome.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return known, anon, nil
+}
+
+// Figure9Result extends the similarity result with the train/test
+// feature-transfer accuracy the paper reports alongside Figure 9
+// (97.2 ± 0.9% for cases, 94.12 ± 3.4% for the full cases+controls
+// cohort).
+type Figure9Result struct {
+	Similarity    *SimilarityResult
+	CasesTransfer stats.Summary // test accuracy, case subjects only
+	MixedTransfer stats.Summary // test accuracy, cases + controls
+}
+
+// Render prints the similarity heatmap and transfer accuracies.
+func (r *Figure9Result) Render() string {
+	s := r.Similarity.Render()
+	s += fmt.Sprintf("train/test leverage transfer accuracy (cases only):    %s\n", r.CasesTransfer)
+	s += fmt.Sprintf("train/test leverage transfer accuracy (cases+controls): %s\n", r.MixedTransfer)
+	return s
+}
+
+// Figure9 reproduces §3.3.4's quantitative claims: the full-cohort
+// similarity matrix and the train/test experiment in which the
+// principal features subspace is computed on a training subset of
+// subjects and reused, unchanged, to identify held-out test subjects.
+func Figure9(c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFraction float64, seed int64) (*Figure9Result, error) {
+	all := make([]int, c.Params.NumSubjects())
+	for i := range all {
+		all[i] = i
+	}
+	sim, err := adhdSimilarity(c, cfg, "Figure 9: all ADHD-200 subjects (cases + controls)",
+		synth.Control, synth.Subtype1, synth.Subtype2, synth.Subtype3)
+	if err != nil {
+		return nil, err
+	}
+	cases := c.SubjectsInGroups(synth.Subtype1, synth.Subtype2, synth.Subtype3)
+	casesAcc, err := TransferAccuracy(c, cases, cfg, trials, trainFraction, seed)
+	if err != nil {
+		return nil, err
+	}
+	mixedAcc, err := TransferAccuracy(c, all, cfg, trials, trainFraction, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure9Result{Similarity: sim, CasesTransfer: casesAcc, MixedTransfer: mixedAcc}, nil
+}
+
+// TransferAccuracy measures how well the principal features subspace
+// generalizes across subjects: per trial, subjects are split into train
+// and test sets, leverage scores are computed on the training group
+// matrix only, and the held-out test subjects are identified across
+// sessions in that fixed feature space (§3.3.4's protocol).
+func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig, trials int, trainFraction float64, seed int64) (stats.Summary, error) {
+	if trials <= 0 {
+		trials = 10
+	}
+	if trainFraction <= 0 || trainFraction >= 1 {
+		trainFraction = 0.7
+	}
+	if len(subjects) < 4 {
+		return stats.Summary{}, fmt.Errorf("experiments: need at least 4 subjects, got %d", len(subjects))
+	}
+	features := cfg.Features
+	if features <= 0 {
+		features = 100
+	}
+	known, anon, err := adhdPair(c, subjects)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	if f, _ := known.Dims(); features > f {
+		features = f
+	}
+	rng := rand.New(rand.NewSource(seed))
+	accs := make([]float64, 0, trials)
+	n := len(subjects)
+	nTrain := int(float64(n) * trainFraction)
+	if nTrain < 2 {
+		nTrain = 2
+	}
+	if nTrain > n-2 {
+		nTrain = n - 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(n)
+		trainIdx := perm[:nTrain]
+		testIdx := perm[nTrain:]
+		featIdx, _, err := sampling.PrincipalFeatures(known.SelectCols(trainIdx), features)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		kTest := known.SelectRows(featIdx).SelectCols(testIdx)
+		aTest := anon.SelectRows(featIdx).SelectCols(testIdx)
+		sim, err := match.SimilarityMatrix(kTest, aTest)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		acc, err := match.Accuracy(sim, nil)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		accs = append(accs, 100*acc)
+	}
+	return stats.Summarize(accs), nil
+}
+
+// RenderADHDSummary prints the per-group composition of an ADHD cohort,
+// useful context above the Figure 7–9 outputs.
+func RenderADHDSummary(c *synth.ADHDCohort) string {
+	counts := map[synth.ADHDGroup]int{}
+	for _, g := range c.Groups {
+		counts[g]++
+	}
+	headers := []string{"group", "subjects"}
+	var rows [][]string
+	for _, g := range []synth.ADHDGroup{synth.Control, synth.Subtype1, synth.Subtype2, synth.Subtype3} {
+		rows = append(rows, []string{g.String(), fmt.Sprintf("%d", counts[g])})
+	}
+	return report.Table(headers, rows)
+}

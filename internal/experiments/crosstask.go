@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/core"
+	"brainprint/internal/linalg"
+	"brainprint/internal/report"
+	"brainprint/internal/synth"
+)
+
+// CrossTaskResult is the Figure 5 matrix: identification accuracy when
+// the row condition is de-anonymized (L-R scans, with REST represented
+// by REST1) and the column condition is anonymous (R-L scans, REST
+// represented by REST2).
+type CrossTaskResult struct {
+	Conditions []synth.Task
+	Accuracy   *linalg.Matrix // rows = known condition, cols = anonymous condition
+}
+
+// Render prints the accuracy matrix as a labelled table plus a heatmap.
+func (r *CrossTaskResult) Render() string {
+	headers := []string{"known \\ anon"}
+	for _, t := range r.Conditions {
+		headers = append(headers, t.String())
+	}
+	var rows [][]string
+	for i, t := range r.Conditions {
+		row := []string{t.String()}
+		for j := range r.Conditions {
+			row = append(row, report.Percent(r.Accuracy.At(i, j)))
+		}
+		rows = append(rows, row)
+	}
+	s := "Figure 5: identifiability of subjects across tasks\n"
+	s += report.Table(headers, rows)
+	s += report.Heatmap(r.Accuracy, nil, nil, 20)
+	return s
+}
+
+// Figure5 reproduces the paper's Figure 5: for every pair of conditions
+// (row = de-anonymized dataset, column = anonymous dataset), select the
+// principal features subspace on the row group and measure the
+// identification accuracy on the column group. The row group uses L-R
+// encodings (REST1 for rest); the column group uses R-L encodings
+// (REST2 for rest), exactly as §3.3.1 describes.
+func Figure5(c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error) {
+	conds := synth.TaskConditions
+	known := make([]*linalg.Matrix, len(conds))
+	anon := make([]*linalg.Matrix, len(conds))
+	for i, t := range conds {
+		kt, at := t, t
+		if t == synth.Rest1 {
+			at = synth.Rest2
+		}
+		scansK, err := c.ScansFor(kt, synth.LR)
+		if err != nil {
+			return nil, err
+		}
+		scansA, err := c.ScansFor(at, synth.RL)
+		if err != nil {
+			return nil, err
+		}
+		if known[i], err = BuildGroupMatrix(scansK, connectome.Options{}); err != nil {
+			return nil, err
+		}
+		if anon[i], err = BuildGroupMatrix(scansA, connectome.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	acc := linalg.NewMatrix(len(conds), len(conds))
+	for i := range conds {
+		for j := range conds {
+			res, err := core.Deanonymize(known[i], anon[j], cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %v vs %v: %w", conds[i], conds[j], err)
+			}
+			acc.Set(i, j, res.Accuracy)
+		}
+	}
+	return &CrossTaskResult{Conditions: conds, Accuracy: acc}, nil
+}

@@ -1,0 +1,48 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3.3) on the synthetic cohorts: one driver function per
+// experiment, each returning a structured result with a Render method
+// that prints the same rows or picture the paper reports. DESIGN.md maps
+// each driver to its paper artifact.
+package experiments
+
+import (
+	"fmt"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/linalg"
+	"brainprint/internal/synth"
+)
+
+// BuildGroupMatrix converts HCP-like scans into the features×subjects
+// group matrix of §3.1.1: each scan becomes a vectorized connectome
+// column.
+func BuildGroupMatrix(scans []*synth.Scan, opt connectome.Options) (*linalg.Matrix, error) {
+	if len(scans) == 0 {
+		return nil, fmt.Errorf("experiments: no scans")
+	}
+	cons := make([]*connectome.Connectome, len(scans))
+	for i, s := range scans {
+		c, err := connectome.FromRegionSeries(s.Series, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scan %d: %w", i, err)
+		}
+		cons[i] = c
+	}
+	return connectome.GroupMatrix(cons)
+}
+
+// BuildGroupMatrixADHD converts ADHD-like scans into a group matrix.
+func BuildGroupMatrixADHD(scans []*synth.ADHDScan, opt connectome.Options) (*linalg.Matrix, error) {
+	if len(scans) == 0 {
+		return nil, fmt.Errorf("experiments: no scans")
+	}
+	cons := make([]*connectome.Connectome, len(scans))
+	for i, s := range scans {
+		c, err := connectome.FromRegionSeries(s.Series, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scan %d: %w", i, err)
+		}
+		cons[i] = c
+	}
+	return connectome.GroupMatrix(cons)
+}

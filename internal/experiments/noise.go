@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/core"
+	"brainprint/internal/report"
+	"brainprint/internal/stats"
+	"brainprint/internal/synth"
+)
+
+// Table2Result holds the multi-site noise sweep of the paper's Table 2:
+// identification accuracy at each noise-variance level for the HCP-like
+// and ADHD-like cohorts.
+type Table2Result struct {
+	Levels []float64 // noise variance fractions (0.1, 0.2, 0.3 in the paper)
+	HCP    []stats.Summary
+	ADHD   []stats.Summary
+}
+
+// Render prints the table in the paper's format.
+func (r *Table2Result) Render() string {
+	headers := []string{"Noise Variance (%)", "HCP accuracy (%)", "ADHD-200 accuracy (%)"}
+	var rows [][]string
+	for i, l := range r.Levels {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", 100*l),
+			r.HCP[i].String(),
+			r.ADHD[i].String(),
+		})
+	}
+	return "Table 2: identification accuracy under simulated multi-site acquisition\n" + report.Table(headers, rows)
+}
+
+// Table2 reproduces §3.3.5: Gaussian noise with mean equal to the signal
+// mean and variance a fraction of the signal variance is added to every
+// time series of the second session, connectomes are recomputed, and the
+// identification attack is repeated. Each level is run `trials` times
+// with fresh noise.
+func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, trials int, cfg core.AttackConfig, seed int64) (*Table2Result, error) {
+	if len(levels) == 0 {
+		levels = []float64{0.1, 0.2, 0.3}
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+
+	// Clean session-1 groups and raw session-2 scans.
+	hcpKnownScans, err := hcp.ScansFor(synth.Rest1, synth.LR)
+	if err != nil {
+		return nil, err
+	}
+	hcpAnonScans, err := hcp.ScansFor(synth.Rest2, synth.RL)
+	if err != nil {
+		return nil, err
+	}
+	hcpKnown, err := BuildGroupMatrix(hcpKnownScans, connectome.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	allADHD := make([]int, adhd.Params.NumSubjects())
+	for i := range allADHD {
+		allADHD[i] = i
+	}
+	adhdS1, err := adhd.SessionScans(allADHD, 0)
+	if err != nil {
+		return nil, err
+	}
+	adhdS2, err := adhd.SessionScans(allADHD, 1)
+	if err != nil {
+		return nil, err
+	}
+	adhdKnown, err := BuildGroupMatrixADHD(adhdS1, connectome.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	res := &Table2Result{Levels: levels}
+	for _, level := range levels {
+		var hcpAccs, adhdAccs []float64
+		for trial := 0; trial < trials; trial++ {
+			noisyHCP, err := synth.NoisyCopyHCP(hcpAnonScans, level, rng)
+			if err != nil {
+				return nil, err
+			}
+			anon, err := BuildGroupMatrix(noisyHCP, connectome.Options{})
+			if err != nil {
+				return nil, err
+			}
+			r, err := core.Deanonymize(hcpKnown, anon, cfg)
+			if err != nil {
+				return nil, err
+			}
+			hcpAccs = append(hcpAccs, 100*r.Accuracy)
+
+			noisyADHD, err := synth.NoisyCopyADHD(adhdS2, level, rng)
+			if err != nil {
+				return nil, err
+			}
+			anonA, err := BuildGroupMatrixADHD(noisyADHD, connectome.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rA, err := core.Deanonymize(adhdKnown, anonA, cfg)
+			if err != nil {
+				return nil, err
+			}
+			adhdAccs = append(adhdAccs, 100*rA.Accuracy)
+		}
+		res.HCP = append(res.HCP, stats.Summarize(hcpAccs))
+		res.ADHD = append(res.ADHD, stats.Summarize(adhdAccs))
+	}
+	return res, nil
+}

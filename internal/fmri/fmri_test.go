@@ -1,0 +1,396 @@
+package fmri
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testGrid(t *testing.T, n int) Grid {
+	t.Helper()
+	g, err := NewGrid(n, n, n, 2)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 1, 1, 2); err == nil {
+		t.Error("expected error for zero dimension")
+	}
+	if _, err := NewGrid(2, 2, 2, 0); err == nil {
+		t.Error("expected error for zero voxel size")
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := testGrid(t, 5)
+	for z := 0; z < 5; z++ {
+		for y := 0; y < 5; y++ {
+			for x := 0; x < 5; x++ {
+				idx := g.Index(x, y, z)
+				gx, gy, gz := g.Coords(idx)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, idx, gx, gy, gz)
+				}
+			}
+		}
+	}
+}
+
+func TestGridIndexPanics(t *testing.T) {
+	g := testGrid(t, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Index out of range should panic")
+		}
+	}()
+	g.Index(3, 0, 0)
+}
+
+func TestVolumeAtSetClone(t *testing.T) {
+	g := testGrid(t, 4)
+	v := NewVolume(g)
+	v.Set(1, 2, 3, 42)
+	if v.At(1, 2, 3) != 42 {
+		t.Error("At/Set mismatch")
+	}
+	c := v.Clone()
+	c.Set(1, 2, 3, 0)
+	if v.At(1, 2, 3) != 42 {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestVolumeMean(t *testing.T) {
+	g := testGrid(t, 2)
+	v := NewVolume(g)
+	for i := range v.Data {
+		v.Data[i] = 3
+	}
+	if v.Mean() != 3 {
+		t.Errorf("Mean = %v want 3", v.Mean())
+	}
+}
+
+func TestInterpolateExactAtGridPoints(t *testing.T) {
+	g := testGrid(t, 4)
+	v := NewVolume(g)
+	rng := rand.New(rand.NewSource(1))
+	for i := range v.Data {
+		v.Data[i] = rng.Float64()
+	}
+	for z := 0; z < 4; z++ {
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				got := v.Interpolate(float64(x), float64(y), float64(z))
+				want := v.At(x, y, z)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("Interpolate(%d,%d,%d) = %v want %v", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpolateMidpoint(t *testing.T) {
+	g := testGrid(t, 2)
+	v := NewVolume(g)
+	v.Set(0, 0, 0, 0)
+	v.Set(1, 0, 0, 10)
+	got := v.Interpolate(0.5, 0, 0)
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("midpoint = %v want 5", got)
+	}
+}
+
+func TestShiftedInverseRecovers(t *testing.T) {
+	g := testGrid(t, 8)
+	v := NewVolume(g)
+	// Smooth content so interpolation round trip is accurate.
+	for z := 0; z < 8; z++ {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				v.Set(x, y, z, math.Sin(float64(x))+math.Cos(float64(y))+0.5*float64(z))
+			}
+		}
+	}
+	shifted := v.Shifted(1, 0, 0)
+	back := shifted.Shifted(-1, 0, 0)
+	// Compare interior voxels only (edges replicate).
+	for z := 2; z < 6; z++ {
+		for y := 2; y < 6; y++ {
+			for x := 2; x < 6; x++ {
+				if math.Abs(back.At(x, y, z)-v.At(x, y, z)) > 1e-9 {
+					t.Fatalf("shift round trip failed at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	g := testGrid(t, 2)
+	if _, err := NewSeries(g, 0, 5); err == nil {
+		t.Error("expected error for TR=0")
+	}
+	if _, err := NewSeries(g, 1, 0); err == nil {
+		t.Error("expected error for 0 frames")
+	}
+}
+
+func TestVoxelSeriesRoundTrip(t *testing.T) {
+	g := testGrid(t, 2)
+	s, err := NewSeries(g, 0.72, 10)
+	if err != nil {
+		t.Fatalf("NewSeries: %v", err)
+	}
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s.SetVoxelSeries(3, vals)
+	got := s.VoxelSeries(3)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("VoxelSeries mismatch at %d", i)
+		}
+	}
+}
+
+func TestMeanVolumeAndGlobalSignal(t *testing.T) {
+	g := testGrid(t, 2)
+	s, _ := NewSeries(g, 1, 2)
+	for i := range s.Frames[0].Data {
+		s.Frames[0].Data[i] = 2
+		s.Frames[1].Data[i] = 4
+	}
+	mv := s.MeanVolume()
+	if mv.Data[0] != 3 {
+		t.Errorf("MeanVolume = %v want 3", mv.Data[0])
+	}
+	gs := s.GlobalSignal(nil)
+	if gs[0] != 2 || gs[1] != 4 {
+		t.Errorf("GlobalSignal = %v", gs)
+	}
+	mask := make([]bool, g.NumVoxels())
+	mask[0] = true
+	s.Frames[0].Data[0] = 100
+	gs = s.GlobalSignal(mask)
+	if gs[0] != 100 {
+		t.Errorf("masked GlobalSignal = %v want 100", gs[0])
+	}
+}
+
+func TestPhantomConstruction(t *testing.T) {
+	g := testGrid(t, 16)
+	rng := rand.New(rand.NewSource(7))
+	ph, err := NewPhantom(g, DefaultPhantomParams(), rng)
+	if err != nil {
+		t.Fatalf("NewPhantom: %v", err)
+	}
+	if ph.NumBrainVoxels() == 0 {
+		t.Fatal("no brain voxels")
+	}
+	// Brain and skull masks are disjoint.
+	for i := range ph.BrainMask {
+		if ph.BrainMask[i] && ph.SkullMask[i] {
+			t.Fatal("brain and skull masks overlap")
+		}
+	}
+	// Skull is brighter than brain on average.
+	var brainSum, skullSum float64
+	var brainN, skullN int
+	for i, v := range ph.Baseline.Data {
+		if ph.BrainMask[i] {
+			brainSum += v
+			brainN++
+		} else if ph.SkullMask[i] {
+			skullSum += v
+			skullN++
+		}
+	}
+	if skullN == 0 {
+		t.Fatal("no skull voxels")
+	}
+	if skullSum/float64(skullN) <= brainSum/float64(brainN) {
+		t.Error("skull should be brighter than brain")
+	}
+	// Center voxel is brain.
+	center := g.Index(8, 8, 8)
+	if !ph.BrainMask[center] {
+		t.Error("grid centre should be brain")
+	}
+}
+
+func TestPhantomValidation(t *testing.T) {
+	g := testGrid(t, 8)
+	rng := rand.New(rand.NewSource(1))
+	p := DefaultPhantomParams()
+	p.BrainScale = 0
+	if _, err := NewPhantom(g, p, rng); err == nil {
+		t.Error("expected error for zero brain scale")
+	}
+	p = DefaultPhantomParams()
+	p.SkullThickness = -1
+	if _, err := NewPhantom(g, p, rng); err == nil {
+		t.Error("expected error for negative skull thickness")
+	}
+}
+
+func TestNormalizedCoordsInUnitBall(t *testing.T) {
+	g := testGrid(t, 12)
+	rng := rand.New(rand.NewSource(8))
+	ph, err := NewPhantom(g, DefaultPhantomParams(), rng)
+	if err != nil {
+		t.Fatalf("NewPhantom: %v", err)
+	}
+	for _, idx := range ph.BrainVoxel {
+		nx, ny, nz := ph.NormalizedCoords(idx)
+		if r := math.Sqrt(nx*nx + ny*ny + nz*nz); r > 1+1e-9 {
+			t.Fatalf("brain voxel %d outside unit ball: r=%v", idx, r)
+		}
+	}
+}
+
+func constantActivity(val float64, frames int) *RegionActivity {
+	series := make([]float64, frames)
+	for i := range series {
+		series[i] = val
+	}
+	return &RegionActivity{Labels: nil, Series: [][]float64{series}}
+}
+
+func TestAcquireBasics(t *testing.T) {
+	g := testGrid(t, 12)
+	rng := rand.New(rand.NewSource(9))
+	ph, err := NewPhantom(g, DefaultPhantomParams(), rng)
+	if err != nil {
+		t.Fatalf("NewPhantom: %v", err)
+	}
+	labels := make([]int, ph.NumBrainVoxels())
+	act := &RegionActivity{Labels: labels, Series: [][]float64{make([]float64, 20)}}
+	p := DefaultAcquisitionParams()
+	p.Frames = 20
+	s, motion, err := Acquire(ph, act, p, rng)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if s.NumFrames() != 20 {
+		t.Errorf("frames = %d want 20", s.NumFrames())
+	}
+	if len(motion.DX) != 20 {
+		t.Errorf("motion trace length = %d", len(motion.DX))
+	}
+	// Motion bounded.
+	for t2 := range motion.DX {
+		if math.Abs(motion.DX[t2]) > p.MotionMax+1e-9 {
+			t.Errorf("motion exceeds bound: %v", motion.DX[t2])
+		}
+	}
+}
+
+func TestAcquireValidation(t *testing.T) {
+	g := testGrid(t, 8)
+	rng := rand.New(rand.NewSource(10))
+	ph, _ := NewPhantom(g, DefaultPhantomParams(), rng)
+	labels := make([]int, ph.NumBrainVoxels())
+	act := &RegionActivity{Labels: labels, Series: [][]float64{make([]float64, 5)}}
+	p := DefaultAcquisitionParams()
+	p.Frames = 0
+	if _, _, err := Acquire(ph, act, p, rng); err == nil {
+		t.Error("expected error for 0 frames")
+	}
+	p = DefaultAcquisitionParams()
+	p.TR = 0
+	if _, _, err := Acquire(ph, act, p, rng); err == nil {
+		t.Error("expected error for TR=0")
+	}
+}
+
+func TestAcquireBOLDModulation(t *testing.T) {
+	// With all artifacts off, brain voxels should carry exactly the
+	// activity modulation.
+	g := testGrid(t, 10)
+	rng := rand.New(rand.NewSource(11))
+	pp := DefaultPhantomParams()
+	pp.IntensityNoise = 0
+	ph, err := NewPhantom(g, pp, rng)
+	if err != nil {
+		t.Fatalf("NewPhantom: %v", err)
+	}
+	frames := 16
+	series := make([]float64, frames)
+	for i := range series {
+		series[i] = math.Sin(float64(i)) // known activity
+	}
+	labels := make([]int, ph.NumBrainVoxels())
+	act := &RegionActivity{Labels: labels, Series: [][]float64{series}}
+	p := AcquisitionParams{TR: 1, Frames: frames, BOLDAmplitude: 0.05}
+	s, _, err := Acquire(ph, act, p, rng)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	idx := ph.BrainVoxel[0]
+	base := ph.Baseline.Data[idx]
+	got := s.VoxelSeries(idx)
+	for t2 := 0; t2 < frames; t2++ {
+		want := base * (1 + 0.05*series[t2])
+		if math.Abs(got[t2]-want) > 1e-9*base {
+			t.Fatalf("frame %d: got %v want %v", t2, got[t2], want)
+		}
+	}
+}
+
+func TestAcquireSiteGain(t *testing.T) {
+	g := testGrid(t, 8)
+	rng := rand.New(rand.NewSource(12))
+	pp := DefaultPhantomParams()
+	pp.IntensityNoise = 0
+	ph, _ := NewPhantom(g, pp, rng)
+	labels := make([]int, ph.NumBrainVoxels())
+	act := &RegionActivity{Labels: labels, Series: [][]float64{make([]float64, 4)}}
+	clean := AcquisitionParams{TR: 1, Frames: 4, SiteGain: 1}
+	boosted := AcquisitionParams{TR: 1, Frames: 4, SiteGain: 2}
+	s1, _, _ := Acquire(ph, act, clean, rand.New(rand.NewSource(1)))
+	s2, _, _ := Acquire(ph, act, boosted, rand.New(rand.NewSource(1)))
+	idx := ph.BrainVoxel[0]
+	if math.Abs(s2.Frames[0].Data[idx]-2*s1.Frames[0].Data[idx]) > 1e-9 {
+		t.Error("site gain not applied multiplicatively")
+	}
+}
+
+// Property: interpolation never exceeds the data range (trilinear is a
+// convex combination).
+func TestQuickInterpolateBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := NewGrid(4, 4, 4, 1)
+		v := NewVolume(g)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range v.Data {
+			v.Data[i] = rng.NormFloat64()
+			if v.Data[i] < lo {
+				lo = v.Data[i]
+			}
+			if v.Data[i] > hi {
+				hi = v.Data[i]
+			}
+		}
+		for k := 0; k < 20; k++ {
+			x := rng.Float64() * 3
+			y := rng.Float64() * 3
+			z := rng.Float64() * 3
+			got := v.Interpolate(x, y, z)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

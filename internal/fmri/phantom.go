@@ -1,0 +1,110 @@
+package fmri
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Phantom is a digital head phantom: an ellipsoidal "brain" of gray
+// matter surrounded by a bright "skull" shell, used as the anatomical
+// substrate for simulated acquisitions. Skull voxels are what the
+// skull-stripping preprocessing step must remove.
+type Phantom struct {
+	Grid       Grid
+	BrainMask  []bool  // true for brain voxels
+	SkullMask  []bool  // true for skull voxels
+	Baseline   *Volume // baseline intensity image (brain + skull + air)
+	BrainVoxel []int   // flat indices of brain voxels, in scan order
+	radii      [3]float64
+}
+
+// PhantomParams controls phantom construction.
+type PhantomParams struct {
+	BrainScale     float64 // brain radius as a fraction of the half-grid (default 0.7)
+	SkullThickness float64 // skull shell thickness in voxels (default 2)
+	BrainIntensity float64 // mean brain baseline (default 1000)
+	SkullIntensity float64 // mean skull baseline (default 2500): skull is bright in raw images
+	IntensityNoise float64 // per-voxel baseline variability fraction (default 0.05)
+}
+
+// DefaultPhantomParams returns parameters loosely calibrated to the
+// contrast of a raw EPI image.
+func DefaultPhantomParams() PhantomParams {
+	return PhantomParams{
+		BrainScale:     0.7,
+		SkullThickness: 2,
+		BrainIntensity: 1000,
+		SkullIntensity: 2500,
+		IntensityNoise: 0.05,
+	}
+}
+
+// NewPhantom builds a head phantom on g. BrainScale may vary per subject
+// to model differing head sizes (the registration step normalizes this
+// away). rng drives the per-voxel baseline variability.
+func NewPhantom(g Grid, p PhantomParams, rng *rand.Rand) (*Phantom, error) {
+	if p.BrainScale <= 0 || p.BrainScale > 0.95 {
+		return nil, fmt.Errorf("fmri: brain scale %v out of (0, 0.95]", p.BrainScale)
+	}
+	if p.SkullThickness < 0 {
+		return nil, fmt.Errorf("fmri: negative skull thickness %v", p.SkullThickness)
+	}
+	ph := &Phantom{
+		Grid:      g,
+		BrainMask: make([]bool, g.NumVoxels()),
+		SkullMask: make([]bool, g.NumVoxels()),
+		Baseline:  NewVolume(g),
+	}
+	cx := float64(g.NX-1) / 2
+	cy := float64(g.NY-1) / 2
+	cz := float64(g.NZ-1) / 2
+	// Slightly anisotropic ellipsoid, like a head.
+	rx := p.BrainScale * cx
+	ry := p.BrainScale * cy * 1.1
+	rz := p.BrainScale * cz * 0.95
+	ph.radii = [3]float64{rx, ry, rz}
+	skullR := 1 + p.SkullThickness/math.Min(rx, math.Min(ry, rz))
+	for z := 0; z < g.NZ; z++ {
+		for y := 0; y < g.NY; y++ {
+			for x := 0; x < g.NX; x++ {
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				dz := (float64(z) - cz) / rz
+				r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				idx := g.Index(x, y, z)
+				switch {
+				case r <= 1:
+					ph.BrainMask[idx] = true
+					ph.BrainVoxel = append(ph.BrainVoxel, idx)
+					ph.Baseline.Data[idx] = p.BrainIntensity * (1 + p.IntensityNoise*rng.NormFloat64())
+				case r <= skullR:
+					ph.SkullMask[idx] = true
+					ph.Baseline.Data[idx] = p.SkullIntensity * (1 + p.IntensityNoise*rng.NormFloat64())
+				default:
+					// Air: low-intensity background noise floor.
+					ph.Baseline.Data[idx] = math.Abs(20 * rng.NormFloat64())
+				}
+			}
+		}
+	}
+	if len(ph.BrainVoxel) == 0 {
+		return nil, fmt.Errorf("fmri: phantom has no brain voxels (grid too small?)")
+	}
+	return ph, nil
+}
+
+// NumBrainVoxels returns the brain voxel count.
+func (p *Phantom) NumBrainVoxels() int { return len(p.BrainVoxel) }
+
+// NormalizedCoords returns the position of a brain voxel in the unit
+// ball of the brain ellipsoid: each component in [−1, 1]. Atlases are
+// defined on these normalized coordinates so the same parcellation
+// applies to phantoms of different sizes.
+func (p *Phantom) NormalizedCoords(idx int) (nx, ny, nz float64) {
+	x, y, z := p.Grid.Coords(idx)
+	cx := float64(p.Grid.NX-1) / 2
+	cy := float64(p.Grid.NY-1) / 2
+	cz := float64(p.Grid.NZ-1) / 2
+	return (float64(x) - cx) / p.radii[0], (float64(y) - cy) / p.radii[1], (float64(z) - cz) / p.radii[2]
+}

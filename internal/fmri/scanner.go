@@ -1,0 +1,213 @@
+package fmri
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ActivitySource supplies the neuronal activity that drives the BOLD
+// signal: Value returns the fractional signal modulation for the i-th
+// brain voxel (in Phantom.BrainVoxel order) at the given frame.
+type ActivitySource interface {
+	Value(brainVoxel, frame int) float64
+}
+
+// RegionActivity adapts region-level time series to voxel-level
+// activity: every voxel of a region follows the region's series, plus
+// optional per-voxel independent jitter.
+type RegionActivity struct {
+	// Labels maps each brain voxel ordinal to a region id in
+	// [0, len(Series)).
+	Labels []int
+	// Series holds one time series per region.
+	Series [][]float64
+	// VoxelJitter adds iid Gaussian noise of this standard deviation to
+	// each voxel sample, modelling within-region heterogeneity.
+	VoxelJitter float64
+	// Rng drives the jitter; required when VoxelJitter > 0.
+	Rng *rand.Rand
+}
+
+// Value implements ActivitySource.
+func (r *RegionActivity) Value(brainVoxel, frame int) float64 {
+	region := r.Labels[brainVoxel]
+	v := r.Series[region][frame]
+	if r.VoxelJitter > 0 {
+		v += r.VoxelJitter * r.Rng.NormFloat64()
+	}
+	return v
+}
+
+// MotionTrace records the simulated rigid translation of the head at
+// each frame, in voxels. It is the ground truth against which motion
+// correction can be validated.
+type MotionTrace struct {
+	DX, DY, DZ []float64
+}
+
+// AcquisitionParams configures the scanner simulation.
+type AcquisitionParams struct {
+	TR             float64 // repetition time, seconds
+	Frames         int     // number of time points
+	BOLDAmplitude  float64 // fractional signal change per unit activity (≈0.02)
+	MotionMax      float64 // maximum head translation, voxels
+	BiasStrength   float64 // multiplicative bias-field amplitude (fraction)
+	DriftAmplitude float64 // scanner drift over the full scan (fraction)
+	PhysioAmp      float64 // cardiac/respiratory oscillation amplitude (fraction)
+	ThermalNoise   float64 // iid noise std as a fraction of brain intensity
+	SiteGain       float64 // site-specific global gain (1 = reference site)
+}
+
+// DefaultAcquisitionParams returns a parameterization loosely matching
+// the HCP protocol (TR = 0.72 s) with mild, realistic artifact levels.
+func DefaultAcquisitionParams() AcquisitionParams {
+	return AcquisitionParams{
+		TR:             0.72,
+		Frames:         200,
+		BOLDAmplitude:  0.02,
+		MotionMax:      1.0,
+		BiasStrength:   0.15,
+		DriftAmplitude: 0.03,
+		PhysioAmp:      0.005,
+		ThermalNoise:   0.01,
+		SiteGain:       1,
+	}
+}
+
+// Acquire simulates a full fMRI scan of the phantom driven by the
+// activity source and returns the raw series together with the ground
+// truth motion trace. The raw series contains every artifact the
+// preprocessing pipeline must remove.
+func Acquire(ph *Phantom, activity ActivitySource, p AcquisitionParams, rng *rand.Rand) (*Series, *MotionTrace, error) {
+	if p.Frames <= 0 {
+		return nil, nil, fmt.Errorf("fmri: nonpositive frame count %d", p.Frames)
+	}
+	if p.TR <= 0 {
+		return nil, nil, fmt.Errorf("fmri: nonpositive TR %v", p.TR)
+	}
+	if p.SiteGain == 0 {
+		p.SiteGain = 1
+	}
+	g := ph.Grid
+	series, err := NewSeries(g, p.TR, p.Frames)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	bias := biasField(g, p.BiasStrength, rng)
+	motion := randomWalkMotion(p.Frames, p.MotionMax, rng)
+
+	// Physiological oscillations: cardiac (~1.1 Hz) and respiratory
+	// (~0.3 Hz), sampled (and aliased) at the TR, with random phases.
+	cardiacPhase := rng.Float64() * 2 * math.Pi
+	respPhase := rng.Float64() * 2 * math.Pi
+
+	baseMean := 0.0
+	for _, idx := range ph.BrainVoxel {
+		baseMean += ph.Baseline.Data[idx]
+	}
+	baseMean /= float64(len(ph.BrainVoxel))
+	noiseStd := p.ThermalNoise * baseMean
+
+	for t := 0; t < p.Frames; t++ {
+		tt := float64(t) * p.TR
+		drift := p.DriftAmplitude * float64(t) / float64(p.Frames)
+		physio := p.PhysioAmp * (math.Sin(2*math.Pi*1.1*tt+cardiacPhase) + math.Sin(2*math.Pi*0.3*tt+respPhase))
+
+		frame := NewVolume(g)
+		// Static tissue with bias field and site gain.
+		for i, v := range ph.Baseline.Data {
+			frame.Data[i] = v * bias.Data[i] * p.SiteGain * (1 + drift)
+		}
+		// BOLD modulation of brain voxels.
+		for ord, idx := range ph.BrainVoxel {
+			act := activity.Value(ord, t)
+			frame.Data[idx] *= 1 + p.BOLDAmplitude*act + physio
+		}
+		// Thermal noise everywhere.
+		if noiseStd > 0 {
+			for i := range frame.Data {
+				frame.Data[i] += noiseStd * rng.NormFloat64()
+			}
+		}
+		// Head motion: rigid translation of the whole head.
+		if motion.DX[t] != 0 || motion.DY[t] != 0 || motion.DZ[t] != 0 {
+			frame = frame.Shifted(motion.DX[t], motion.DY[t], motion.DZ[t])
+		}
+		series.Frames[t] = frame
+	}
+	return series, motion, nil
+}
+
+// biasField generates a smooth multiplicative field 1 + strength·f where
+// f is a random low-order combination of cosines normalized to ≈[−1, 1].
+func biasField(g Grid, strength float64, rng *rand.Rand) *Volume {
+	out := NewVolume(g)
+	if strength == 0 {
+		for i := range out.Data {
+			out.Data[i] = 1
+		}
+		return out
+	}
+	// Random low-frequency coefficients.
+	type mode struct {
+		kx, ky, kz float64
+		amp, phase float64
+	}
+	modes := make([]mode, 3)
+	var totalAmp float64
+	for i := range modes {
+		modes[i] = mode{
+			kx:    float64(rng.Intn(2) + 1),
+			ky:    float64(rng.Intn(2) + 1),
+			kz:    float64(rng.Intn(2) + 1),
+			amp:   0.5 + rng.Float64(),
+			phase: rng.Float64() * 2 * math.Pi,
+		}
+		totalAmp += modes[i].amp
+	}
+	for z := 0; z < g.NZ; z++ {
+		for y := 0; y < g.NY; y++ {
+			for x := 0; x < g.NX; x++ {
+				var f float64
+				for _, m := range modes {
+					f += m.amp * math.Cos(math.Pi*(m.kx*float64(x)/float64(g.NX)+
+						m.ky*float64(y)/float64(g.NY)+
+						m.kz*float64(z)/float64(g.NZ))+m.phase)
+				}
+				out.Data[g.Index(x, y, z)] = 1 + strength*f/totalAmp
+			}
+		}
+	}
+	return out
+}
+
+// randomWalkMotion generates a bounded random-walk translation trace.
+func randomWalkMotion(frames int, maxShift float64, rng *rand.Rand) *MotionTrace {
+	m := &MotionTrace{
+		DX: make([]float64, frames),
+		DY: make([]float64, frames),
+		DZ: make([]float64, frames),
+	}
+	if maxShift == 0 {
+		return m
+	}
+	step := maxShift / 20
+	walk := func(out []float64) {
+		var v float64
+		for t := range out {
+			v += step * rng.NormFloat64()
+			if v > maxShift {
+				v = maxShift
+			} else if v < -maxShift {
+				v = -maxShift
+			}
+			out[t] = v
+		}
+	}
+	walk(m.DX)
+	walk(m.DY)
+	walk(m.DZ)
+	return m
+}

@@ -1,0 +1,184 @@
+package fmri
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volume is a single 3-D image on a grid.
+type Volume struct {
+	Grid Grid
+	Data []float64 // flat, indexed by Grid.Index
+}
+
+// NewVolume allocates a zero volume on g.
+func NewVolume(g Grid) *Volume {
+	return &Volume{Grid: g, Data: make([]float64, g.NumVoxels())}
+}
+
+// At returns the voxel value at (x, y, z).
+func (v *Volume) At(x, y, z int) float64 { return v.Data[v.Grid.Index(x, y, z)] }
+
+// Set assigns the voxel value at (x, y, z).
+func (v *Volume) Set(x, y, z int, val float64) { v.Data[v.Grid.Index(x, y, z)] = val }
+
+// Clone returns a deep copy.
+func (v *Volume) Clone() *Volume {
+	out := NewVolume(v.Grid)
+	copy(out.Data, v.Data)
+	return out
+}
+
+// Mean returns the mean voxel intensity.
+func (v *Volume) Mean() float64 {
+	if len(v.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v.Data {
+		s += x
+	}
+	return s / float64(len(v.Data))
+}
+
+// Interpolate samples the volume at a fractional voxel coordinate using
+// trilinear interpolation, clamping to the volume boundary.
+func (v *Volume) Interpolate(fx, fy, fz float64) float64 {
+	g := v.Grid
+	clamp := func(f float64, n int) (int, int, float64) {
+		if f < 0 {
+			f = 0
+		}
+		if f > float64(n-1) {
+			f = float64(n - 1)
+		}
+		lo := int(math.Floor(f))
+		hi := lo + 1
+		if hi > n-1 {
+			hi = n - 1
+		}
+		return lo, hi, f - float64(lo)
+	}
+	x0, x1, tx := clamp(fx, g.NX)
+	y0, y1, ty := clamp(fy, g.NY)
+	z0, z1, tz := clamp(fz, g.NZ)
+	c := func(x, y, z int) float64 { return v.Data[g.Index(x, y, z)] }
+	// Interpolate along x, then y, then z.
+	c00 := c(x0, y0, z0)*(1-tx) + c(x1, y0, z0)*tx
+	c10 := c(x0, y1, z0)*(1-tx) + c(x1, y1, z0)*tx
+	c01 := c(x0, y0, z1)*(1-tx) + c(x1, y0, z1)*tx
+	c11 := c(x0, y1, z1)*(1-tx) + c(x1, y1, z1)*tx
+	c0 := c00*(1-ty) + c10*ty
+	c1 := c01*(1-ty) + c11*ty
+	return c0*(1-tz) + c1*tz
+}
+
+// Shifted returns the volume translated by (dx, dy, dz) voxels
+// (fractional shifts allowed), sampled with trilinear interpolation.
+// Content shifted in from outside the volume replicates the boundary.
+func (v *Volume) Shifted(dx, dy, dz float64) *Volume {
+	g := v.Grid
+	out := NewVolume(g)
+	for z := 0; z < g.NZ; z++ {
+		for y := 0; y < g.NY; y++ {
+			for x := 0; x < g.NX; x++ {
+				out.Data[g.Index(x, y, z)] = v.Interpolate(float64(x)-dx, float64(y)-dy, float64(z)-dz)
+			}
+		}
+	}
+	return out
+}
+
+// Series is a 4-D fMRI acquisition: a sequence of volumes on a common
+// grid sampled every TR seconds.
+type Series struct {
+	Grid   Grid
+	TR     float64 // repetition time in seconds
+	Frames []*Volume
+}
+
+// NewSeries allocates a series of frameCount zero volumes.
+func NewSeries(g Grid, tr float64, frameCount int) (*Series, error) {
+	if tr <= 0 {
+		return nil, fmt.Errorf("fmri: nonpositive TR %v", tr)
+	}
+	if frameCount <= 0 {
+		return nil, fmt.Errorf("fmri: nonpositive frame count %d", frameCount)
+	}
+	s := &Series{Grid: g, TR: tr, Frames: make([]*Volume, frameCount)}
+	for i := range s.Frames {
+		s.Frames[i] = NewVolume(g)
+	}
+	return s, nil
+}
+
+// NumFrames returns the number of time points.
+func (s *Series) NumFrames() int { return len(s.Frames) }
+
+// VoxelSeries extracts the time series of a single voxel.
+func (s *Series) VoxelSeries(idx int) []float64 {
+	out := make([]float64, len(s.Frames))
+	for t, f := range s.Frames {
+		out[t] = f.Data[idx]
+	}
+	return out
+}
+
+// SetVoxelSeries writes a time series into a single voxel position.
+// It panics if the series length differs from the frame count.
+func (s *Series) SetVoxelSeries(idx int, values []float64) {
+	if len(values) != len(s.Frames) {
+		panic(fmt.Sprintf("fmri: series length %d != frames %d", len(values), len(s.Frames)))
+	}
+	for t, f := range s.Frames {
+		f.Data[idx] = values[t]
+	}
+}
+
+// MeanVolume returns the voxelwise temporal mean of the series.
+func (s *Series) MeanVolume() *Volume {
+	out := NewVolume(s.Grid)
+	if len(s.Frames) == 0 {
+		return out
+	}
+	for _, f := range s.Frames {
+		for i, v := range f.Data {
+			out.Data[i] += v
+		}
+	}
+	inv := 1 / float64(len(s.Frames))
+	for i := range out.Data {
+		out.Data[i] *= inv
+	}
+	return out
+}
+
+// GlobalSignal returns the spatial-mean time series over the given mask
+// (or all voxels when mask is nil).
+func (s *Series) GlobalSignal(mask []bool) []float64 {
+	out := make([]float64, len(s.Frames))
+	for t, f := range s.Frames {
+		var sum float64
+		var n int
+		for i, v := range f.Data {
+			if mask != nil && !mask[i] {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n > 0 {
+			out[t] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	out := &Series{Grid: s.Grid, TR: s.TR, Frames: make([]*Volume, len(s.Frames))}
+	for i, f := range s.Frames {
+		out.Frames[i] = f.Clone()
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym holds the eigendecomposition of a symmetric matrix
+// A = V·diag(Values)·Vᵀ with eigenvalues sorted in descending order and
+// eigenvectors in the corresponding columns of V.
+type EigenSym struct {
+	Values  []float64
+	Vectors *Matrix // n×n, column k is the eigenvector for Values[k]
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence is
+// quadratic; 64 sweeps is far beyond what any well-conditioned problem
+// needs and exists only to guarantee termination.
+const maxJacobiSweeps = 64
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi rotation method. It returns an error if a is
+// not square or not symmetric within a loose tolerance scaled to its
+// magnitude.
+func SymEigen(a *Matrix) (*EigenSym, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: SymEigen requires a square matrix, got %dx%d", n, c)
+	}
+	if tol := 1e-8 * (1 + a.MaxAbs()); !a.IsSymmetric(tol) {
+		return nil, fmt.Errorf("linalg: SymEigen requires a symmetric matrix")
+	}
+	if n == 0 {
+		return &EigenSym{Values: nil, Vectors: NewMatrix(0, 0)}, nil
+	}
+
+	w := a.Clone()
+	v := Identity(n)
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-14*(1+w.MaxAbs())*float64(n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Classic stable rotation computation (Golub & Van Loan).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				applyJacobiRotation(w, v, p, q, cth, sth)
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return vals[order[i]] > vals[order[j]] })
+	sorted := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for k, idx := range order {
+		sorted[k] = vals[idx]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, idx))
+		}
+	}
+	return &EigenSym{Values: sorted, Vectors: vecs}, nil
+}
+
+// applyJacobiRotation applies the rotation J(p,q,θ) from both sides of w
+// (keeping it symmetric) and accumulates it into the eigenvector matrix
+// v. It works on the raw backing slices: this kernel dominates the
+// eigendecomposition of the large Gram matrices that appear when a
+// cohort has many hundreds of subjects, and the bounds-checked accessor
+// path costs a small integer factor there.
+func applyJacobiRotation(w, v *Matrix, p, q int, c, s float64) {
+	n := w.rows
+	wd := w.data
+	// Column rotation: elements (i,p) and (i,q) for all i.
+	for i := 0; i < n; i++ {
+		base := i * n
+		wip, wiq := wd[base+p], wd[base+q]
+		wd[base+p] = c*wip - s*wiq
+		wd[base+q] = s*wip + c*wiq
+	}
+	// Row rotation: rows p and q are contiguous.
+	rp := wd[p*n : (p+1)*n]
+	rq := wd[q*n : (q+1)*n]
+	for j := 0; j < n; j++ {
+		wpj, wqj := rp[j], rq[j]
+		rp[j] = c*wpj - s*wqj
+		rq[j] = s*wpj + c*wqj
+	}
+	vd := v.data
+	for i := 0; i < n; i++ {
+		base := i * n
+		vip, viq := vd[base+p], vd[base+q]
+		vd[base+p] = c*vip - s*viq
+		vd[base+q] = s*vip + c*viq
+	}
+}
+
+// offDiagNorm returns the Frobenius norm of the off-diagonal part of w.
+func offDiagNorm(w *Matrix) float64 {
+	n := w.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := w.At(i, j)
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

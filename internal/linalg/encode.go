@@ -1,0 +1,47 @@
+package linalg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// matrixWireVersion tags the binary encoding so future layout changes
+// remain detectable.
+const matrixWireVersion = 1
+
+// GobEncode implements gob.GobEncoder with a compact little-endian
+// layout: version, rows, cols, then the row-major float64 data.
+func (m *Matrix) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	header := []int64{matrixWireVersion, int64(m.rows), int64(m.cols)}
+	if err := binary.Write(&buf, binary.LittleEndian, header); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, m.data); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(b []byte) error {
+	buf := bytes.NewReader(b)
+	header := make([]int64, 3)
+	if err := binary.Read(buf, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if header[0] != matrixWireVersion {
+		return fmt.Errorf("linalg: unsupported matrix encoding version %d", header[0])
+	}
+	rows, cols := int(header[1]), int(header[2])
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("linalg: corrupt matrix header %dx%d", rows, cols)
+	}
+	data := make([]float64, rows*cols)
+	if err := binary.Read(buf, binary.LittleEndian, data); err != nil {
+		return err
+	}
+	m.rows, m.cols, m.data = rows, cols, data
+	return nil
+}

@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRFactors holds a thin QR factorization A = Q·R where A is m×n with
+// m ≥ n, Q is m×n with orthonormal columns, and R is n×n upper
+// triangular.
+type QRFactors struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QR computes the thin QR factorization of a using Householder
+// reflections. It returns an error if a has more columns than rows.
+func QR(a *Matrix) (*QRFactors, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	// Store the Householder vectors; apply them to the identity later to
+	// recover the thin Q.
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		v := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		alpha := Norm2(v)
+		if alpha == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if v[0] > 0 {
+			alpha = -alpha
+		}
+		v[0] -= alpha
+		vnorm := Norm2(v)
+		if vnorm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		ScaleVec(1/vnorm, v)
+		vs = append(vs, v)
+		// Apply H = I − 2vvᵀ to the trailing submatrix of R.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	// Accumulate the thin Q = H_0 H_1 ... H_{n-1} · I_{m×n} by applying
+	// the reflections in reverse to the leading identity block.
+	q := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-dot*v[i-k])
+			}
+		}
+	}
+	// Zero out the strictly lower triangle of R and truncate to n×n.
+	rn := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rn.Set(i, j, r.At(i, j))
+		}
+	}
+	return &QRFactors{Q: q, R: rn}, nil
+}
+
+// SolveUpperTriangular solves R·x = b for upper triangular R by back
+// substitution. It returns an error if R is singular to working
+// precision.
+func SolveUpperTriangular(r *Matrix, b []float64) ([]float64, error) {
+	n, c := r.Dims()
+	if n != c {
+		return nil, fmt.Errorf("linalg: triangular solve needs square matrix, got %dx%d", n, c)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d != %d", len(b), n)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular triangular matrix at pivot %d", i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveLeastSquares returns the minimum-norm least-squares solution of
+// A·x ≈ b via thin QR. A must have at least as many rows as columns and
+// full column rank.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, _ := a.Dims()
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: rhs length %d != rows %d", len(b), m)
+	}
+	f, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	// x = R⁻¹ Qᵀ b
+	qtb := f.Q.T().MulVec(b)
+	return SolveUpperTriangular(f.R, qtb)
+}

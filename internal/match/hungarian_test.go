@@ -1,0 +1,174 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"brainprint/internal/linalg"
+)
+
+func TestAssignmentMatchIdentity(t *testing.T) {
+	sim, _ := linalg.NewMatrixFromRows([][]float64{
+		{0.9, 0.1, 0.2},
+		{0.1, 0.8, 0.3},
+		{0.2, 0.1, 0.7},
+	})
+	got, err := AssignmentMatch(sim)
+	if err != nil {
+		t.Fatalf("AssignmentMatch: %v", err)
+	}
+	for j, p := range got {
+		if p != j {
+			t.Errorf("column %d assigned row %d want %d", j, p, j)
+		}
+	}
+}
+
+func TestAssignmentMatchResolvesConflict(t *testing.T) {
+	// Greedy argmax assigns row 0 to both columns; the optimal
+	// assignment must give each column a distinct row and maximize the
+	// total: 0.9 + 0.5 = 1.4 beats 0.8 + 0.6 = 1.4? Use values where the
+	// optimum is unambiguous: rows 0/1, cols 0/1 with
+	//   sim = [0.9 0.8; 0.6 0.1]
+	// greedy: col0→row0 (0.9), col1→row0 (0.8, conflict).
+	// optimal: col0→row1? totals: {0→0,1→1} = 1.0; {0→1,1→0} = 1.4. So
+	// col0→row1 is wrong... optimal is col0→row1 (0.6) + col1→row0 (0.8)
+	// = 1.4 > 1.0.
+	sim, _ := linalg.NewMatrixFromRows([][]float64{
+		{0.9, 0.8},
+		{0.6, 0.1},
+	})
+	got, err := AssignmentMatch(sim)
+	if err != nil {
+		t.Fatalf("AssignmentMatch: %v", err)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("assignment = %v want [1 0]", got)
+	}
+	// Greedy, by contrast, duplicates row 0.
+	greedy := Predict(sim)
+	if greedy[0] != 0 || greedy[1] != 0 {
+		t.Fatalf("test premise broken: greedy = %v", greedy)
+	}
+}
+
+func TestAssignmentMatchIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		sim := linalg.NewMatrix(n, n)
+		for i := range sim.RawData() {
+			sim.RawData()[i] = rng.Float64()
+		}
+		got, err := AssignmentMatch(sim)
+		if err != nil {
+			t.Fatalf("AssignmentMatch: %v", err)
+		}
+		seen := make([]bool, n)
+		for _, p := range got {
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("not a permutation: %v", got)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestAssignmentMatchErrors(t *testing.T) {
+	if _, err := AssignmentMatch(linalg.NewMatrix(2, 3)); err == nil {
+		t.Error("expected error for non-square")
+	}
+	if _, err := AssignmentMatch(linalg.NewMatrix(0, 0)); err == nil {
+		t.Error("expected error for empty")
+	}
+}
+
+func TestAssignmentAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	known, anon := alignedGroups(rng, 60, 10, 0.3)
+	sim, _ := SimilarityMatrix(known, anon)
+	acc, err := AssignmentAccuracy(sim, nil)
+	if err != nil || acc != 1 {
+		t.Errorf("accuracy = %v, %v want 1", acc, err)
+	}
+	if _, err := AssignmentAccuracy(sim, []int{0}); err == nil {
+		t.Error("expected truth length error")
+	}
+}
+
+// Property: the optimal assignment's total similarity is at least the
+// greedy assignment's total whenever greedy happens to be a permutation,
+// and is always at least the identity assignment's total.
+func TestQuickAssignmentOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		sim := linalg.NewMatrix(n, n)
+		for i := range sim.RawData() {
+			sim.RawData()[i] = rng.NormFloat64()
+		}
+		opt, err := AssignmentMatch(sim)
+		if err != nil {
+			return false
+		}
+		total := func(assign []int) float64 {
+			var s float64
+			for j, i := range assign {
+				s += sim.At(i, j)
+			}
+			return s
+		}
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		if total(opt) < total(identity)-1e-9 {
+			return false
+		}
+		// Compare against a few random permutations.
+		for k := 0; k < 5; k++ {
+			perm := rng.Perm(n)
+			if total(opt) < total(perm)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On aligned noisy groups the optimal assignment should beat greedy on
+// average: enforcing the bijection fixes duplicate assignments more
+// often than it propagates a confusion into a swap. Individual
+// instances can go either way (a single forced swap costs two flips),
+// so the comparison is aggregated over many fixed seeds.
+func TestAssignmentVsGreedyAggregate(t *testing.T) {
+	var greedyTotal, optimalTotal float64
+	const trials = 60
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		known, anon := alignedGroups(rng, 40, 8, 1.2)
+		sim, err := SimilarityMatrix(known, anon)
+		if err != nil {
+			t.Fatalf("SimilarityMatrix: %v", err)
+		}
+		greedy, err := Accuracy(sim, nil)
+		if err != nil {
+			t.Fatalf("Accuracy: %v", err)
+		}
+		optimal, err := AssignmentAccuracy(sim, nil)
+		if err != nil {
+			t.Fatalf("AssignmentAccuracy: %v", err)
+		}
+		greedyTotal += greedy
+		optimalTotal += optimal
+	}
+	gm, om := greedyTotal/trials, optimalTotal/trials
+	t.Logf("mean greedy=%.3f optimal=%.3f", gm, om)
+	if om < gm-0.02 {
+		t.Errorf("optimal assignment (%.3f) should not lose to greedy (%.3f) on average", om, gm)
+	}
+}

@@ -1,0 +1,189 @@
+// Package match performs cross-dataset subject identification: it
+// compares every subject of a de-anonymized group against every subject
+// of an anonymous group by Pearson correlation in (reduced) feature
+// space and predicts matches by maximum correlation, as in §3.1 ("pairs
+// of subjects with high correlation correspond to predicted matches").
+package match
+
+import (
+	"fmt"
+
+	"brainprint/internal/linalg"
+	"brainprint/internal/stats"
+)
+
+// SimilarityMatrix computes the pairwise Pearson correlation between the
+// columns (subjects) of two feature×subject matrices: entry (i, j) is
+// the correlation between known subject i and anonymous subject j. The
+// two matrices must have the same number of feature rows.
+func SimilarityMatrix(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
+	kf, kn := known.Dims()
+	af, an := anon.Dims()
+	if kf != af {
+		return nil, fmt.Errorf("match: feature dimension mismatch %d vs %d", kf, af)
+	}
+	if kf == 0 || kn == 0 || an == 0 {
+		return nil, fmt.Errorf("match: empty inputs %dx%d vs %dx%d", kf, kn, af, an)
+	}
+	// Z-score columns once so each correlation is a single dot product.
+	zk := zscoreColumns(known)
+	za := zscoreColumns(anon)
+	out := linalg.NewMatrix(kn, an)
+	inv := 1 / float64(kf)
+	// Work column-major: extract columns once.
+	kcols := make([][]float64, kn)
+	for i := 0; i < kn; i++ {
+		kcols[i] = zk.Col(i)
+	}
+	acols := make([][]float64, an)
+	for j := 0; j < an; j++ {
+		acols[j] = za.Col(j)
+	}
+	for i := 0; i < kn; i++ {
+		for j := 0; j < an; j++ {
+			out.Set(i, j, linalg.Dot(kcols[i], acols[j])*inv)
+		}
+	}
+	return out, nil
+}
+
+// SimilarityMatrixRank is the Spearman variant of SimilarityMatrix:
+// every subject's feature vector is replaced by its within-subject
+// ranks before correlation. Rank matching is invariant to any monotone
+// per-subject distortion of the features (scanner transfer curves,
+// Fisher-z vs raw correlations, clipping), which makes it a natural
+// robustness extension of the attack for heterogeneous releases.
+func SimilarityMatrixRank(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
+	return SimilarityMatrix(rankColumns(known), rankColumns(anon))
+}
+
+// rankColumns replaces each column with its midranks.
+func rankColumns(m *linalg.Matrix) *linalg.Matrix {
+	rows, cols := m.Dims()
+	out := linalg.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		out.SetCol(j, stats.Ranks(m.Col(j)))
+	}
+	return out
+}
+
+// zscoreColumns returns a copy of m with each column standardized to
+// zero mean and unit population standard deviation (constant columns
+// become zero).
+func zscoreColumns(m *linalg.Matrix) *linalg.Matrix {
+	rows, cols := m.Dims()
+	out := linalg.NewMatrix(rows, cols)
+	for j := 0; j < cols; j++ {
+		col := m.Col(j)
+		stats.ZScore(col)
+		out.SetCol(j, col)
+	}
+	return out
+}
+
+// Predict returns, for every anonymous subject (column of the similarity
+// matrix), the index of the known subject with the highest correlation.
+func Predict(sim *linalg.Matrix) []int {
+	rows, cols := sim.Dims()
+	out := make([]int, cols)
+	for j := 0; j < cols; j++ {
+		best := 0
+		for i := 1; i < rows; i++ {
+			if sim.At(i, j) > sim.At(best, j) {
+				best = i
+			}
+		}
+		out[j] = best
+	}
+	return out
+}
+
+// Accuracy returns the fraction of anonymous subjects whose predicted
+// identity matches the ground truth. truth[j] is the known-group index
+// of anonymous subject j; pass nil when the groups are aligned
+// (truth[j] = j).
+func Accuracy(sim *linalg.Matrix, truth []int) (float64, error) {
+	_, cols := sim.Dims()
+	if truth != nil && len(truth) != cols {
+		return 0, fmt.Errorf("match: truth length %d != %d subjects", len(truth), cols)
+	}
+	if cols == 0 {
+		return 0, fmt.Errorf("match: empty similarity matrix")
+	}
+	pred := Predict(sim)
+	correct := 0
+	for j, p := range pred {
+		want := j
+		if truth != nil {
+			want = truth[j]
+		}
+		if p == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(cols), nil
+}
+
+// DiagonalContrast summarizes a square similarity matrix the way the
+// paper's Figures 1, 2 and 7–9 read: the mean of the diagonal
+// (intra-subject similarity) and the mean of the off-diagonal entries
+// (inter-subject similarity).
+func DiagonalContrast(sim *linalg.Matrix) (diagMean, offMean float64, err error) {
+	rows, cols := sim.Dims()
+	if rows != cols || rows == 0 {
+		return 0, 0, fmt.Errorf("match: diagonal contrast needs a nonempty square matrix, got %dx%d", rows, cols)
+	}
+	var dsum, osum float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i == j {
+				dsum += sim.At(i, j)
+			} else {
+				osum += sim.At(i, j)
+			}
+		}
+	}
+	diagMean = dsum / float64(rows)
+	if rows > 1 {
+		offMean = osum / float64(rows*(rows-1))
+	}
+	return diagMean, offMean, nil
+}
+
+// TopKAccuracy returns the fraction of anonymous subjects whose true
+// identity is within the k highest-correlation candidates — a standard
+// relaxation that quantifies how close near-miss identifications are.
+func TopKAccuracy(sim *linalg.Matrix, truth []int, k int) (float64, error) {
+	rows, cols := sim.Dims()
+	if k <= 0 || k > rows {
+		return 0, fmt.Errorf("match: k=%d out of range (1..%d)", k, rows)
+	}
+	if truth != nil && len(truth) != cols {
+		return 0, fmt.Errorf("match: truth length %d != %d subjects", len(truth), cols)
+	}
+	if cols == 0 {
+		return 0, fmt.Errorf("match: empty similarity matrix")
+	}
+	correct := 0
+	col := make([]float64, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = sim.At(i, j)
+		}
+		want := j
+		if truth != nil {
+			want = truth[j]
+		}
+		// Count how many candidates strictly beat the true identity.
+		beat := 0
+		for i := 0; i < rows; i++ {
+			if col[i] > col[want] {
+				beat++
+			}
+		}
+		if beat < k {
+			correct++
+		}
+	}
+	return float64(correct) / float64(cols), nil
+}

@@ -1,0 +1,143 @@
+package preprocess
+
+import (
+	"fmt"
+	"time"
+
+	"brainprint/internal/fmri"
+	"brainprint/internal/signal"
+)
+
+// BiasCorrect removes smooth multiplicative intensity non-uniformity
+// ("gradient non-linearity" / B1 bias): the field is estimated by
+// heavily Gaussian-smoothing the temporal mean image inside the brain
+// mask, normalized to unit mean, and divided out of every frame.
+type BiasCorrect struct {
+	// SigmaVoxels is the Gaussian smoothing standard deviation used for
+	// field estimation, in voxels. Larger values assume a smoother field.
+	SigmaVoxels float64
+}
+
+// Name implements Step.
+func (b *BiasCorrect) Name() string { return "bias-correct" }
+
+// Apply implements Step.
+func (b *BiasCorrect) Apply(s *fmri.Series, ctx *Context) (*fmri.Series, error) {
+	start := time.Now()
+	sigma := b.SigmaVoxels
+	if sigma <= 0 {
+		sigma = 4
+	}
+	mean := s.MeanVolume()
+	mask := ctx.BrainMask
+
+	// Fill non-brain voxels with the mean brain intensity before
+	// smoothing so the field estimate is not dragged down at the brain
+	// boundary.
+	var brainMean float64
+	var n int
+	for i, v := range mean.Data {
+		if mask == nil || mask[i] {
+			brainMean += v
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("bias-correct: empty mask")
+	}
+	brainMean /= float64(n)
+	work := mean.Clone()
+	for i := range work.Data {
+		if mask != nil && !mask[i] {
+			work.Data[i] = brainMean
+		}
+	}
+
+	field := smooth3D(work, sigma)
+
+	// Normalize the field to unit mean over the mask and guard against
+	// division by ~0.
+	var fieldMean float64
+	for i, v := range field.Data {
+		if mask == nil || mask[i] {
+			fieldMean += v
+		}
+	}
+	fieldMean /= float64(n)
+	if fieldMean == 0 {
+		return nil, fmt.Errorf("bias-correct: degenerate field")
+	}
+	floor := 0.05 * fieldMean
+	for i := range field.Data {
+		field.Data[i] /= fieldMean
+		if field.Data[i] < floor {
+			field.Data[i] = floor
+		}
+	}
+	for _, f := range s.Frames {
+		for i := range f.Data {
+			if mask == nil || mask[i] {
+				f.Data[i] /= field.Data[i]
+			}
+		}
+	}
+	ctx.record(b.Name(), fmt.Sprintf("sigma=%.1f voxels", sigma), time.Since(start))
+	return nil, nil
+}
+
+// smooth3D applies a separable 3-D Gaussian filter with replicate
+// boundary handling.
+func smooth3D(v *fmri.Volume, sigma float64) *fmri.Volume {
+	g := v.Grid
+	kernel := signal.GaussianKernel(sigma)
+	out := v.Clone()
+	buf := make([]float64, maxInt(g.NX, maxInt(g.NY, g.NZ)))
+
+	// X axis.
+	for z := 0; z < g.NZ; z++ {
+		for y := 0; y < g.NY; y++ {
+			line := buf[:g.NX]
+			for x := 0; x < g.NX; x++ {
+				line[x] = out.Data[g.Index(x, y, z)]
+			}
+			sm, _ := signal.Convolve(line, kernel)
+			for x := 0; x < g.NX; x++ {
+				out.Data[g.Index(x, y, z)] = sm[x]
+			}
+		}
+	}
+	// Y axis.
+	for z := 0; z < g.NZ; z++ {
+		for x := 0; x < g.NX; x++ {
+			line := buf[:g.NY]
+			for y := 0; y < g.NY; y++ {
+				line[y] = out.Data[g.Index(x, y, z)]
+			}
+			sm, _ := signal.Convolve(line, kernel)
+			for y := 0; y < g.NY; y++ {
+				out.Data[g.Index(x, y, z)] = sm[y]
+			}
+		}
+	}
+	// Z axis.
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			line := buf[:g.NZ]
+			for z := 0; z < g.NZ; z++ {
+				line[z] = out.Data[g.Index(x, y, z)]
+			}
+			sm, _ := signal.Convolve(line, kernel)
+			for z := 0; z < g.NZ; z++ {
+				out.Data[g.Index(x, y, z)] = sm[z]
+			}
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,118 @@
+package preprocess
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"brainprint/internal/fmri"
+)
+
+// MotionCorrect estimates and removes rigid head translation frame by
+// frame. Each frame is aligned to the first frame by maximizing the
+// voxelwise correlation over integer shifts within SearchRadius, then
+// refined to sub-voxel precision with a parabolic fit along each axis.
+type MotionCorrect struct {
+	// SearchRadius bounds the integer shift search per axis, in voxels.
+	SearchRadius int
+}
+
+// Name implements Step.
+func (m *MotionCorrect) Name() string { return "motion-correct" }
+
+// Apply implements Step.
+func (m *MotionCorrect) Apply(s *fmri.Series, ctx *Context) (*fmri.Series, error) {
+	start := time.Now()
+	r := m.SearchRadius
+	if r <= 0 {
+		r = 2
+	}
+	ref := s.Frames[0]
+	trace := &fmri.MotionTrace{
+		DX: make([]float64, s.NumFrames()),
+		DY: make([]float64, s.NumFrames()),
+		DZ: make([]float64, s.NumFrames()),
+	}
+	var maxShift float64
+	for t := 1; t < s.NumFrames(); t++ {
+		dx, dy, dz := estimateShift(ref, s.Frames[t], r)
+		trace.DX[t], trace.DY[t], trace.DZ[t] = dx, dy, dz
+		if sh := math.Max(math.Abs(dx), math.Max(math.Abs(dy), math.Abs(dz))); sh > maxShift {
+			maxShift = sh
+		}
+		if dx != 0 || dy != 0 || dz != 0 {
+			// Undo the estimated shift: the frame content moved by +d, so
+			// sample at −d.
+			s.Frames[t] = s.Frames[t].Shifted(-dx, -dy, -dz)
+		}
+	}
+	ctx.Motion = trace
+	ctx.record(m.Name(), fmt.Sprintf("max estimated shift %.2f voxels", maxShift), time.Since(start))
+	return nil, nil
+}
+
+// estimateShift finds the translation of frame relative to ref that
+// maximizes correlation: an exhaustive integer search followed by
+// per-axis parabolic refinement.
+func estimateShift(ref, frame *fmri.Volume, radius int) (dx, dy, dz float64) {
+	bestScore := math.Inf(-1)
+	var bx, by, bz int
+	for z := -radius; z <= radius; z++ {
+		for y := -radius; y <= radius; y++ {
+			for x := -radius; x <= radius; x++ {
+				score := shiftScore(ref, frame, float64(x), float64(y), float64(z))
+				if score > bestScore {
+					bestScore, bx, by, bz = score, x, y, z
+				}
+			}
+		}
+	}
+	// Parabolic sub-voxel refinement along each axis independently.
+	refine := func(axis int) float64 {
+		center := bestScore
+		var lo, hi float64
+		switch axis {
+		case 0:
+			lo = shiftScore(ref, frame, float64(bx)-1, float64(by), float64(bz))
+			hi = shiftScore(ref, frame, float64(bx)+1, float64(by), float64(bz))
+		case 1:
+			lo = shiftScore(ref, frame, float64(bx), float64(by)-1, float64(bz))
+			hi = shiftScore(ref, frame, float64(bx), float64(by)+1, float64(bz))
+		default:
+			lo = shiftScore(ref, frame, float64(bx), float64(by), float64(bz)-1)
+			hi = shiftScore(ref, frame, float64(bx), float64(by), float64(bz)+1)
+		}
+		denom := lo - 2*center + hi
+		if denom >= 0 { // not a local maximum; skip refinement
+			return 0
+		}
+		off := 0.5 * (lo - hi) / denom
+		if off > 0.5 {
+			off = 0.5
+		} else if off < -0.5 {
+			off = -0.5
+		}
+		return off
+	}
+	return float64(bx) + refine(0), float64(by) + refine(1), float64(bz) + refine(2)
+}
+
+// shiftScore computes the unnormalized correlation between ref and frame
+// sampled at the candidate shift. The frame is hypothesized to be the
+// reference translated by (dx,dy,dz): frame(x) ≈ ref(x−d), so we compare
+// frame sampled at x against ref sampled at x−d over an interior margin
+// that avoids boundary-replication bias.
+func shiftScore(ref, frame *fmri.Volume, dx, dy, dz float64) float64 {
+	g := ref.Grid
+	margin := 2
+	var score float64
+	for z := margin; z < g.NZ-margin; z++ {
+		for y := margin; y < g.NY-margin; y++ {
+			for x := margin; x < g.NX-margin; x++ {
+				rv := ref.Interpolate(float64(x)-dx, float64(y)-dy, float64(z)-dz)
+				score += rv * frame.At(x, y, z)
+			}
+		}
+	}
+	return score
+}

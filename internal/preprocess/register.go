@@ -1,0 +1,113 @@
+package preprocess
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"brainprint/internal/fmri"
+)
+
+// Register maps the series onto a standard target grid ("MNI space"),
+// normalizing head size: the brain centroid and mean radius are
+// estimated from the mask and an affine scale+translate transform maps
+// the subject brain onto a canonical brain that fills TargetBrainScale
+// of the target half-grid. This implements the "registration to a
+// standard brain" of §3.2.1 for the rigid+scale case.
+type Register struct {
+	// Target is the standard grid to resample onto.
+	Target fmri.Grid
+	// TargetBrainScale is the canonical brain radius as a fraction of
+	// the half-grid (default 0.7, matching fmri.DefaultPhantomParams).
+	TargetBrainScale float64
+}
+
+// Name implements Step.
+func (r *Register) Name() string { return "register" }
+
+// Apply implements Step.
+func (r *Register) Apply(s *fmri.Series, ctx *Context) (*fmri.Series, error) {
+	start := time.Now()
+	scale := r.TargetBrainScale
+	if scale <= 0 {
+		scale = 0.7
+	}
+	mask := ctx.BrainMask
+	if mask == nil {
+		return nil, fmt.Errorf("register: requires a brain mask (run skull-strip first)")
+	}
+	// Estimate subject brain centroid and mean radius from the mask.
+	g := s.Grid
+	var cx, cy, cz float64
+	var n int
+	for i, b := range mask {
+		if !b {
+			continue
+		}
+		x, y, z := g.Coords(i)
+		cx += float64(x)
+		cy += float64(y)
+		cz += float64(z)
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("register: empty mask")
+	}
+	cx /= float64(n)
+	cy /= float64(n)
+	cz /= float64(n)
+	// Mean radius of an ellipsoid of N voxels ≈ radius of the equivalent
+	// ball: (3N/4π)^(1/3). Using the voxel count is robust to mask noise.
+	srcRadius := math.Cbrt(3 * float64(n) / (4 * math.Pi))
+
+	tg := r.Target
+	tcx := float64(tg.NX-1) / 2
+	tcy := float64(tg.NY-1) / 2
+	tcz := float64(tg.NZ-1) / 2
+	// The canonical phantom is mildly anisotropic (see fmri.NewPhantom);
+	// use the geometric mean of the target half-dims for the radius.
+	tHalf := math.Cbrt(tcx * tcy * tcz)
+	tgtRadius := scale * tHalf * math.Cbrt(1.1*0.95) // match phantom anisotropy factors
+
+	ratio := srcRadius / tgtRadius
+
+	out, err := fmri.NewSeries(tg, s.TR, s.NumFrames())
+	if err != nil {
+		return nil, err
+	}
+	// New mask on the target grid (nearest-neighbour transform).
+	newMask := make([]bool, tg.NumVoxels())
+	maskVol := fmri.NewVolume(g)
+	for i, b := range mask {
+		if b {
+			maskVol.Data[i] = 1
+		}
+	}
+	for z := 0; z < tg.NZ; z++ {
+		for y := 0; y < tg.NY; y++ {
+			for x := 0; x < tg.NX; x++ {
+				sx := cx + (float64(x)-tcx)*ratio
+				sy := cy + (float64(y)-tcy)*ratio
+				sz := cz + (float64(z)-tcz)*ratio
+				ti := tg.Index(x, y, z)
+				if maskVol.Interpolate(sx, sy, sz) > 0.5 {
+					newMask[ti] = true
+				}
+				for t, f := range s.Frames {
+					out.Frames[t].Data[ti] = f.Interpolate(sx, sy, sz)
+				}
+			}
+		}
+	}
+	// Mask the registered data to the brain.
+	for _, f := range out.Frames {
+		for i := range f.Data {
+			if !newMask[i] {
+				f.Data[i] = 0
+			}
+		}
+	}
+	ctx.BrainMask = newMask
+	ctx.record(r.Name(), fmt.Sprintf("scale ratio %.3f onto %dx%dx%d", ratio, tg.NX, tg.NY, tg.NZ), time.Since(start))
+	return out, nil
+}

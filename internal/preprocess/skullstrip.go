@@ -1,0 +1,165 @@
+package preprocess
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"brainprint/internal/fmri"
+)
+
+// SkullStrip classifies voxels as brain or non-brain on the temporal
+// mean image and masks the non-brain voxels to zero, the procedure
+// described in §2: intensity-based tissue classification followed by a
+// largest-connected-component cleanup. The resulting brain mask is
+// stored in the context for downstream steps.
+type SkullStrip struct{}
+
+// Name implements Step.
+func (k *SkullStrip) Name() string { return "skull-strip" }
+
+// Apply implements Step.
+func (k *SkullStrip) Apply(s *fmri.Series, ctx *Context) (*fmri.Series, error) {
+	start := time.Now()
+	mean := s.MeanVolume()
+
+	// Stage 1: classify intensities into three tissue classes — air
+	// (dark), brain (mid) and skull (bright) — with 1-D 3-means. A single
+	// Otsu split is unreliable here because the bright skull dominates
+	// the between-class variance and absorbs the brain into the "dark"
+	// class.
+	classes := kMeans1D(mean.Data, 3)
+	brainCandidate := make([]bool, len(mean.Data))
+	anyBrain := false
+	for i, c := range classes {
+		if c == 1 { // middle intensity class
+			brainCandidate[i] = true
+			anyBrain = true
+		}
+	}
+	if !anyBrain {
+		return nil, fmt.Errorf("skull-strip: no brain-intensity voxels found")
+	}
+
+	// Stage 2: keep only the largest 6-connected component — stray
+	// mid-intensity voxels in the skull shell or background are
+	// discarded.
+	mask := largestComponent(s.Grid, brainCandidate)
+	count := 0
+	for _, b := range mask {
+		if b {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("skull-strip: empty brain mask")
+	}
+
+	// Zero all non-brain voxels in every frame.
+	for _, f := range s.Frames {
+		for i := range f.Data {
+			if !mask[i] {
+				f.Data[i] = 0
+			}
+		}
+	}
+	ctx.BrainMask = mask
+	ctx.record(k.Name(), fmt.Sprintf("%d brain voxels (%.1f%% of grid)", count,
+		100*float64(count)/float64(len(mask))), time.Since(start))
+	return nil, nil
+}
+
+// kMeans1D clusters scalar values into k classes with Lloyd's algorithm,
+// returning the class of each value with classes ordered by ascending
+// centroid (class 0 = darkest). Centroids are initialized evenly across
+// the value range.
+func kMeans1D(vals []float64, k int) []int {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	centroids := make([]float64, k)
+	for i := range centroids {
+		centroids[i] = lo + (hi-lo)*(float64(i)+0.5)/float64(k)
+	}
+	classes := make([]int, len(vals))
+	for iter := 0; iter < 100; iter++ {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range vals {
+			best, bestD := 0, math.Abs(v-centroids[0])
+			for c := 1; c < k; c++ {
+				if d := math.Abs(v - centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			classes[i] = best
+			sums[best] += v
+			counts[best]++
+		}
+		changed := false
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			nc := sums[c] / float64(counts[c])
+			if nc != centroids[c] {
+				centroids[c] = nc
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Centroids stay ordered because Lloyd's on 1-D data preserves the
+	// initial ordering, so class indices already rank by intensity.
+	return classes
+}
+
+// largestComponent returns the largest 6-connected component of the
+// candidate mask, found by breadth-first search.
+func largestComponent(g fmri.Grid, candidate []bool) []bool {
+	visited := make([]bool, len(candidate))
+	best := []int(nil)
+	queue := make([]int, 0, 1024)
+	for seed, isC := range candidate {
+		if !isC || visited[seed] {
+			continue
+		}
+		// BFS from seed.
+		comp := []int{seed}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			x, y, z := g.Coords(cur)
+			for _, d := range [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+				nx, ny, nz := x+d[0], y+d[1], z+d[2]
+				if !g.InBounds(nx, ny, nz) {
+					continue
+				}
+				ni := g.Index(nx, ny, nz)
+				if candidate[ni] && !visited[ni] {
+					visited[ni] = true
+					comp = append(comp, ni)
+					queue = append(queue, ni)
+				}
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	mask := make([]bool, len(candidate))
+	for _, i := range best {
+		mask[i] = true
+	}
+	return mask
+}

@@ -1,0 +1,209 @@
+// Package report renders experiment results as terminal-friendly text:
+// ASCII heatmaps standing in for the paper's matrix figures, aligned
+// tables standing in for its result tables, and scatter plots for the
+// t-SNE embeddings.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"brainprint/internal/linalg"
+)
+
+// shades orders glyphs from low to high intensity.
+var shades = []rune(" .:-=+*#%@")
+
+// Heatmap renders a matrix as an ASCII intensity map, one glyph per
+// cell, normalized to the matrix's own min/max range. Row and column
+// labels are optional (pass nil). Large matrices are downsampled to at
+// most maxCells cells per side by block averaging, mirroring how the
+// paper's pixel figures compress 100×100 matrices.
+func Heatmap(m *linalg.Matrix, rowLabels, colLabels []string, maxCells int) string {
+	rows, cols := m.Dims()
+	if rows == 0 || cols == 0 {
+		return "(empty matrix)\n"
+	}
+	if maxCells <= 0 {
+		maxCells = 60
+	}
+	display := m
+	if rows > maxCells || cols > maxCells {
+		display = downsample(m, maxCells)
+		rowLabels, colLabels = nil, nil
+		rows, cols = display.Dims()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range display.RawData() {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var sb strings.Builder
+	labelWidth := 0
+	for _, l := range rowLabels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if rowLabels != nil && i < len(rowLabels) {
+			fmt.Fprintf(&sb, "%*s ", labelWidth, rowLabels[i])
+		}
+		for j := 0; j < cols; j++ {
+			v := display.At(i, j)
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(shades)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(shades) {
+					idx = len(shades) - 1
+				}
+			}
+			sb.WriteRune(shades[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	if colLabels != nil {
+		if labelWidth > 0 {
+			sb.WriteString(strings.Repeat(" ", labelWidth+1))
+		}
+		sb.WriteString(strings.Join(colLabels, " "))
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scale: %q = %.3f .. %q = %.3f\n", string(shades[0]), lo, string(shades[len(shades)-1]), hi)
+	return sb.String()
+}
+
+// downsample block-averages m down to at most side cells per dimension.
+func downsample(m *linalg.Matrix, side int) *linalg.Matrix {
+	rows, cols := m.Dims()
+	outR, outC := rows, cols
+	if outR > side {
+		outR = side
+	}
+	if outC > side {
+		outC = side
+	}
+	out := linalg.NewMatrix(outR, outC)
+	for i := 0; i < outR; i++ {
+		r0 := i * rows / outR
+		r1 := (i + 1) * rows / outR
+		if r1 == r0 {
+			r1 = r0 + 1
+		}
+		for j := 0; j < outC; j++ {
+			c0 := j * cols / outC
+			c1 := (j + 1) * cols / outC
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			var sum float64
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1; c++ {
+					sum += m.At(r, c)
+				}
+			}
+			out.Set(i, j, sum/float64((r1-r0)*(c1-c0)))
+		}
+	}
+	return out
+}
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+			if i < len(widths)-1 {
+				sb.WriteString("  ")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Scatter renders labelled 2-D points (an n×2 matrix) on a character
+// grid, using one digit/letter per label class — the textual analogue of
+// the paper's Figure 6 cluster plot.
+func Scatter(points *linalg.Matrix, labels []int, width, height int) string {
+	n, dims := points.Dims()
+	if n == 0 || dims < 2 {
+		return "(no points)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 28
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		x, y := points.At(i, 0), points.At(i, 1)
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	glyphs := []rune("0123456789abcdefghijklmnopqrstuvwxyz")
+	for i := 0; i < n; i++ {
+		x := int((points.At(i, 0) - minX) / spanX * float64(width-1))
+		y := int((points.At(i, 1) - minY) / spanY * float64(height-1))
+		g := '?'
+		if labels != nil && i < len(labels) && labels[i] >= 0 && labels[i] < len(glyphs) {
+			g = glyphs[labels[i]]
+		}
+		grid[height-1-y][x] = g
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Percent formats a fraction as a percentage with one decimal.
+func Percent(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,166 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"brainprint/internal/linalg"
+)
+
+func TestHeatmapBasic(t *testing.T) {
+	m, _ := linalg.NewMatrixFromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	s := Heatmap(m, nil, nil, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 { // 2 rows + scale line
+		t.Fatalf("lines = %d: %q", len(lines), s)
+	}
+	// Max value renders as the densest glyph, min as the sparsest.
+	if lines[0] != " @" {
+		t.Errorf("row 0 = %q want ' @'", lines[0])
+	}
+	if lines[1] != "@ " {
+		t.Errorf("row 1 = %q want '@ '", lines[1])
+	}
+	if !strings.Contains(s, "scale:") {
+		t.Error("missing scale legend")
+	}
+}
+
+func TestHeatmapConstantMatrix(t *testing.T) {
+	m := linalg.NewMatrix(3, 3)
+	s := Heatmap(m, nil, nil, 10)
+	if !strings.Contains(s, "scale:") {
+		t.Error("constant matrix should still render")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if s := Heatmap(linalg.NewMatrix(0, 0), nil, nil, 10); !strings.Contains(s, "empty") {
+		t.Errorf("empty render = %q", s)
+	}
+}
+
+func TestHeatmapLabels(t *testing.T) {
+	m, _ := linalg.NewMatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	s := Heatmap(m, []string{"r0", "r1"}, []string{"c0", "c1"}, 10)
+	if !strings.Contains(s, "r0") || !strings.Contains(s, "c1") {
+		t.Errorf("labels missing:\n%s", s)
+	}
+}
+
+func TestHeatmapDownsamples(t *testing.T) {
+	big := linalg.NewMatrix(100, 100)
+	for i := 0; i < 100; i++ {
+		big.Set(i, i, 1)
+	}
+	s := Heatmap(big, nil, nil, 20)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 21 { // 20 rows + scale
+		t.Fatalf("downsampled to %d lines, want 21", len(lines))
+	}
+	for _, l := range lines[:20] {
+		if len([]rune(l)) != 20 {
+			t.Fatalf("row width %d want 20: %q", len(l), l)
+		}
+	}
+}
+
+func TestDownsamplePreservesMean(t *testing.T) {
+	m := linalg.NewMatrix(10, 10)
+	for i := range m.RawData() {
+		m.RawData()[i] = float64(i)
+	}
+	d := downsample(m, 5)
+	var origSum, downSum float64
+	for _, v := range m.RawData() {
+		origSum += v
+	}
+	for _, v := range d.RawData() {
+		downSum += v
+	}
+	origMean := origSum / 100
+	downMean := downSum / 25
+	if diff := origMean - downMean; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("downsample changed mean: %v vs %v", origMean, downMean)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	s := Table([]string{"task", "accuracy"}, [][]string{
+		{"REST", "94.0%"},
+		{"LANGUAGE", "90.0%"},
+	})
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "task") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	// Columns align: "accuracy" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "accuracy")
+	if !strings.HasPrefix(lines[2][idx:], "94.0%") {
+		t.Errorf("column misaligned: %q", lines[2])
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	s := Table([]string{"a"}, nil)
+	if !strings.Contains(s, "a") {
+		t.Error("headers should render with no rows")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	pts, _ := linalg.NewMatrixFromRows([][]float64{
+		{0, 0},
+		{10, 10},
+		{0, 10},
+	})
+	s := Scatter(pts, []int{0, 1, 2}, 20, 10)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("height = %d want 10", len(lines))
+	}
+	if !strings.Contains(s, "0") || !strings.Contains(s, "1") || !strings.Contains(s, "2") {
+		t.Errorf("glyphs missing:\n%s", s)
+	}
+	// Point (0,0) is bottom-left, (10,10) top-right.
+	if lines[9][0] != '0' {
+		t.Errorf("bottom-left should be label 0:\n%s", s)
+	}
+	if lines[0][19] != '1' {
+		t.Errorf("top-right should be label 1:\n%s", s)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if s := Scatter(linalg.NewMatrix(0, 2), nil, 10, 5); !strings.Contains(s, "no points") {
+		t.Errorf("empty scatter = %q", s)
+	}
+	// Single point / zero span must not divide by zero.
+	one, _ := linalg.NewMatrixFromRows([][]float64{{3, 3}})
+	if s := Scatter(one, []int{0}, 10, 5); !strings.Contains(s, "0") {
+		t.Errorf("single point missing:\n%s", s)
+	}
+}
+
+func TestScatterUnknownLabel(t *testing.T) {
+	pts, _ := linalg.NewMatrixFromRows([][]float64{{0, 0}, {1, 1}})
+	s := Scatter(pts, []int{0, 99}, 10, 5)
+	if !strings.Contains(s, "?") {
+		t.Error("out-of-range label should render '?'")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.945); got != "94.5%" {
+		t.Errorf("Percent = %q", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Package signal provides the temporal signal-processing substrate used
+// by the fMRI preprocessing pipeline: an FFT for arbitrary lengths,
+// frequency-domain bandpass filtering, detrending, smoothing kernels and
+// the canonical haemodynamic response function (HRF) used to synthesize
+// task activations.
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x. The input may have
+// any length: power-of-two lengths use the iterative radix-2
+// Cooley-Tukey algorithm; other lengths use Bluestein's chirp-z
+// transform (which internally pads to a power of two).
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2(out, false)
+		return out
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform of x, including
+// the 1/n normalization.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = make([]complex128, n)
+		copy(out, x)
+		radix2(out, true)
+	} else {
+		out = bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// radix2 performs an in-place iterative radix-2 FFT. len(x) must be a
+// power of two. If inverse is true the conjugate transform is computed
+// (without the 1/n scaling).
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length via the chirp-z
+// transform, expressing it as a convolution that is evaluated with a
+// padded power-of-two FFT.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp sequence w_k = exp(sign·iπk²/n). k² mod 2n avoids precision
+	// loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := int64(k) * int64(k) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, ang))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		inv := cmplx.Conj(chirp[k])
+		b[k] = inv
+		if k > 0 {
+			b[m-k] = inv
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out
+}
+
+// FFTReal transforms a real series, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// Bandpass filters a real time series in the frequency domain, keeping
+// only components with |f| in [lowHz, highHz]. dt is the sampling
+// interval in seconds (the fMRI TR). Setting lowHz = 0 yields a low-pass
+// filter; setting highHz ≥ Nyquist yields a high-pass filter. The DC
+// component is retained only when lowHz = 0.
+//
+// It returns an error if the cutoffs are invalid.
+func Bandpass(x []float64, dt, lowHz, highHz float64) ([]float64, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("signal: nonpositive sampling interval %v", dt)
+	}
+	if lowHz < 0 || highHz < lowHz {
+		return nil, fmt.Errorf("signal: invalid band [%v, %v]", lowHz, highHz)
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	spec := FFTReal(x)
+	df := 1 / (float64(n) * dt)
+	for k := range spec {
+		// Frequency of bin k (two-sided spectrum).
+		var f float64
+		if k <= n/2 {
+			f = float64(k) * df
+		} else {
+			f = float64(n-k) * df
+		}
+		keep := f >= lowHz && f <= highHz
+		if k == 0 {
+			keep = lowHz == 0
+		}
+		if !keep {
+			spec[k] = 0
+		}
+	}
+	inv := IFFT(spec)
+	out := make([]float64, n)
+	for i, v := range inv {
+		out[i] = real(v)
+	}
+	return out, nil
+}
+
+// Detrend removes the best-fit line (least squares) from x in place and
+// returns the slope and intercept that were removed.
+func Detrend(x []float64) (slope, intercept float64) {
+	n := len(x)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		intercept = x[0]
+		x[0] = 0
+		return 0, intercept
+	}
+	// Closed-form simple linear regression on t = 0..n-1.
+	tMean := float64(n-1) / 2
+	var xMean, stx, stt float64
+	for _, v := range x {
+		xMean += v
+	}
+	xMean /= float64(n)
+	for t, v := range x {
+		dt := float64(t) - tMean
+		stx += dt * (v - xMean)
+		stt += dt * dt
+	}
+	slope = stx / stt
+	intercept = xMean - slope*tMean
+	for t := range x {
+		x[t] -= slope*float64(t) + intercept
+	}
+	return slope, intercept
+}
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel with the given
+// standard deviation (in samples), truncated at ±3σ. The kernel always
+// has odd length and sums to 1.
+func GaussianKernel(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	radius := int(math.Ceil(3 * sigma))
+	k := make([]float64, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+radius] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// Convolve returns the "same"-length convolution of x with kernel k,
+// using edge replication at the boundaries. The kernel length must be
+// odd.
+func Convolve(x, k []float64) ([]float64, error) {
+	if len(k)%2 == 0 {
+		return nil, fmt.Errorf("signal: Convolve kernel length %d must be odd", len(k))
+	}
+	n := len(x)
+	out := make([]float64, n)
+	radius := len(k) / 2
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := -radius; j <= radius; j++ {
+			idx := i + j
+			if idx < 0 {
+				idx = 0
+			} else if idx >= n {
+				idx = n - 1
+			}
+			s += x[idx] * k[j+radius]
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// HRF models the canonical double-gamma haemodynamic response function:
+// a positive response peaking around 6 s followed by a smaller
+// undershoot around 16 s. This is the kernel that links neuronal events
+// to the BOLD signal that fMRI measures.
+type HRF struct {
+	PeakDelay       float64 // seconds to the positive peak (default 6)
+	UndershootDelay float64 // seconds to the undershoot (default 16)
+	PeakDisp        float64 // dispersion of the peak gamma (default 1)
+	UndershootDisp  float64 // dispersion of the undershoot gamma (default 1)
+	UndershootRatio float64 // peak/undershoot amplitude ratio (default 6)
+	Duration        float64 // kernel support in seconds (default 32)
+}
+
+// CanonicalHRF returns the standard SPM-style double-gamma HRF
+// parameters.
+func CanonicalHRF() HRF {
+	return HRF{
+		PeakDelay:       6,
+		UndershootDelay: 16,
+		PeakDisp:        1,
+		UndershootDisp:  1,
+		UndershootRatio: 6,
+		Duration:        32,
+	}
+}
+
+// Sample evaluates the HRF at sampling interval dt seconds, returning a
+// kernel normalized so its peak is 1. It returns an error for
+// non-positive dt.
+func (h HRF) Sample(dt float64) ([]float64, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("signal: HRF sampling interval %v must be positive", dt)
+	}
+	n := int(h.Duration/dt) + 1
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	peak := 0.0
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		v := gammaPDF(t, h.PeakDelay/h.PeakDisp, h.PeakDisp) -
+			gammaPDF(t, h.UndershootDelay/h.UndershootDisp, h.UndershootDisp)/h.UndershootRatio
+		out[i] = v
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak > 0 {
+		for i := range out {
+			out[i] /= peak
+		}
+	}
+	return out, nil
+}
+
+// gammaPDF evaluates the gamma distribution density with shape k and
+// scale θ at t (zero for t ≤ 0).
+func gammaPDF(t, k, theta float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(k)
+	logp := (k-1)*math.Log(t) - t/theta - k*math.Log(theta) - lg
+	return math.Exp(logp)
+}
+
+// BlockDesign returns a boxcar stimulus time course of n samples at
+// interval dt: blocks of onDur seconds separated by offDur seconds of
+// rest, starting with rest of offDur. Amplitude is 1 during blocks.
+func BlockDesign(n int, dt, onDur, offDur float64) []float64 {
+	out := make([]float64, n)
+	period := onDur + offDur
+	if period <= 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := math.Mod(float64(i)*dt, period)
+		if t >= offDur {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ConvolveHRF convolves a stimulus time course with the HRF sampled at
+// dt, producing the expected BOLD response (causal convolution, same
+// length as the stimulus).
+func ConvolveHRF(stimulus []float64, h HRF, dt float64) ([]float64, error) {
+	kernel, err := h.Sample(dt)
+	if err != nil {
+		return nil, err
+	}
+	n := len(stimulus)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < len(kernel) && j <= i; j++ {
+			s += stimulus[i-j] * kernel[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,392 @@
+package signal
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation used to validate FFT.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func complexSlicesClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Cover radix-2 sizes and awkward Bluestein sizes (primes, odd).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 30, 64, 100} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := FFT(x)
+		want := naiveDFT(x)
+		if !complexSlicesClose(got, want, 1e-8*float64(n)) {
+			t.Errorf("n=%d: FFT does not match naive DFT", n)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if FFT(nil) != nil {
+		t.Error("FFT(nil) should be nil")
+	}
+	got := FFT([]complex128{complex(3, 0)})
+	if len(got) != 1 || cmplx.Abs(got[0]-complex(3, 0)) > 1e-12 {
+		t.Errorf("FFT singleton = %v", got)
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 8, 13, 64, 90} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		back := IFFT(FFT(x))
+		if !complexSlicesClose(back, x, 1e-9*float64(n)) {
+			t.Errorf("n=%d: IFFT(FFT(x)) != x", n)
+		}
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+		y[i] = complex(rng.NormFloat64(), 0)
+		sum[i] = x[i] + y[i]
+	}
+	fx, fy, fsum := FFT(x), FFT(y), FFT(sum)
+	for i := range fx {
+		if cmplx.Abs(fx[i]+fy[i]-fsum[i]) > 1e-9 {
+			t.Fatalf("FFT not linear at bin %d", i)
+		}
+	}
+}
+
+func TestBandpassKeepsInBandSine(t *testing.T) {
+	// 0.05 Hz sine sampled at TR = 0.72 s, inside the 0.008–0.1 Hz band.
+	const dt = 0.72
+	n := 1200
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 0.05 * float64(i) * dt)
+	}
+	y, err := Bandpass(x, dt, 0.008, 0.1)
+	if err != nil {
+		t.Fatalf("Bandpass: %v", err)
+	}
+	var power, origPower float64
+	for i := range x {
+		power += y[i] * y[i]
+		origPower += x[i] * x[i]
+	}
+	if power < 0.9*origPower {
+		t.Errorf("in-band sine attenuated: %.3f of original power", power/origPower)
+	}
+}
+
+func TestBandpassRemovesOutOfBand(t *testing.T) {
+	const dt = 0.72
+	n := 1200
+	x := make([]float64, n)
+	for i := range x {
+		// DC offset + very slow drift (0.001 Hz) + high-frequency (0.5 Hz).
+		ti := float64(i) * dt
+		x[i] = 10 + math.Sin(2*math.Pi*0.001*ti) + math.Sin(2*math.Pi*0.5*ti)
+	}
+	y, err := Bandpass(x, dt, 0.008, 0.1)
+	if err != nil {
+		t.Fatalf("Bandpass: %v", err)
+	}
+	var power float64
+	for _, v := range y {
+		power += v * v
+	}
+	power /= float64(n)
+	if power > 0.05 {
+		t.Errorf("out-of-band power remaining: %v", power)
+	}
+}
+
+func TestBandpassErrors(t *testing.T) {
+	if _, err := Bandpass([]float64{1}, 0, 0, 1); err == nil {
+		t.Error("expected error for dt=0")
+	}
+	if _, err := Bandpass([]float64{1}, 1, 0.5, 0.1); err == nil {
+		t.Error("expected error for inverted band")
+	}
+	out, err := Bandpass(nil, 1, 0, 1)
+	if err != nil || out != nil {
+		t.Error("empty input should pass through")
+	}
+}
+
+func TestBandpassDCRetainedForLowpass(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	y, err := Bandpass(x, 1, 0, 0.4)
+	if err != nil {
+		t.Fatalf("Bandpass: %v", err)
+	}
+	for _, v := range y {
+		if math.Abs(v-5) > 1e-9 {
+			t.Fatalf("low-pass should keep DC: %v", y)
+		}
+	}
+}
+
+func TestDetrendRemovesLine(t *testing.T) {
+	n := 100
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3*float64(i) + 7
+	}
+	slope, intercept := Detrend(x)
+	if math.Abs(slope-3) > 1e-9 || math.Abs(intercept-7) > 1e-9 {
+		t.Errorf("slope=%v intercept=%v want 3, 7", slope, intercept)
+	}
+	for i, v := range x {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("residual at %d: %v", i, v)
+		}
+	}
+}
+
+func TestDetrendDegenerate(t *testing.T) {
+	var empty []float64
+	if s, i := Detrend(empty); s != 0 || i != 0 {
+		t.Error("empty detrend should be 0,0")
+	}
+	one := []float64{4}
+	if _, i := Detrend(one); i != 4 || one[0] != 0 {
+		t.Error("single-sample detrend should remove the value")
+	}
+}
+
+func TestGaussianKernel(t *testing.T) {
+	k := GaussianKernel(2)
+	if len(k)%2 == 0 {
+		t.Error("kernel length must be odd")
+	}
+	var sum float64
+	for _, v := range k {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("kernel sum = %v want 1", sum)
+	}
+	mid := len(k) / 2
+	for i := 0; i < mid; i++ {
+		if k[i] != k[len(k)-1-i] {
+			t.Error("kernel not symmetric")
+		}
+		if k[i] > k[i+1] {
+			t.Error("kernel not unimodal")
+		}
+	}
+	if got := GaussianKernel(0); len(got) != 1 || got[0] != 1 {
+		t.Error("sigma=0 should yield identity kernel")
+	}
+}
+
+func TestConvolveIdentityAndSmoothing(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	out, err := Convolve(x, []float64{1})
+	if err != nil {
+		t.Fatalf("Convolve: %v", err)
+	}
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatal("identity kernel changed signal")
+		}
+	}
+	if _, err := Convolve(x, []float64{0.5, 0.5}); err == nil {
+		t.Error("even kernel should be rejected")
+	}
+	// Smoothing a spike spreads mass but preserves the total (away from edges).
+	spike := make([]float64, 21)
+	spike[10] = 1
+	sm, _ := Convolve(spike, GaussianKernel(1.5))
+	var sum float64
+	for _, v := range sm {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("smoothed mass = %v want 1", sum)
+	}
+	if sm[10] >= 1 || sm[10] <= 0 {
+		t.Errorf("peak should shrink but stay positive: %v", sm[10])
+	}
+}
+
+func TestCanonicalHRFShape(t *testing.T) {
+	h := CanonicalHRF()
+	k, err := h.Sample(0.5)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	// Peak normalized to 1, located near 6 s.
+	peakIdx := 0
+	for i, v := range k {
+		if v > k[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if math.Abs(k[peakIdx]-1) > 1e-12 {
+		t.Errorf("peak = %v want 1", k[peakIdx])
+	}
+	peakT := float64(peakIdx) * 0.5
+	if peakT < 4 || peakT > 7 {
+		t.Errorf("peak at %v s, want near 6 s", peakT)
+	}
+	// Undershoot: some negative values after the peak.
+	hasUndershoot := false
+	for _, v := range k[peakIdx:] {
+		if v < 0 {
+			hasUndershoot = true
+			break
+		}
+	}
+	if !hasUndershoot {
+		t.Error("HRF missing undershoot")
+	}
+	if _, err := h.Sample(0); err == nil {
+		t.Error("expected error for dt=0")
+	}
+}
+
+func TestBlockDesign(t *testing.T) {
+	// 10 s off, 10 s on, dt = 1 s.
+	d := BlockDesign(40, 1, 10, 10)
+	if d[0] != 0 || d[5] != 0 {
+		t.Error("design should start with rest")
+	}
+	if d[10] != 1 || d[15] != 1 {
+		t.Error("design should be on during block")
+	}
+	if d[20] != 0 {
+		t.Error("design should return to rest")
+	}
+	// Degenerate period.
+	z := BlockDesign(5, 1, 0, 0)
+	for _, v := range z {
+		if v != 0 {
+			t.Error("degenerate design should be all zero")
+		}
+	}
+}
+
+func TestConvolveHRFDelaysOnset(t *testing.T) {
+	stim := make([]float64, 60)
+	for i := 20; i < 40; i++ {
+		stim[i] = 1
+	}
+	resp, err := ConvolveHRF(stim, CanonicalHRF(), 1)
+	if err != nil {
+		t.Fatalf("ConvolveHRF: %v", err)
+	}
+	if len(resp) != len(stim) {
+		t.Fatalf("length changed: %d", len(resp))
+	}
+	// Response before stimulus onset must be zero (causality).
+	for i := 0; i < 20; i++ {
+		if resp[i] != 0 {
+			t.Fatalf("non-causal response at %d: %v", i, resp[i])
+		}
+	}
+	// Peak of response should lag the stimulus onset by roughly the HRF
+	// peak delay.
+	peakIdx := 0
+	for i, v := range resp {
+		if v > resp[peakIdx] {
+			peakIdx = i
+		}
+	}
+	if peakIdx < 24 {
+		t.Errorf("response peak at %d, expected lag after onset 20", peakIdx)
+	}
+}
+
+// Property: Parseval's theorem — energy is conserved by the FFT
+// (scaled by n).
+func TestQuickParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		spec := FFT(x)
+		var freqEnergy float64
+		for _, v := range spec {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy-float64(n)*timeEnergy) < 1e-6*(1+freqEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bandpass filtering is idempotent (filtering twice equals
+// filtering once).
+func TestQuickBandpassIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		once, err := Bandpass(x, 0.72, 0.008, 0.1)
+		if err != nil {
+			return false
+		}
+		twice, err := Bandpass(once, 0.72, 0.008, 0.1)
+		if err != nil {
+			return false
+		}
+		for i := range once {
+			if math.Abs(once[i]-twice[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package synth
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// SaveHCP serializes a cohort with encoding/gob.
+func SaveHCP(w io.Writer, c *HCPCohort) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadHCP deserializes a cohort written by SaveHCP and rebuilds its
+// internal scan index.
+func LoadHCP(r io.Reader) (*HCPCohort, error) {
+	var c HCPCohort
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("synth: decoding HCP cohort: %w", err)
+	}
+	c.rebuildIndex()
+	return &c, nil
+}
+
+// SaveADHD serializes a cohort with encoding/gob.
+func SaveADHD(w io.Writer, c *ADHDCohort) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadADHD deserializes a cohort written by SaveADHD.
+func LoadADHD(r io.Reader) (*ADHDCohort, error) {
+	var c ADHDCohort
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("synth: decoding ADHD cohort: %w", err)
+	}
+	return &c, nil
+}
+
+// WriteSeriesCSV exports one scan's region×time series as CSV: one row
+// per region, one column per time point, with a leading region column.
+func WriteSeriesCSV(w io.Writer, scan *Scan) error {
+	cw := csv.NewWriter(w)
+	rows, cols := scan.Series.Dims()
+	header := make([]string, cols+1)
+	header[0] = "region"
+	for t := 0; t < cols; t++ {
+		header[t+1] = "t" + strconv.Itoa(t)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, cols+1)
+	for i := 0; i < rows; i++ {
+		rec[0] = strconv.Itoa(i)
+		row := scan.Series.RowView(i)
+		for t, v := range row {
+			rec[t+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePerformanceCSV exports the per-subject task performance table.
+func WritePerformanceCSV(w io.Writer, c *HCPCohort) error {
+	cw := csv.NewWriter(w)
+	header := []string{"subject"}
+	for _, t := range PerformanceTasks {
+		header = append(header, t.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for s := 0; s < c.Params.Subjects; s++ {
+		rec := []string{strconv.Itoa(s)}
+		for _, t := range PerformanceTasks {
+			rec = append(rec, strconv.FormatFloat(c.Performance[t][s], 'f', 3, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

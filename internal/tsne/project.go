@@ -1,0 +1,68 @@
+package tsne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"brainprint/internal/linalg"
+)
+
+// RandomProjection maps the rows of x (n points × d features) into a
+// dims-dimensional space with the sparse ternary projection of
+// Achlioptas (2003): each projection entry is +1, 0, −1 with
+// probabilities 1/6, 2/3, 1/6, scaled by √(3/dims). By the
+// Johnson-Lindenstrauss lemma the projection preserves pairwise
+// Euclidean distances within a small relative error with high
+// probability — exactly the property t-SNE's input affinities depend
+// on — while reducing the cost of the paper-scale Figure 6 embedding
+// (800 scans × 64620 connectome features) from hours to seconds.
+//
+// The projection is deterministic in seed.
+func RandomProjection(x *linalg.Matrix, dims int, seed int64) (*linalg.Matrix, error) {
+	n, d := x.Dims()
+	if dims <= 0 {
+		return nil, fmt.Errorf("tsne: nonpositive projection dims %d", dims)
+	}
+	if dims >= d {
+		// Nothing to gain; return a copy so callers can always mutate.
+		return x.Clone(), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Column-sparse representation of the projection: for each input
+	// feature, the list of (output dim, sign) pairs. With density 1/3 the
+	// expected list length is dims/3.
+	type entry struct {
+		col  int
+		sign float64
+	}
+	proj := make([][]entry, d)
+	for j := 0; j < d; j++ {
+		for k := 0; k < dims; k++ {
+			switch rng.Intn(6) {
+			case 0:
+				proj[j] = append(proj[j], entry{col: k, sign: 1})
+			case 1:
+				proj[j] = append(proj[j], entry{col: k, sign: -1})
+			}
+		}
+	}
+	scale := math.Sqrt(3 / float64(dims))
+	out := linalg.NewMatrix(n, dims)
+	for i := 0; i < n; i++ {
+		row := x.RowView(i)
+		orow := out.RowView(i)
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			for _, e := range proj[j] {
+				orow[e.col] += e.sign * v
+			}
+		}
+		for k := range orow {
+			orow[k] *= scale
+		}
+	}
+	return out, nil
+}

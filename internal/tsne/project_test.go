@@ -1,0 +1,87 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brainprint/internal/linalg"
+)
+
+func TestRandomProjectionPreservesDistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 30, 4000
+	x := linalg.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	y, err := RandomProjection(x, 256, 7)
+	if err != nil {
+		t.Fatalf("RandomProjection: %v", err)
+	}
+	if rows, cols := y.Dims(); rows != n || cols != 256 {
+		t.Fatalf("projected dims %dx%d", rows, cols)
+	}
+	origD, _ := SquaredDistances(x)
+	projD, _ := SquaredDistances(y)
+	// JL guarantee: per-pair ratio variance ≈ 2/k, so with k = 256 the
+	// std is ≈ 9%; the max over all 435 pairs lands around 3–4 σ.
+	var worst, sum float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ratio := projD.At(i, j) / origD.At(i, j)
+			dev := math.Abs(ratio - 1)
+			if dev > worst {
+				worst = dev
+			}
+			sum += dev
+			pairs++
+		}
+	}
+	if worst > 0.45 {
+		t.Errorf("worst distance distortion %.3f > 0.45", worst)
+	}
+	if mean := sum / float64(pairs); mean > 0.12 {
+		t.Errorf("mean distance distortion %.3f > 0.12", mean)
+	}
+}
+
+func TestRandomProjectionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := linalg.NewMatrix(5, 100)
+	for i := range x.RawData() {
+		x.RawData()[i] = rng.NormFloat64()
+	}
+	a, _ := RandomProjection(x, 16, 3)
+	b, _ := RandomProjection(x, 16, 3)
+	if !a.EqualApprox(b, 0) {
+		t.Error("projection not deterministic in seed")
+	}
+	c, _ := RandomProjection(x, 16, 4)
+	if a.EqualApprox(c, 1e-12) {
+		t.Error("different seeds should give different projections")
+	}
+}
+
+func TestRandomProjectionPassThrough(t *testing.T) {
+	x := linalg.NewMatrix(3, 8)
+	x.Set(0, 0, 5)
+	y, err := RandomProjection(x, 8, 1)
+	if err != nil {
+		t.Fatalf("RandomProjection: %v", err)
+	}
+	if !y.EqualApprox(x, 0) {
+		t.Error("dims >= features should pass through unchanged")
+	}
+	// But must be a copy, not an alias.
+	y.Set(0, 0, 9)
+	if x.At(0, 0) != 5 {
+		t.Error("pass-through aliased the input")
+	}
+	if _, err := RandomProjection(x, 0, 1); err == nil {
+		t.Error("expected error for dims=0")
+	}
+}
