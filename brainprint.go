@@ -28,6 +28,7 @@ import (
 	"brainprint/internal/experiments"
 	"brainprint/internal/linalg"
 	"brainprint/internal/match"
+	"brainprint/internal/parallel"
 	"brainprint/internal/sampling"
 	"brainprint/internal/stats"
 	"brainprint/internal/synth"
@@ -39,6 +40,30 @@ type Matrix = linalg.Matrix
 
 // NewMatrix returns a zero-initialized r×c matrix.
 func NewMatrix(r, c int) *Matrix { return linalg.NewMatrix(r, c) }
+
+// ---- Parallel execution ----
+
+// SetParallelism sets the process-wide default worker count of the
+// parallel execution layer (internal/parallel), which every hot path —
+// the linalg kernels, connectome construction, the similarity sweep and
+// the experiment grids — runs on. n <= 0 restores the default of one
+// worker per core; 1 pins the whole stack to serial.
+//
+// Per-call knobs (AttackConfig.Parallelism, ConnectomeOptions.
+// Parallelism, the parallelism argument of SimilarityMatrix) override
+// this default when positive. Results never depend on the setting:
+// workers own disjoint output ranges, and randomized sweeps derive
+// per-cell seeds from their root seed.
+func SetParallelism(n int) { parallel.SetDefault(n) }
+
+// SimilarityMatrix computes the known×anonymous Pearson correlation
+// matrix between the columns (subjects) of two feature×subject group
+// matrices — the attack's core all-pairs kernel. parallelism: 0 = all
+// cores, 1 = serial, n = n workers; the matrix is identical at any
+// setting.
+func SimilarityMatrix(known, anon *Matrix, parallelism int) (*Matrix, error) {
+	return match.SimilarityMatrixP(known, anon, parallelism)
+}
 
 // ---- Synthetic cohorts (the HCP / ADHD-200 stand-ins) ----
 

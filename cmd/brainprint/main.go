@@ -30,22 +30,25 @@ func main() {
 		features   = flag.Int("features", 100, "size of the principal features subspace")
 		trials     = flag.Int("trials", 5, "repeated trials for resampled experiments")
 		seed       = flag.Int64("seed", 1, "master random seed")
+		workers    = flag.Int("parallelism", 0, "worker count for the parallel execution engine (0 = all cores, 1 = serial); results are identical at any setting")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *scale, *subjects, *regions, *features, *trials, *seed); err != nil {
+	if err := run(*experiment, *scale, *subjects, *regions, *features, *trials, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "brainprint:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, scale string, subjects, regions, features, trials int, seed int64) error {
+func run(experiment, scale string, subjects, regions, features, trials int, seed int64, workers int) error {
 	hcpParams, adhdParams, err := paramsForScale(scale, subjects, regions, seed)
 	if err != nil {
 		return err
 	}
+	brainprint.SetParallelism(workers)
 	attack := brainprint.DefaultAttackConfig()
 	attack.Features = features
+	attack.Parallelism = workers
 
 	var (
 		hcp  *brainprint.HCPCohort

@@ -55,20 +55,20 @@ func TestRunSingleExperiments(t *testing.T) {
 		t.Skip("CLI smoke test")
 	}
 	for _, exp := range []string{"fig1", "fig7"} {
-		if err := run(exp, "small", 8, 30, 60, 2, 5); err != nil {
+		if err := run(exp, "small", 8, 30, 60, 2, 5, 0); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", "small", 8, 30, 60, 2, 5); err == nil {
+	if err := run("fig99", "small", 8, 30, 60, 2, 5, 1); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
 
 func TestRunUnknownScale(t *testing.T) {
-	if err := run("fig1", "nope", 0, 0, 60, 2, 5); err == nil {
+	if err := run("fig1", "nope", 0, 0, 60, 2, 5, 1); err == nil {
 		t.Error("expected error for unknown scale")
 	}
 }

@@ -1,0 +1,3 @@
+module brainprint
+
+go 1.24

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
 	"brainprint/internal/stats"
 )
 
@@ -28,6 +29,10 @@ type Options struct {
 	// FisherZ applies the Fisher z-transform atanh(r) to every
 	// correlation, a common variance-stabilization step.
 	FisherZ bool
+	// Parallelism bounds the workers of the O(regions²·time) correlation
+	// sweep: 0 uses every core, 1 runs serially, n pins n workers. The
+	// connectome is identical at any setting.
+	Parallelism int
 }
 
 // FromRegionSeries computes the connectome of a regions×time matrix:
@@ -40,40 +45,52 @@ func FromRegionSeries(series *linalg.Matrix, opt Options) (*Connectome, error) {
 		return nil, fmt.Errorf("connectome: need at least 1 region and 2 time points, got %dx%d", n, t)
 	}
 	// Z-score rows; after normalization, Pearson correlation reduces to a
-	// scaled dot product, which keeps the O(n²t) loop tight.
+	// scaled dot product, which keeps the O(n²t) loop tight. Rows are
+	// independent, so they normalize concurrently.
 	z := linalg.NewMatrix(n, t)
 	valid := make([]bool, n)
-	for i := 0; i < n; i++ {
-		row := series.Row(i)
-		valid[i] = stats.ZScore(row)
-		z.SetRow(i, row)
-	}
-	c := linalg.NewMatrix(n, n)
-	inv := 1 / float64(t)
-	for i := 0; i < n; i++ {
-		c.Set(i, i, 1)
-		if !valid[i] {
-			continue
+	parallel.ForWith(opt.Parallelism, n, 1+4096/t, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := series.Row(i)
+			valid[i] = stats.ZScore(row)
+			z.SetRow(i, row)
 		}
-		zi := z.RowView(i)
-		for j := i + 1; j < n; j++ {
-			if !valid[j] {
+	})
+	// The pair sweep is parallel over the outer region index. Row i of
+	// the sweep writes c[i][j] and c[j][i] for j > i only — every matrix
+	// element has exactly one writing iteration, so bands race nowhere
+	// and the result matches the serial sweep exactly. Work per i shrinks
+	// as i grows (triangular loop); grain 1 lets the dynamic scheduler
+	// balance the load.
+	c := linalg.NewMatrix(n, n)
+	raw := c.RawData()
+	inv := 1 / float64(t)
+	parallel.ForWith(opt.Parallelism, n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			raw[i*n+i] = 1
+			if !valid[i] {
 				continue
 			}
-			r := linalg.Dot(zi, z.RowView(j)) * inv
-			// Clamp tiny numerical excursions outside [−1, 1].
-			if r > 1 {
-				r = 1
-			} else if r < -1 {
-				r = -1
+			zi := z.RowView(i)
+			for j := i + 1; j < n; j++ {
+				if !valid[j] {
+					continue
+				}
+				r := linalg.Dot(zi, z.RowView(j)) * inv
+				// Clamp tiny numerical excursions outside [−1, 1].
+				if r > 1 {
+					r = 1
+				} else if r < -1 {
+					r = -1
+				}
+				if opt.FisherZ {
+					r = stats.FisherZ(r)
+				}
+				raw[i*n+j] = r
+				raw[j*n+i] = r
 			}
-			if opt.FisherZ {
-				r = stats.FisherZ(r)
-			}
-			c.Set(i, j, r)
-			c.Set(j, i, r)
 		}
-	}
+	})
 	return &Connectome{C: c}, nil
 }
 

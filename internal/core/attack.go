@@ -42,6 +42,18 @@ type AttackConfig struct {
 	// Seed drives randomized selection (ignored for deterministic
 	// leverage selection).
 	Seed int64
+	// Parallelism bounds the worker count of the attack's hot paths —
+	// the similarity sweep here and the scenario grids of the experiment
+	// drivers that receive this config. 0 uses every core, 1 runs
+	// serially, n pins n workers. Results are identical at any setting:
+	// workers own disjoint output ranges and randomized sweeps derive
+	// per-cell seeds instead of sharing one stream.
+	//
+	// The linalg kernels underneath feature selection (Gram/Mul inside
+	// the SVD) follow the process-wide parallel.SetDefault instead of
+	// this knob; pin them too with brainprint.SetParallelism when a
+	// fully serial process is required.
+	Parallelism int
 }
 
 // DefaultAttackConfig returns the paper's configuration: the top 100
@@ -94,7 +106,7 @@ func Deanonymize(known, anon *linalg.Matrix, cfg AttackConfig) (*AttackResult, e
 		res.Features = allIndices(kf)
 	}
 
-	sim, err := match.SimilarityMatrix(kSel, aSel)
+	sim, err := match.SimilarityMatrixP(kSel, aSel, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

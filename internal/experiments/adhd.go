@@ -8,6 +8,7 @@ import (
 	"brainprint/internal/core"
 	"brainprint/internal/linalg"
 	"brainprint/internal/match"
+	"brainprint/internal/parallel"
 	"brainprint/internal/report"
 	"brainprint/internal/sampling"
 	"brainprint/internal/stats"
@@ -32,7 +33,7 @@ func adhdSimilarity(c *synth.ADHDCohort, cfg core.AttackConfig, name string, gro
 	if len(subjects) < 2 {
 		return nil, fmt.Errorf("experiments: only %d subjects in groups %v", len(subjects), groups)
 	}
-	known, anon, err := adhdPair(c, subjects)
+	known, anon, err := adhdPair(c, subjects, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -41,7 +42,7 @@ func adhdSimilarity(c *synth.ADHDCohort, cfg core.AttackConfig, name string, gro
 
 // adhdPair builds session-1 and session-2 group matrices for a subject
 // subset.
-func adhdPair(c *synth.ADHDCohort, subjects []int) (*linalg.Matrix, *linalg.Matrix, error) {
+func adhdPair(c *synth.ADHDCohort, subjects []int, parallelism int) (*linalg.Matrix, *linalg.Matrix, error) {
 	s1, err := c.SessionScans(subjects, 0)
 	if err != nil {
 		return nil, nil, err
@@ -50,11 +51,11 @@ func adhdPair(c *synth.ADHDCohort, subjects []int) (*linalg.Matrix, *linalg.Matr
 	if err != nil {
 		return nil, nil, err
 	}
-	known, err := BuildGroupMatrixADHD(s1, connectome.Options{})
+	known, err := BuildGroupMatrixADHD(s1, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
-	anon, err := BuildGroupMatrixADHD(s2, connectome.Options{})
+	anon, err := BuildGroupMatrixADHD(s2, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,18 +89,34 @@ func Figure9(c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFracti
 	for i := range all {
 		all[i] = i
 	}
-	sim, err := adhdSimilarity(c, cfg, "Figure 9: all ADHD-200 subjects (cases + controls)",
-		synth.Control, synth.Subtype1, synth.Subtype2, synth.Subtype3)
-	if err != nil {
-		return nil, err
-	}
 	cases := c.SubjectsInGroups(synth.Subtype1, synth.Subtype2, synth.Subtype3)
-	casesAcc, err := TransferAccuracy(c, cases, cfg, trials, trainFraction, seed)
-	if err != nil {
-		return nil, err
+	// The three sub-experiments (full-cohort similarity and the two
+	// transfer runs) only read the cohort and write disjoint results, so
+	// they fan out as a group; each keeps its own seed, so the outcome
+	// matches the serial order exactly.
+	var (
+		sim                *SimilarityResult
+		casesAcc, mixedAcc stats.Summary
+	)
+	subCfg := cfg
+	if parallel.Workers(cfg.Parallelism) > 1 {
+		subCfg.Parallelism = 1
 	}
-	mixedAcc, err := TransferAccuracy(c, all, cfg, trials, trainFraction, seed+1)
-	if err != nil {
+	g := parallel.NewGroup(cfg.Parallelism)
+	g.Go(func() (err error) {
+		sim, err = adhdSimilarity(c, subCfg, "Figure 9: all ADHD-200 subjects (cases + controls)",
+			synth.Control, synth.Subtype1, synth.Subtype2, synth.Subtype3)
+		return err
+	})
+	g.Go(func() (err error) {
+		casesAcc, err = TransferAccuracy(c, cases, subCfg, trials, trainFraction, seed)
+		return err
+	})
+	g.Go(func() (err error) {
+		mixedAcc, err = TransferAccuracy(c, all, subCfg, trials, trainFraction, seed+1)
+		return err
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	return &Figure9Result{Similarity: sim, CasesTransfer: casesAcc, MixedTransfer: mixedAcc}, nil
@@ -124,15 +141,13 @@ func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig
 	if features <= 0 {
 		features = 100
 	}
-	known, anon, err := adhdPair(c, subjects)
+	known, anon, err := adhdPair(c, subjects, cfg.Parallelism)
 	if err != nil {
 		return stats.Summary{}, err
 	}
 	if f, _ := known.Dims(); features > f {
 		features = f
 	}
-	rng := rand.New(rand.NewSource(seed))
-	accs := make([]float64, 0, trials)
 	n := len(subjects)
 	nTrain := int(float64(n) * trainFraction)
 	if nTrain < 2 {
@@ -141,25 +156,40 @@ func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig
 	if nTrain > n-2 {
 		nTrain = n - 2
 	}
-	for trial := 0; trial < trials; trial++ {
-		perm := rng.Perm(n)
-		trainIdx := perm[:nTrain]
-		testIdx := perm[nTrain:]
-		featIdx, _, err := sampling.PrincipalFeatures(known.SelectCols(trainIdx), features)
-		if err != nil {
-			return stats.Summary{}, err
+	// Trials are independent resampling experiments: each derives its own
+	// RNG from the root seed (so the split a trial draws does not depend
+	// on execution order) and fans out under cfg.Parallelism.
+	accs := make([]float64, trials)
+	trialCfg := cfg.Parallelism
+	if parallel.Workers(cfg.Parallelism) > 1 {
+		trialCfg = 1
+	}
+	err = parallel.ForErr(cfg.Parallelism, trials, 1, func(lo, hi int) error {
+		for trial := lo; trial < hi; trial++ {
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(trial))))
+			perm := rng.Perm(n)
+			trainIdx := perm[:nTrain]
+			testIdx := perm[nTrain:]
+			featIdx, _, err := sampling.PrincipalFeatures(known.SelectCols(trainIdx), features)
+			if err != nil {
+				return err
+			}
+			kTest := known.SelectRows(featIdx).SelectCols(testIdx)
+			aTest := anon.SelectRows(featIdx).SelectCols(testIdx)
+			sim, err := match.SimilarityMatrixP(kTest, aTest, trialCfg)
+			if err != nil {
+				return err
+			}
+			acc, err := match.Accuracy(sim, nil)
+			if err != nil {
+				return err
+			}
+			accs[trial] = 100 * acc
 		}
-		kTest := known.SelectRows(featIdx).SelectCols(testIdx)
-		aTest := anon.SelectRows(featIdx).SelectCols(testIdx)
-		sim, err := match.SimilarityMatrix(kTest, aTest)
-		if err != nil {
-			return stats.Summary{}, err
-		}
-		acc, err := match.Accuracy(sim, nil)
-		if err != nil {
-			return stats.Summary{}, err
-		}
-		accs = append(accs, 100*acc)
+		return nil
+	})
+	if err != nil {
+		return stats.Summary{}, err
 	}
 	return stats.Summarize(accs), nil
 }

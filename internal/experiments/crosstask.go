@@ -6,6 +6,7 @@ import (
 	"brainprint/internal/connectome"
 	"brainprint/internal/core"
 	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
 	"brainprint/internal/report"
 	"brainprint/internal/synth"
 )
@@ -49,35 +50,64 @@ func Figure5(c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error
 	conds := synth.TaskConditions
 	known := make([]*linalg.Matrix, len(conds))
 	anon := make([]*linalg.Matrix, len(conds))
-	for i, t := range conds {
-		kt, at := t, t
-		if t == synth.Rest1 {
-			at = synth.Rest2
+	// Per-condition group matrices build concurrently; each condition
+	// writes only its own slots and builds its scans serially, so the
+	// knob stays the total worker count instead of multiplying across
+	// the two layers.
+	buildOpt := connectome.Options{Parallelism: cfg.Parallelism}
+	if parallel.Workers(cfg.Parallelism) > 1 {
+		buildOpt.Parallelism = 1
+	}
+	err := parallel.ForErr(cfg.Parallelism, len(conds), 1, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			t := conds[i]
+			kt, at := t, t
+			if t == synth.Rest1 {
+				at = synth.Rest2
+			}
+			scansK, err := c.ScansFor(kt, synth.LR)
+			if err != nil {
+				return err
+			}
+			scansA, err := c.ScansFor(at, synth.RL)
+			if err != nil {
+				return err
+			}
+			if known[i], err = BuildGroupMatrix(scansK, buildOpt); err != nil {
+				return err
+			}
+			if anon[i], err = BuildGroupMatrix(scansA, buildOpt); err != nil {
+				return err
+			}
 		}
-		scansK, err := c.ScansFor(kt, synth.LR)
-		if err != nil {
-			return nil, err
-		}
-		scansA, err := c.ScansFor(at, synth.RL)
-		if err != nil {
-			return nil, err
-		}
-		if known[i], err = BuildGroupMatrix(scansK, connectome.Options{}); err != nil {
-			return nil, err
-		}
-		if anon[i], err = BuildGroupMatrix(scansA, connectome.Options{}); err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The grid cells are independent whole attacks; fan them out and let
+	// each run its own similarity sweep serially so the knob stays the
+	// total worker budget.
+	cellCfg := cfg
+	if parallel.Workers(cfg.Parallelism) > 1 {
+		cellCfg.Parallelism = 1
 	}
 	acc := linalg.NewMatrix(len(conds), len(conds))
-	for i := range conds {
-		for j := range conds {
-			res, err := core.Deanonymize(known[i], anon[j], cfg)
+	raw := acc.RawData()
+	cells := len(conds) * len(conds)
+	err = parallel.ForErr(cfg.Parallelism, cells, 1, func(lo, hi int) error {
+		for cell := lo; cell < hi; cell++ {
+			i, j := cell/len(conds), cell%len(conds)
+			res, err := core.Deanonymize(known[i], anon[j], cellCfg)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %v vs %v: %w", conds[i], conds[j], err)
+				return fmt.Errorf("experiments: %v vs %v: %w", conds[i], conds[j], err)
 			}
-			acc.Set(i, j, res.Accuracy)
+			raw[cell] = res.Accuracy
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &CrossTaskResult{Conditions: conds, Accuracy: acc}, nil
 }

@@ -9,6 +9,7 @@ import (
 	"brainprint/internal/core"
 	"brainprint/internal/defense"
 	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
 	"brainprint/internal/report"
 	"brainprint/internal/synth"
 	"brainprint/internal/tsne"
@@ -75,7 +76,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 	if err != nil {
 		return nil, err
 	}
-	known, err := BuildGroupMatrix(knownScans, connectome.Options{})
+	known, err := BuildGroupMatrix(knownScans, connectome.Options{Parallelism: attackCfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +85,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 	if err != nil {
 		return nil, err
 	}
-	anon, err := BuildGroupMatrix(anonScans, connectome.Options{})
+	anon, err := BuildGroupMatrix(anonScans, connectome.Options{Parallelism: attackCfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +101,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 			return nil, err
 		}
 		for _, s := range scans {
-			con, err := connectome.FromRegionSeries(s.Series, connectome.Options{})
+			con, err := connectome.FromRegionSeries(s.Series, connectome.Options{Parallelism: attackCfg.Parallelism})
 			if err != nil {
 				return nil, err
 			}
@@ -113,18 +114,30 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	res := &DefenseResult{}
-	for _, sigma := range sigmas {
-		for _, strategy := range []defense.Strategy{defense.Targeted, defense.Uniform} {
+	// The sigma×strategy grid fans out whole cells (a cell spans the
+	// protected release, the attack on it, and the t-SNE utility run —
+	// the dominant cost). Each cell's noise comes from an RNG derived
+	// from (seed, sigma index, strategy index), so the sweep is
+	// bit-identical at every parallelism setting.
+	strategies := []defense.Strategy{defense.Targeted, defense.Uniform}
+	rows := make([]DefenseRow, len(sigmas)*len(strategies))
+	cellCfg := attackCfg
+	if parallel.Workers(attackCfg.Parallelism) > 1 {
+		cellCfg.Parallelism = 1
+	}
+	err = parallel.ForErr(attackCfg.Parallelism, len(rows), 1, func(lo, hi int) error {
+		for cell := lo; cell < hi; cell++ {
+			si, sti := cell/len(strategies), cell%len(strategies)
+			sigma, strategy := sigmas[si], strategies[sti]
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(si), int64(sti))))
 			prot, err := defense.Protect(anon, strategy, topFeatures, sigma, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			defense.ClampCorrelations(prot.Protected)
-			attack, err := core.Deanonymize(known, prot.Protected, attackCfg)
+			attack, err := core.Deanonymize(known, prot.Protected, cellCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 
 			// Utility: protect the task points the same way and measure
@@ -132,7 +145,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 			// to every released scan.)
 			protTask, err := defense.Protect(taskPoints, strategy, topFeatures, sigma, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			defense.ClampCorrelations(protTask.Protected)
 			knownMask := make([]bool, len(labels))
@@ -145,30 +158,34 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 			if _, d := taskInput.Dims(); d > 12000 {
 				taskInput, err = tsne.RandomProjection(taskInput, 512, seed+1)
 				if err != nil {
-					return nil, err
+					return err
 				}
 			}
 			taskRes, err := core.TaskPredict(taskInput, labels, knownMask, core.TaskPredictConfig{
 				TSNE: tsne.Config{Perplexity: 15, Iterations: 200, Seed: seed},
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			shift, err := clusteringShift(anon, prot.Protected, c.Params.Regions)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Rows = append(res.Rows, DefenseRow{
+			rows[cell] = DefenseRow{
 				Strategy:          strategy,
 				Sigma:             sigma,
 				IdentificationAcc: attack.Accuracy,
 				TaskAcc:           taskRes.Accuracy,
 				Distortion:        prot.Distortion,
 				ClusteringShift:   shift,
-			})
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &DefenseResult{Rows: rows}, nil
 }
 
 // clusteringShift measures the mean absolute change of the Onnela

@@ -10,39 +10,49 @@ import (
 
 	"brainprint/internal/connectome"
 	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
 	"brainprint/internal/synth"
 )
 
 // BuildGroupMatrix converts HCP-like scans into the features×subjects
 // group matrix of §3.1.1: each scan becomes a vectorized connectome
-// column.
+// column. Scans are independent, so their connectomes build concurrently
+// under opt.Parallelism; the scan-pair sweep inside each build runs
+// serially then, keeping the total worker count at the knob.
 func BuildGroupMatrix(scans []*synth.Scan, opt connectome.Options) (*linalg.Matrix, error) {
-	if len(scans) == 0 {
-		return nil, fmt.Errorf("experiments: no scans")
-	}
-	cons := make([]*connectome.Connectome, len(scans))
-	for i, s := range scans {
-		c, err := connectome.FromRegionSeries(s.Series, opt)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scan %d: %w", i, err)
-		}
-		cons[i] = c
-	}
-	return connectome.GroupMatrix(cons)
+	return buildGroup(len(scans), opt, func(i int) *linalg.Matrix { return scans[i].Series })
 }
 
 // BuildGroupMatrixADHD converts ADHD-like scans into a group matrix.
 func BuildGroupMatrixADHD(scans []*synth.ADHDScan, opt connectome.Options) (*linalg.Matrix, error) {
-	if len(scans) == 0 {
+	return buildGroup(len(scans), opt, func(i int) *linalg.Matrix { return scans[i].Series })
+}
+
+// buildGroup fans the per-scan connectome construction out over the
+// scans and stacks the results in scan order.
+func buildGroup(n int, opt connectome.Options, series func(i int) *linalg.Matrix) (*linalg.Matrix, error) {
+	if n == 0 {
 		return nil, fmt.Errorf("experiments: no scans")
 	}
-	cons := make([]*connectome.Connectome, len(scans))
-	for i, s := range scans {
-		c, err := connectome.FromRegionSeries(s.Series, opt)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scan %d: %w", i, err)
+	// One layer of parallelism is enough: when scans fan out, each
+	// per-scan correlation sweep stays serial.
+	inner := opt
+	if n > 1 && parallel.Workers(opt.Parallelism) > 1 {
+		inner.Parallelism = 1
+	}
+	cons := make([]*connectome.Connectome, n)
+	err := parallel.ForErr(opt.Parallelism, n, 1, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			c, err := connectome.FromRegionSeries(series(i), inner)
+			if err != nil {
+				return fmt.Errorf("experiments: scan %d: %w", i, err)
+			}
+			cons[i] = c
 		}
-		cons[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return connectome.GroupMatrix(cons)
 }

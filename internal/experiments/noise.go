@@ -6,6 +6,7 @@ import (
 
 	"brainprint/internal/connectome"
 	"brainprint/internal/core"
+	"brainprint/internal/parallel"
 	"brainprint/internal/report"
 	"brainprint/internal/stats"
 	"brainprint/internal/synth"
@@ -56,7 +57,7 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 	if err != nil {
 		return nil, err
 	}
-	hcpKnown, err := BuildGroupMatrix(hcpKnownScans, connectome.Options{})
+	hcpKnown, err := BuildGroupMatrix(hcpKnownScans, connectome.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -73,46 +74,64 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 	if err != nil {
 		return nil, err
 	}
-	adhdKnown, err := BuildGroupMatrixADHD(adhdS1, connectome.Options{})
+	adhdKnown, err := BuildGroupMatrixADHD(adhdS1, connectome.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	res := &Table2Result{Levels: levels}
-	for _, level := range levels {
-		var hcpAccs, adhdAccs []float64
-		for trial := 0; trial < trials; trial++ {
+	// The level×trial grid fans out whole cells. Every cell draws its
+	// noise from an RNG derived from (seed, level index, trial), so the
+	// sweep is bit-identical at every parallelism setting — the stream a
+	// cell sees no longer depends on how many cells ran before it.
+	hcpAccs := make([]float64, len(levels)*trials)
+	adhdAccs := make([]float64, len(levels)*trials)
+	cellCfg := cfg
+	if parallel.Workers(cfg.Parallelism) > 1 {
+		cellCfg.Parallelism = 1
+	}
+	cellOpt := connectome.Options{Parallelism: cellCfg.Parallelism}
+	err = parallel.ForErr(cfg.Parallelism, len(levels)*trials, 1, func(lo, hi int) error {
+		for cell := lo; cell < hi; cell++ {
+			li, trial := cell/trials, cell%trials
+			level := levels[li]
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(li), int64(trial))))
 			noisyHCP, err := synth.NoisyCopyHCP(hcpAnonScans, level, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			anon, err := BuildGroupMatrix(noisyHCP, connectome.Options{})
+			anon, err := BuildGroupMatrix(noisyHCP, cellOpt)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			r, err := core.Deanonymize(hcpKnown, anon, cfg)
+			r, err := core.Deanonymize(hcpKnown, anon, cellCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			hcpAccs = append(hcpAccs, 100*r.Accuracy)
+			hcpAccs[cell] = 100 * r.Accuracy
 
 			noisyADHD, err := synth.NoisyCopyADHD(adhdS2, level, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			anonA, err := BuildGroupMatrixADHD(noisyADHD, connectome.Options{})
+			anonA, err := BuildGroupMatrixADHD(noisyADHD, cellOpt)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			rA, err := core.Deanonymize(adhdKnown, anonA, cfg)
+			rA, err := core.Deanonymize(adhdKnown, anonA, cellCfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			adhdAccs = append(adhdAccs, 100*rA.Accuracy)
+			adhdAccs[cell] = 100 * rA.Accuracy
 		}
-		res.HCP = append(res.HCP, stats.Summarize(hcpAccs))
-		res.ADHD = append(res.ADHD, stats.Summarize(adhdAccs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Levels: levels}
+	for li := range levels {
+		res.HCP = append(res.HCP, stats.Summarize(hcpAccs[li*trials:(li+1)*trials]))
+		res.ADHD = append(res.ADHD, stats.Summarize(adhdAccs[li*trials:(li+1)*trials]))
 	}
 	return res, nil
 }

@@ -1,0 +1,209 @@
+package experiments
+
+// Parallel/serial equivalence: every experiment driver must produce
+// bit-identical results whether it runs on one worker (Parallelism: 1),
+// the all-cores default (0), or an explicit multi-worker pin. The
+// contract holds because range workers own disjoint output regions and
+// randomized sweeps derive per-cell RNGs from the root seed; these tests
+// are the regression net for that contract. The multi-worker mode pins
+// more workers than GOMAXPROCS so real fan-out happens even on a
+// single-core CI runner.
+
+import (
+	"testing"
+
+	"brainprint/internal/connectome"
+	"brainprint/internal/core"
+	"brainprint/internal/linalg"
+	"brainprint/internal/synth"
+)
+
+// equivModes are the Parallelism settings compared against the serial
+// baseline of 1.
+var equivModes = []int{0, 4}
+
+func matricesIdentical(t *testing.T, name string, serial, parallel *linalg.Matrix) {
+	t.Helper()
+	if !serial.EqualApprox(parallel, 0) {
+		t.Errorf("%s: parallel result differs from serial", name)
+	}
+}
+
+func TestDeanonymizeParallelSerialEquivalence(t *testing.T) {
+	c := testHCP(t)
+	scansK, err := c.ScansFor(synth.Rest1, synth.LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scansA, err := c.ScansFor(synth.Rest2, synth.RL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known, err := BuildGroupMatrix(scansK, connectome.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := BuildGroupMatrix(scansA, connectome.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := attackCfg()
+	cfg.Parallelism = 1
+	serial, err := core.Deanonymize(known, anon, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range equivModes {
+		cfg.Parallelism = mode
+		par, err := core.Deanonymize(known, anon, cfg)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		matricesIdentical(t, "Similarity", serial.Similarity, par.Similarity)
+		if len(par.Predictions) != len(serial.Predictions) {
+			t.Fatalf("mode %d: prediction count %d vs %d", mode, len(par.Predictions), len(serial.Predictions))
+		}
+		for i := range serial.Predictions {
+			if par.Predictions[i] != serial.Predictions[i] {
+				t.Errorf("mode %d: prediction %d = %d, serial %d", mode, i, par.Predictions[i], serial.Predictions[i])
+			}
+		}
+		if par.Accuracy != serial.Accuracy {
+			t.Errorf("mode %d: accuracy %v vs serial %v", mode, par.Accuracy, serial.Accuracy)
+		}
+	}
+}
+
+func TestGroupMatrixParallelSerialEquivalence(t *testing.T) {
+	c := testHCP(t)
+	scans, err := c.ScansFor(synth.Language, synth.LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := BuildGroupMatrix(scans, connectome.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range equivModes {
+		par, err := BuildGroupMatrix(scans, connectome.Options{Parallelism: mode})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		matricesIdentical(t, "GroupMatrix", serial, par)
+	}
+	// FisherZ path too.
+	serialZ, err := BuildGroupMatrix(scans, connectome.Options{FisherZ: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parZ, err := BuildGroupMatrix(scans, connectome.Options{FisherZ: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matricesIdentical(t, "GroupMatrix fisher-z", serialZ, parZ)
+}
+
+func TestFigure5ParallelSerialEquivalence(t *testing.T) {
+	c := testHCP(t)
+	cfg := attackCfg()
+	cfg.Parallelism = 1
+	serial, err := Figure5(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range equivModes {
+		cfg.Parallelism = mode
+		par, err := Figure5(c, cfg)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		matricesIdentical(t, "Figure5 accuracy grid", serial.Accuracy, par.Accuracy)
+	}
+}
+
+func TestTable2ParallelSerialEquivalence(t *testing.T) {
+	hcpP := synth.DefaultHCPParams()
+	hcpP.Subjects = 10
+	hcpP.Regions = 36
+	hcpP.RestFrames = 120
+	hcpP.TaskFrames = 60
+	hcp, err := synth.GenerateHCP(hcpP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhd := testADHD(t)
+	cfg := attackCfg()
+	cfg.Parallelism = 1
+	serial, err := Table2(hcp, adhd, []float64{0.1, 0.3}, 3, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range equivModes {
+		cfg.Parallelism = mode
+		par, err := Table2(hcp, adhd, []float64{0.1, 0.3}, 3, cfg, 7)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		for i := range serial.HCP {
+			if par.HCP[i] != serial.HCP[i] || par.ADHD[i] != serial.ADHD[i] {
+				t.Errorf("mode %d level %d: parallel %v/%v vs serial %v/%v",
+					mode, i, par.HCP[i], par.ADHD[i], serial.HCP[i], serial.ADHD[i])
+			}
+		}
+	}
+}
+
+func TestTransferAccuracyParallelSerialEquivalence(t *testing.T) {
+	c := testADHD(t)
+	subjects := c.SubjectsInGroups(synth.Control, synth.Subtype1, synth.Subtype3)
+	cfg := attackCfg()
+	cfg.Parallelism = 1
+	serial, err := TransferAccuracy(c, subjects, cfg, 5, 0.7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range equivModes {
+		cfg.Parallelism = mode
+		par, err := TransferAccuracy(c, subjects, cfg, 5, 0.7, 11)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if par != serial {
+			t.Errorf("mode %d: transfer %v vs serial %v", mode, par, serial)
+		}
+	}
+}
+
+func TestDefenseSweepParallelSerialEquivalence(t *testing.T) {
+	p := synth.DefaultHCPParams()
+	p.Subjects = 8
+	p.Regions = 30
+	p.RestFrames = 100
+	p.TaskFrames = 80
+	c, err := synth.GenerateHCP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := attackCfg()
+	cfg.Features = 60
+	cfg.Parallelism = 1
+	serial, err := DefenseSweep(c, []float64{0.1, 0.5}, 100, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range equivModes {
+		cfg.Parallelism = mode
+		par, err := DefenseSweep(c, []float64{0.1, 0.5}, 100, cfg, 9)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if len(par.Rows) != len(serial.Rows) {
+			t.Fatalf("mode %d: %d rows vs %d", mode, len(par.Rows), len(serial.Rows))
+		}
+		for i := range serial.Rows {
+			if par.Rows[i] != serial.Rows[i] {
+				t.Errorf("mode %d row %d: parallel %+v vs serial %+v", mode, i, par.Rows[i], serial.Rows[i])
+			}
+		}
+	}
+}

@@ -62,7 +62,7 @@ func pairSimilarity(name string, known, anon *linalg.Matrix, cfg core.AttackConf
 // resting-state connectomes, REST1 L-R (de-anonymized) against REST2
 // R-L (anonymous), in the principal features subspace.
 func Figure1(c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
-	known, anon, err := hcpPair(c, synth.Rest1, synth.LR, synth.Rest2, synth.RL)
+	known, anon, err := hcpPair(c, synth.Rest1, synth.LR, synth.Rest2, synth.RL, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func Figure1(c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, erro
 // connectomes across encodings. The diagonal remains dominant but with
 // weaker contrast than rest.
 func Figure2(c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
-	known, anon, err := hcpPair(c, synth.Language, synth.LR, synth.Language, synth.RL)
+	known, anon, err := hcpPair(c, synth.Language, synth.LR, synth.Language, synth.RL, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func Figure2(c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, erro
 }
 
 // hcpPair builds the two group matrices for a pair of conditions.
-func hcpPair(c *synth.HCPCohort, t1 synth.Task, e1 synth.Encoding, t2 synth.Task, e2 synth.Encoding) (*linalg.Matrix, *linalg.Matrix, error) {
+func hcpPair(c *synth.HCPCohort, t1 synth.Task, e1 synth.Encoding, t2 synth.Task, e2 synth.Encoding, parallelism int) (*linalg.Matrix, *linalg.Matrix, error) {
 	s1, err := c.ScansFor(t1, e1)
 	if err != nil {
 		return nil, nil, err
@@ -90,11 +90,11 @@ func hcpPair(c *synth.HCPCohort, t1 synth.Task, e1 synth.Encoding, t2 synth.Task
 	if err != nil {
 		return nil, nil, err
 	}
-	known, err := BuildGroupMatrix(s1, connectome.Options{})
+	known, err := BuildGroupMatrix(s1, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
-	anon, err := BuildGroupMatrix(s2, connectome.Options{})
+	anon, err := BuildGroupMatrix(s2, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}

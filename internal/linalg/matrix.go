@@ -3,16 +3,40 @@
 // (QR, symmetric eigendecomposition, SVD) and the solvers built on them.
 //
 // The package is self-contained (standard library only). It favours
-// clarity and numerical robustness over raw speed: the matrices that
-// appear in the attack are tall and thin (up to ~65k rows but at most a
-// few hundred columns), so all factorizations funnel through small
-// n×n symmetric problems.
+// clarity and numerical robustness: the matrices that appear in the
+// attack are tall and thin (up to ~65k rows but at most a few hundred
+// columns), so all factorizations funnel through small n×n symmetric
+// problems. The O(rows·cols²) kernels feeding them (Mul, Gram, T) are
+// block-parallel over row bands via internal/parallel, with chunk sizes
+// chosen so results stay bit-identical to the serial sweep; pin the
+// worker count process-wide with parallel.SetDefault.
 package linalg
 
 import (
 	"fmt"
 	"math"
+
+	"brainprint/internal/parallel"
 )
+
+// minKernelWork is the amount of per-chunk scalar work below which the
+// O(n³)-ish kernels stay serial: smaller matrices lose more to goroutine
+// scheduling than they gain from extra cores.
+const minKernelWork = 1 << 16
+
+// kernelGrain returns a For-loop grain such that each chunk carries at
+// least minKernelWork scalar operations when every loop iteration costs
+// perRow of them.
+func kernelGrain(perRow int) int {
+	if perRow <= 0 {
+		return 1 << 30
+	}
+	g := minKernelWork / perRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // Matrix is a dense, row-major matrix of float64 values.
 //
@@ -154,15 +178,19 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// T returns the transpose of m as a new matrix.
+// T returns the transpose of m as a new matrix. Row bands of the input
+// are scattered concurrently; each band owns a distinct output column
+// range, so the result is identical at any worker count.
 func (m *Matrix) T() *Matrix {
 	out := NewMatrix(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for j, v := range row {
-			out.data[j*m.rows+i] = v
+	parallel.For(m.rows, kernelGrain(m.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			for j, v := range row {
+				out.data[j*m.rows+i] = v
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -173,20 +201,25 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
 	out := NewMatrix(m.rows, b.cols)
-	// ikj loop order keeps the inner loop contiguous in both b and out.
-	for i := 0; i < m.rows; i++ {
-		arow := m.data[i*m.cols : (i+1)*m.cols]
-		orow := out.data[i*b.cols : (i+1)*b.cols]
-		for k, aik := range arow {
-			if aik == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bkj := range brow {
-				orow[j] += aik * bkj
+	// Block-parallel over row bands of the output: every output row is
+	// produced by exactly one worker with the serial ikj loop order
+	// (contiguous inner loops in both b and out), so the product is
+	// bit-identical at any worker count.
+	parallel.For(m.rows, kernelGrain(m.cols*b.cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.data[i*m.cols : (i+1)*m.cols]
+			orow := out.data[i*b.cols : (i+1)*b.cols]
+			for k, aik := range arow {
+				if aik == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bkj := range brow {
+					orow[j] += aik * bkj
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -209,19 +242,26 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 func (m *Matrix) Gram() *Matrix {
 	n := m.cols
 	out := NewMatrix(n, n)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for a := 0; a < n; a++ {
-			va := row[a]
-			if va == 0 {
-				continue
-			}
-			orow := out.data[a*n : (a+1)*n]
-			for b := a; b < n; b++ {
-				orow[b] += va * row[b]
+	// Block-parallel over bands of output rows: each worker owns rows
+	// [lo, hi) of the Gram matrix and sweeps every input row once. For a
+	// fixed output element (a, b) the accumulation still runs over input
+	// rows in ascending order, so the result is bit-identical to the
+	// serial sweep regardless of worker count.
+	parallel.For(n, kernelGrain(m.rows*(n+1)/2), func(lo, hi int) {
+		for i := 0; i < m.rows; i++ {
+			row := m.data[i*m.cols : (i+1)*m.cols]
+			for a := lo; a < hi; a++ {
+				va := row[a]
+				if va == 0 {
+					continue
+				}
+				orow := out.data[a*n : (a+1)*n]
+				for b := a; b < n; b++ {
+					orow[b] += va * row[b]
+				}
 			}
 		}
-	}
+	})
 	// Mirror the upper triangle.
 	for a := 0; a < n; a++ {
 		for b := a + 1; b < n; b++ {

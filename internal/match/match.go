@@ -9,14 +9,26 @@ import (
 	"fmt"
 
 	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
 	"brainprint/internal/stats"
 )
 
 // SimilarityMatrix computes the pairwise Pearson correlation between the
 // columns (subjects) of two feature×subject matrices: entry (i, j) is
 // the correlation between known subject i and anonymous subject j. The
-// two matrices must have the same number of feature rows.
+// two matrices must have the same number of feature rows. It uses every
+// core; SimilarityMatrixP exposes the worker knob.
 func SimilarityMatrix(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
+	return SimilarityMatrixP(known, anon, 0)
+}
+
+// SimilarityMatrixP is SimilarityMatrix with an explicit parallelism
+// knob (0 = all cores, 1 = serial, n = n workers). The known×anonymous
+// similarity sweep — the O(subjects²·features) kernel at the heart of
+// the attack — fans out over known-subject rows; each output row is
+// written by exactly one worker, so every knob setting produces the
+// same matrix.
+func SimilarityMatrixP(known, anon *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
 	kf, kn := known.Dims()
 	af, an := anon.Dims()
 	if kf != af {
@@ -26,24 +38,32 @@ func SimilarityMatrix(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
 		return nil, fmt.Errorf("match: empty inputs %dx%d vs %dx%d", kf, kn, af, an)
 	}
 	// Z-score columns once so each correlation is a single dot product.
-	zk := zscoreColumns(known)
-	za := zscoreColumns(anon)
-	out := linalg.NewMatrix(kn, an)
-	inv := 1 / float64(kf)
+	zk := zscoreColumns(known, parallelism)
+	za := zscoreColumns(anon, parallelism)
 	// Work column-major: extract columns once.
 	kcols := make([][]float64, kn)
-	for i := 0; i < kn; i++ {
-		kcols[i] = zk.Col(i)
-	}
-	acols := make([][]float64, an)
-	for j := 0; j < an; j++ {
-		acols[j] = za.Col(j)
-	}
-	for i := 0; i < kn; i++ {
-		for j := 0; j < an; j++ {
-			out.Set(i, j, linalg.Dot(kcols[i], acols[j])*inv)
+	parallel.ForWith(parallelism, kn, 1+1024/kf, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			kcols[i] = zk.Col(i)
 		}
-	}
+	})
+	acols := make([][]float64, an)
+	parallel.ForWith(parallelism, an, 1+1024/kf, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			acols[j] = za.Col(j)
+		}
+	})
+	out := linalg.NewMatrix(kn, an)
+	inv := 1 / float64(kf)
+	parallel.ForWith(parallelism, kn, 1+4096/(kf*an+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ki := kcols[i]
+			orow := out.RowView(i)
+			for j := 0; j < an; j++ {
+				orow[j] = linalg.Dot(ki, acols[j]) * inv
+			}
+		}
+	})
 	return out, nil
 }
 
@@ -54,30 +74,40 @@ func SimilarityMatrix(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
 // Fisher-z vs raw correlations, clipping), which makes it a natural
 // robustness extension of the attack for heterogeneous releases.
 func SimilarityMatrixRank(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
-	return SimilarityMatrix(rankColumns(known), rankColumns(anon))
+	return SimilarityMatrixRankP(known, anon, 0)
+}
+
+// SimilarityMatrixRankP is SimilarityMatrixRank with an explicit
+// parallelism knob.
+func SimilarityMatrixRankP(known, anon *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	return SimilarityMatrixP(rankColumns(known, parallelism), rankColumns(anon, parallelism), parallelism)
 }
 
 // rankColumns replaces each column with its midranks.
-func rankColumns(m *linalg.Matrix) *linalg.Matrix {
+func rankColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
 	rows, cols := m.Dims()
 	out := linalg.NewMatrix(rows, cols)
-	for j := 0; j < cols; j++ {
-		out.SetCol(j, stats.Ranks(m.Col(j)))
-	}
+	parallel.ForWith(parallelism, cols, 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out.SetCol(j, stats.Ranks(m.Col(j)))
+		}
+	})
 	return out
 }
 
 // zscoreColumns returns a copy of m with each column standardized to
 // zero mean and unit population standard deviation (constant columns
 // become zero).
-func zscoreColumns(m *linalg.Matrix) *linalg.Matrix {
+func zscoreColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
 	rows, cols := m.Dims()
 	out := linalg.NewMatrix(rows, cols)
-	for j := 0; j < cols; j++ {
-		col := m.Col(j)
-		stats.ZScore(col)
-		out.SetCol(j, col)
-	}
+	parallel.ForWith(parallelism, cols, 1+2048/(rows+1), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			col := m.Col(j)
+			stats.ZScore(col)
+			out.SetCol(j, col)
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,72 @@
+package brainprint_test
+
+// Serial-vs-parallel throughput of the two dominant kernels: the
+// known×anonymous similarity sweep (O(subjects²·features)) and group-
+// matrix construction (O(scans·regions²·time)). Run with
+// `go test -bench 'SimilarityMatrix|GroupMatrix'`; the serial/parallel
+// sub-benchmark ratio is the multicore speedup (≈1 on a single-core
+// runner, where the parallel path collapses to the inline serial loop).
+
+import (
+	"testing"
+
+	"brainprint"
+)
+
+// benchModes pins the two execution modes the benchmarks compare.
+// Parallelism 0 resolves to one worker per core.
+var benchModes = []struct {
+	name        string
+	parallelism int
+}{
+	{"serial", 1},
+	{"parallel", 0},
+}
+
+func BenchmarkSimilarityMatrix(b *testing.B) {
+	hcp, _ := cohorts(b)
+	knownScans, err := hcp.ScansFor(brainprint.Rest1, brainprint.LR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	anonScans, err := hcp.ScansFor(brainprint.Rest2, brainprint.RL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	known, err := brainprint.GroupMatrix(knownScans, brainprint.ConnectomeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	anon, err := brainprint.GroupMatrix(anonScans, brainprint.ConnectomeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	features, subjects := known.Dims()
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(subjects) * int64(subjects) * int64(features) * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := brainprint.SimilarityMatrix(known, anon, mode.parallelism); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGroupMatrix(b *testing.B) {
+	hcp, _ := cohorts(b)
+	scans, err := hcp.ScansFor(brainprint.Rest1, brainprint.LR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range benchModes {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := brainprint.GroupMatrix(scans, brainprint.ConnectomeOptions{Parallelism: mode.parallelism}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
