@@ -26,6 +26,7 @@ import (
 	"brainprint/internal/core"
 	"brainprint/internal/defense"
 	"brainprint/internal/experiments"
+	"brainprint/internal/gallery"
 	"brainprint/internal/linalg"
 	"brainprint/internal/match"
 	"brainprint/internal/parallel"
@@ -95,6 +96,16 @@ const (
 // Scan is one synthetic acquisition (region×time series).
 type Scan = synth.Scan
 
+// ADHDScan is one synthetic ADHD-like acquisition.
+type ADHDScan = synth.ADHDScan
+
+// ParseTask maps a task name (as printed by Task.String,
+// case-insensitive) to its Task.
+func ParseTask(s string) (Task, error) { return synth.ParseTask(s) }
+
+// ParseEncoding maps "LR" or "RL" (case-insensitive) to its Encoding.
+func ParseEncoding(s string) (Encoding, error) { return synth.ParseEncoding(s) }
+
 // HCPParams configures the HCP-like cohort generator.
 type HCPParams = synth.HCPParams
 
@@ -155,6 +166,58 @@ func ConnectomeFromSeries(series *Matrix, opt ConnectomeOptions) (*Connectome, e
 // features×subjects matrix the attack operates on.
 func GroupMatrix(scans []*Scan, opt ConnectomeOptions) (*Matrix, error) {
 	return experiments.BuildGroupMatrix(scans, opt)
+}
+
+// GroupMatrixADHD stacks the vectorized connectomes of ADHD-like scans
+// into a features×subjects group matrix.
+func GroupMatrixADHD(scans []*ADHDScan, opt ConnectomeOptions) (*Matrix, error) {
+	return experiments.BuildGroupMatrixADHD(scans, opt)
+}
+
+// ---- Persistent fingerprint gallery ----
+
+// Gallery is a persistent fingerprint database with a ranked top-k
+// query engine: enroll the de-anonymized subjects once (Enroll,
+// EnrollMatrix), save the z-scored fingerprints to disk (Save,
+// WriteFile), and attack anonymous probes incrementally (TopK,
+// QueryAll) without recomputing fingerprints or materializing the full
+// known×anonymous similarity matrix. Scores are bit-identical to
+// SimilarityMatrix; DenseSimilarity is the exact dense fallback.
+type Gallery = gallery.Gallery
+
+// GalleryCandidate is one ranked identification hypothesis returned by
+// Gallery.TopK/QueryAll.
+type GalleryCandidate = gallery.Candidate
+
+// GalleryFormatVersion is the gallery file format version this build
+// reads and writes.
+const GalleryFormatVersion = gallery.FormatVersion
+
+// NewGallery returns an empty gallery for fingerprints with the given
+// number of features.
+func NewGallery(features int) *Gallery { return gallery.New(features) }
+
+// NewGalleryIndexed returns an empty gallery over the given raw-space
+// feature indices (typically from Fingerprints): raw connectome vectors
+// are projected through the index on enrollment and query, and the
+// index is persisted in the gallery file.
+func NewGalleryIndexed(featureIndex []int) *Gallery { return gallery.WithFeatureIndex(featureIndex) }
+
+// OpenGallery loads the gallery stored at path.
+func OpenGallery(path string) (*Gallery, error) { return gallery.OpenFile(path) }
+
+// EnrollGalleryFile appends new subjects to an existing gallery file
+// without rewriting it and returns the updated gallery.
+func EnrollGalleryFile(path string, ids []string, group *Matrix) (*Gallery, error) {
+	return gallery.EnrollFile(path, ids, group)
+}
+
+// Fingerprints applies cfg's feature selection to a known group matrix
+// and returns the reduced fingerprint matrix plus the selected feature
+// indices — the enrollment half of Deanonymize. A nil index means the
+// group was returned as-is (identity selection).
+func Fingerprints(group *Matrix, cfg AttackConfig) (*Matrix, []int, error) {
+	return core.Fingerprints(group, cfg)
 }
 
 // ---- The attacks ----

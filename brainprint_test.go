@@ -275,3 +275,99 @@ func ExampleLeverageScores() {
 	fmt.Printf("feature 0 leverage: %.2f\n", scores[0])
 	// Output: feature 0 leverage: 1.00
 }
+
+// TestFacadeGalleryFlow walks the documented enroll-once, query-many
+// flow end to end through the public API: build fingerprints from the
+// known session, enroll to disk, reopen, append, and attack the
+// anonymous session with ranked top-k queries.
+func TestFacadeGalleryFlow(t *testing.T) {
+	c := facadeCohort(t)
+	knownScans, err := c.ScansFor(brainprint.Rest1, brainprint.LR)
+	if err != nil {
+		t.Fatalf("ScansFor: %v", err)
+	}
+	known, err := brainprint.GroupMatrix(knownScans, brainprint.ConnectomeOptions{})
+	if err != nil {
+		t.Fatalf("GroupMatrix: %v", err)
+	}
+	cfg := brainprint.DefaultAttackConfig()
+	cfg.Features = 60
+	fps, idx, err := brainprint.Fingerprints(known, cfg)
+	if err != nil {
+		t.Fatalf("Fingerprints: %v", err)
+	}
+	if idx == nil {
+		t.Fatal("expected a feature index for a reducing config")
+	}
+
+	n := fps.Cols()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("hcp-s%03d", i)
+	}
+	g := brainprint.NewGalleryIndexed(idx)
+	if err := g.EnrollMatrix(ids[:n-2], fps.SelectCols(seqInts(n-2))); err != nil {
+		t.Fatalf("EnrollMatrix: %v", err)
+	}
+	path := t.TempDir() + "/hcp.bpg"
+	if err := g.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Append the last two subjects to the file without rewriting it.
+	if _, err := brainprint.EnrollGalleryFile(path, ids[n-2:], fps.SelectCols([]int{n - 2, n - 1})); err != nil {
+		t.Fatalf("EnrollGalleryFile: %v", err)
+	}
+	reopened, err := brainprint.OpenGallery(path)
+	if err != nil {
+		t.Fatalf("OpenGallery: %v", err)
+	}
+	if reopened.Len() != n {
+		t.Fatalf("reopened gallery has %d subjects want %d", reopened.Len(), n)
+	}
+
+	// The anonymous session: raw probes, projected through the stored
+	// feature index inside the gallery.
+	anonScans, err := c.ScansFor(brainprint.Rest2, brainprint.RL)
+	if err != nil {
+		t.Fatalf("ScansFor anon: %v", err)
+	}
+	anon, err := brainprint.GroupMatrix(anonScans, brainprint.ConnectomeOptions{})
+	if err != nil {
+		t.Fatalf("GroupMatrix anon: %v", err)
+	}
+	ranked, err := reopened.QueryAll(anon, 3)
+	if err != nil {
+		t.Fatalf("QueryAll: %v", err)
+	}
+	correct := 0
+	for j, top := range ranked {
+		if len(top) != 3 {
+			t.Fatalf("probe %d: %d candidates want 3", j, len(top))
+		}
+		if top[0].ID == ids[j] {
+			correct++
+		}
+	}
+	// The dense attack on the same reduced features must agree with the
+	// gallery's argmax — and identification should work.
+	res, err := brainprint.Deanonymize(known, anon, cfg)
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	for j, top := range ranked {
+		if top[0].Index != res.Predictions[j] {
+			t.Errorf("probe %d: gallery argmax %d, dense attack %d", j, top[0].Index, res.Predictions[j])
+		}
+	}
+	if got := float64(correct) / float64(len(ranked)); got != res.Accuracy {
+		t.Errorf("gallery top-1 accuracy %.3f != attack accuracy %.3f", got, res.Accuracy)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

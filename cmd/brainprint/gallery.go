@@ -1,0 +1,301 @@
+// The gallery subcommands: enroll synthetic cohorts into a persistent
+// fingerprint database on disk, inspect it, and attack anonymous probe
+// sessions against it with ranked top-k queries.
+//
+//	brainprint gallery enroll -db hcp.bpg -task REST1 -encoding LR
+//	brainprint gallery info   -db hcp.bpg
+//	brainprint gallery query  -db hcp.bpg -task REST2 -encoding RL -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"brainprint"
+)
+
+// runGallery dispatches the gallery subcommands.
+func runGallery(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("gallery: missing subcommand (want enroll, query, or info)")
+	}
+	switch args[0] {
+	case "enroll":
+		return galleryEnroll(args[1:], out)
+	case "query":
+		return galleryQuery(args[1:], out)
+	case "info":
+		return galleryInfo(args[1:], out)
+	default:
+		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, query, or info)", args[0])
+	}
+}
+
+// cohortFlags are the flags shared by enroll and query: they select the
+// synthetic cohort and the session whose scans become fingerprints.
+type cohortFlags struct {
+	dataset     string
+	scale       string
+	subjects    int
+	regions     int
+	seed        int64
+	task        string
+	encoding    string
+	session     int
+	idprefix    string
+	parallelism int
+}
+
+func (c *cohortFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.dataset, "dataset", "hcp", "cohort family: hcp or adhd")
+	fs.StringVar(&c.scale, "scale", "small", "cohort scale: small, medium, or paper")
+	fs.IntVar(&c.subjects, "subjects", 0, "override subject count (0 = scale default)")
+	fs.IntVar(&c.regions, "regions", 0, "override region count (0 = scale default)")
+	fs.Int64Var(&c.seed, "seed", 1, "master random seed (enroll and query must agree to target the same cohort)")
+	fs.StringVar(&c.task, "task", "REST1", "hcp only: scan condition (REST1, REST2, EMOTION, GAMBLING, LANGUAGE, MOTOR, RELATIONAL, SOCIAL, WM)")
+	fs.StringVar(&c.encoding, "encoding", "LR", "hcp only: phase encoding (LR or RL)")
+	fs.IntVar(&c.session, "session", 0, "adhd only: resting session (0 or 1)")
+	fs.StringVar(&c.idprefix, "idprefix", "", "subject ID prefix (default: the dataset name); distinct prefixes let several cohorts coexist in one gallery")
+	fs.IntVar(&c.parallelism, "parallelism", 0, "worker count (0 = all cores, 1 = serial)")
+}
+
+// prefix resolves the subject ID prefix.
+func (c *cohortFlags) prefix() string {
+	if c.idprefix != "" {
+		return c.idprefix
+	}
+	return c.dataset
+}
+
+// buildGroup generates the selected cohort deterministically from the
+// seed and returns subject IDs plus the raw features×subjects group
+// matrix of the selected session.
+func (c *cohortFlags) buildGroup() ([]string, *brainprint.Matrix, error) {
+	hcpParams, adhdParams, err := paramsForScale(c.scale, c.subjects, c.regions, c.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := brainprint.ConnectomeOptions{Parallelism: c.parallelism}
+	switch c.dataset {
+	case "hcp":
+		task, err := brainprint.ParseTask(c.task)
+		if err != nil {
+			return nil, nil, err
+		}
+		enc, err := brainprint.ParseEncoding(c.encoding)
+		if err != nil {
+			return nil, nil, err
+		}
+		cohort, err := brainprint.GenerateHCP(hcpParams)
+		if err != nil {
+			return nil, nil, err
+		}
+		scans, err := cohort.ScansFor(task, enc)
+		if err != nil {
+			return nil, nil, err
+		}
+		group, err := brainprint.GroupMatrix(scans, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids := make([]string, len(scans))
+		for i, s := range scans {
+			ids[i] = fmt.Sprintf("%s-s%03d", c.prefix(), s.Subject)
+		}
+		return ids, group, nil
+	case "adhd":
+		if c.session != 0 && c.session != 1 {
+			return nil, nil, fmt.Errorf("gallery: -session must be 0 or 1, got %d", c.session)
+		}
+		cohort, err := brainprint.GenerateADHD(adhdParams)
+		if err != nil {
+			return nil, nil, err
+		}
+		all := make([]int, adhdParams.NumSubjects())
+		for i := range all {
+			all[i] = i
+		}
+		scans, err := cohort.SessionScans(all, c.session)
+		if err != nil {
+			return nil, nil, err
+		}
+		group, err := brainprint.GroupMatrixADHD(scans, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids := make([]string, len(scans))
+		for i, s := range scans {
+			ids[i] = fmt.Sprintf("%s-s%03d", c.prefix(), s.Subject)
+		}
+		return ids, group, nil
+	}
+	return nil, nil, fmt.Errorf("gallery: unknown dataset %q (want hcp or adhd)", c.dataset)
+}
+
+// galleryEnroll builds fingerprints for one cohort session and writes
+// (or, with -append, extends) a gallery file.
+func galleryEnroll(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery enroll", flag.ContinueOnError)
+	var cf cohortFlags
+	cf.register(fs)
+	db := fs.String("db", "", "gallery file to write (required)")
+	features := fs.Int("features", 100, "principal-features subspace size selected on the enrollment group (0 = keep every feature)")
+	appendMode := fs.Bool("append", false, "append to an existing gallery file instead of creating one (uses the file's stored feature index)")
+	force := fs.Bool("force", false, "overwrite an existing gallery file")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("gallery enroll: -db is required")
+	}
+	if *appendMode {
+		// Appending reuses the file's stored feature selection; an
+		// explicit -features alongside -append would be silently
+		// discarded, so reject the combination.
+		conflict := false
+		fs.Visit(func(f *flag.Flag) { conflict = conflict || f.Name == "features" })
+		if conflict {
+			return fmt.Errorf("gallery enroll: -features cannot be combined with -append (the file's stored feature index is used)")
+		}
+	} else if !*force {
+		if _, err := os.Stat(*db); err == nil {
+			return fmt.Errorf("gallery enroll: %s already exists (use -append to extend it or -force to overwrite)", *db)
+		}
+	}
+	ids, group, err := cf.buildGroup()
+	if err != nil {
+		return err
+	}
+
+	if *appendMode {
+		g, err := brainprint.EnrollGalleryFile(*db, ids, group)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "appended %d subjects to %s (now %d subjects, %d features)\n",
+			len(ids), *db, g.Len(), g.Features())
+		return nil
+	}
+
+	cfg := brainprint.DefaultAttackConfig()
+	cfg.Features = *features
+	cfg.Parallelism = cf.parallelism
+	fps, idx, err := brainprint.Fingerprints(group, cfg)
+	if err != nil {
+		return err
+	}
+	var g *brainprint.Gallery
+	if idx != nil {
+		g = brainprint.NewGalleryIndexed(idx)
+	} else {
+		g = brainprint.NewGallery(fps.Rows())
+	}
+	if err := g.EnrollMatrix(ids, fps); err != nil {
+		return err
+	}
+	if err := g.WriteFile(*db); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "enrolled %d subjects (%d features each) into %s\n", g.Len(), g.Features(), *db)
+	return nil
+}
+
+// galleryQuery attacks a probe session against an enrolled gallery.
+func galleryQuery(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery query", flag.ContinueOnError)
+	var cf cohortFlags
+	cf.register(fs)
+	db := fs.String("db", "", "gallery file to query (required)")
+	k := fs.Int("k", 5, "candidates to report per probe")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("gallery query: -db is required")
+	}
+	g, err := brainprint.OpenGallery(*db)
+	if err != nil {
+		return err
+	}
+	ids, probes, err := cf.buildGroup()
+	if err != nil {
+		return err
+	}
+	ranked, err := g.QueryAllP(probes, *k, cf.parallelism)
+	if err != nil {
+		return err
+	}
+
+	enrolled, top1, topk := 0, 0, 0
+	for j, top := range ranked {
+		var row strings.Builder
+		fmt.Fprintf(&row, "probe %-12s", ids[j])
+		hit := g.Index(ids[j]) >= 0
+		if hit {
+			enrolled++
+		}
+		for r, cand := range top {
+			marker := ""
+			if cand.ID == ids[j] {
+				marker = "*"
+				topk++
+				if r == 0 {
+					top1++
+				}
+			}
+			fmt.Fprintf(&row, "  %d) %s %.4f%s", r+1, cand.ID, cand.Score, marker)
+		}
+		fmt.Fprintln(out, row.String())
+	}
+	fmt.Fprintf(out, "\n%d probes against %d enrolled subjects (k=%d)\n", len(ranked), g.Len(), *k)
+	if enrolled > 0 {
+		fmt.Fprintf(out, "top-1: %d/%d (%.1f%%)   top-%d: %d/%d (%.1f%%)\n",
+			top1, enrolled, 100*float64(top1)/float64(enrolled),
+			*k, topk, enrolled, 100*float64(topk)/float64(enrolled))
+	} else {
+		fmt.Fprintln(out, "no probe IDs are enrolled; accuracy not applicable")
+	}
+	return nil
+}
+
+// galleryInfo prints the header metadata of a gallery file.
+func galleryInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery info", flag.ContinueOnError)
+	db := fs.String("db", "", "gallery file to inspect (required)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("gallery info: -db is required")
+	}
+	g, err := brainprint.OpenGallery(*db)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(*db)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "gallery %s\n", *db)
+	fmt.Fprintf(out, "  format version: %d\n", brainprint.GalleryFormatVersion)
+	fmt.Fprintf(out, "  size on disk:   %d bytes\n", st.Size())
+	fmt.Fprintf(out, "  subjects:       %d\n", g.Len())
+	fmt.Fprintf(out, "  features:       %d\n", g.Features())
+	if idx := g.FeatureIndex(); idx != nil {
+		fmt.Fprintf(out, "  feature index:  %d raw-space rows (probes may be full connectome vectors)\n", len(idx))
+	} else {
+		fmt.Fprintf(out, "  feature index:  none (probes must be gallery-space vectors)\n")
+	}
+	if g.Len() > 0 {
+		n := min(g.Len(), 5)
+		fmt.Fprintf(out, "  first subjects: %s", strings.Join(g.IDs()[:n], ", "))
+		if g.Len() > n {
+			fmt.Fprintf(out, ", … (%d more)", g.Len()-n)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

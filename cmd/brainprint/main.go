@@ -1,11 +1,14 @@
 // Command brainprint regenerates the paper's figures and tables on
-// synthetic cohorts. Each experiment prints a textual rendering of the
-// corresponding artifact (ASCII heatmaps for matrix figures, aligned
-// tables for the result tables).
+// synthetic cohorts and manages persistent fingerprint galleries. Each
+// experiment prints a textual rendering of the corresponding artifact
+// (ASCII heatmaps for matrix figures, aligned tables for the result
+// tables); the gallery subcommands enroll synthetic cohorts to disk and
+// attack them incrementally with ranked top-k queries.
 //
 // Usage:
 //
 //	brainprint -experiment fig1|fig2|fig5|fig6|fig7|fig8|fig9|table1|table2|all [flags]
+//	brainprint gallery enroll|query|info [flags]
 //
 // The -scale flag selects cohort dimensions: "small" is fast and good
 // for smoke runs, "medium" is a compromise, and "paper" matches the
@@ -13,31 +16,77 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"brainprint"
 )
 
-func main() {
-	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: fig1, fig2, fig5, fig6, fig7, fig8, fig9, table1, table2, defense, or all")
-		scale      = flag.String("scale", "small", "cohort scale: small, medium, or paper")
-		subjects   = flag.Int("subjects", 0, "override subject count (0 = scale default)")
-		regions    = flag.Int("regions", 0, "override region count (0 = scale default)")
-		features   = flag.Int("features", 100, "size of the principal features subspace")
-		trials     = flag.Int("trials", 5, "repeated trials for resampled experiments")
-		seed       = flag.Int64("seed", 1, "master random seed")
-		workers    = flag.Int("parallelism", 0, "worker count for the parallel execution engine (0 = all cores, 1 = serial); results are identical at any setting")
-	)
-	flag.Parse()
+// usageText is the short usage block fail appends to every CLI error.
+const usageText = `usage:
+  brainprint [-experiment fig1|fig2|fig5|fig6|fig7|fig8|fig9|table1|table2|defense|all] [flags]
+  brainprint gallery enroll|query|info [flags]
 
-	if err := run(*experiment, *scale, *subjects, *regions, *features, *trials, *seed, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "brainprint:", err)
-		os.Exit(1)
+run 'brainprint -help' or 'brainprint gallery <subcommand> -help' for the
+flags of each form`
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "gallery" {
+		if err := runGallery(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+			fail(err)
+		}
+		return
 	}
+	fs := flag.NewFlagSet("brainprint", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "which experiment to run: fig1, fig2, fig5, fig6, fig7, fig8, fig9, table1, table2, defense, or all")
+		scale      = fs.String("scale", "small", "cohort scale: small, medium, or paper")
+		subjects   = fs.Int("subjects", 0, "override subject count (0 = scale default)")
+		regions    = fs.Int("regions", 0, "override region count (0 = scale default)")
+		features   = fs.Int("features", 100, "size of the principal features subspace")
+		trials     = fs.Int("trials", 5, "repeated trials for resampled experiments")
+		seed       = fs.Int64("seed", 1, "master random seed")
+		workers    = fs.Int("parallelism", 0, "worker count for the parallel execution engine (0 = all cores, 1 = serial); results are identical at any setting")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fail(err)
+	}
+	if err := run(*experiment, *scale, *subjects, *regions, *features, *trials, *seed, *workers); err != nil {
+		fail(err)
+	}
+}
+
+// fail is the single exit path for CLI errors: every flag, experiment
+// and gallery subcommand error is routed here, printing the error plus
+// the usage text on stderr and exiting non-zero.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "brainprint:", err)
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(os.Stderr, usageText)
+	os.Exit(1)
+}
+
+// parseFlags parses with the flag package's own chatter silenced so
+// parse errors flow through fail like every other error. -help prints
+// the flag set's defaults and returns flag.ErrHelp, which main treats
+// as a clean exit — parseFlags itself never terminates the process, so
+// the subcommand funcs stay callable in-process (tests included).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(args)
+	if errors.Is(err, flag.ErrHelp) {
+		fs.SetOutput(os.Stderr)
+		fs.Usage()
+	}
+	return err
 }
 
 func run(experiment, scale string, subjects, regions, features, trials int, seed int64, workers int) error {

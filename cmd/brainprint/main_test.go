@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -70,5 +75,95 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunUnknownScale(t *testing.T) {
 	if err := run("fig1", "nope", 0, 0, 60, 2, 5, 1); err == nil {
 		t.Error("expected error for unknown scale")
+	}
+}
+
+// TestGallerySubcommands drives enroll → info → append → query against
+// a temp gallery file on a tiny cohort.
+func TestGallerySubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	db := filepath.Join(t.TempDir(), "hcp.bpg")
+	var out bytes.Buffer
+	size := []string{"-scale", "small", "-subjects", "6", "-regions", "30"}
+
+	enroll := append([]string{"enroll", "-db", db, "-task", "REST1", "-encoding", "LR", "-features", "40"}, size...)
+	if err := runGallery(enroll, &out); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	if !strings.Contains(out.String(), "enrolled 6 subjects") {
+		t.Errorf("enroll output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := runGallery([]string{"info", "-db", db}, &out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, want := range []string{"subjects:       6", "features:       40", "hcp-s000"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Re-enrolling without -append or -force must refuse to clobber.
+	if err := runGallery(enroll, &out); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Errorf("expected overwrite refusal, got %v", err)
+	}
+
+	out.Reset()
+	appendArgs := append([]string{"enroll", "-db", db, "-append", "-seed", "9", "-idprefix", "site2", "-task", "REST1", "-encoding", "LR"}, size...)
+	if err := runGallery(appendArgs, &out); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if !strings.Contains(out.String(), "now 12 subjects") {
+		t.Errorf("append output: %q", out.String())
+	}
+
+	out.Reset()
+	query := append([]string{"query", "-db", db, "-task", "REST2", "-encoding", "RL", "-k", "3"}, size...)
+	if err := runGallery(query, &out); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !strings.Contains(out.String(), "12 enrolled subjects (k=3)") || !strings.Contains(out.String(), "top-1:") {
+		t.Errorf("query output:\n%s", out.String())
+	}
+}
+
+func TestGallerySubcommandErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runGallery(nil, &out); err == nil {
+		t.Error("expected error for missing subcommand")
+	}
+	if err := runGallery([]string{"frobnicate"}, &out); err == nil {
+		t.Error("expected error for unknown subcommand")
+	}
+	if err := runGallery([]string{"enroll"}, &out); err == nil {
+		t.Error("expected error for missing -db")
+	}
+	if err := runGallery([]string{"query", "-db", ""}, &out); err == nil {
+		t.Error("expected error for empty -db")
+	}
+	if err := runGallery([]string{"info", "-db", filepath.Join(t.TempDir(), "nope.bpg")}, &out); err == nil {
+		t.Error("expected error for a missing gallery file")
+	}
+	if err := runGallery([]string{"enroll", "-db", "x.bpg", "-dataset", "petscan"}, &out); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+	if err := runGallery([]string{"enroll", "-db", "x.bpg", "-task", "JUGGLING"}, &out); err == nil {
+		t.Error("expected error for unknown task")
+	}
+	if err := runGallery([]string{"enroll", "-db", "x.bpg", "-dataset", "adhd", "-session", "5"}, &out); err == nil {
+		t.Error("expected error for out-of-range session")
+	}
+	if err := runGallery([]string{"query", "-db", "x.bpg", "-bogusflag"}, &out); err == nil {
+		t.Error("expected flag parse error to surface as an error, not an exit")
+	}
+	if err := runGallery([]string{"enroll", "-db", "x.bpg", "-append", "-features", "40"}, &out); err == nil || !strings.Contains(err.Error(), "-append") {
+		t.Errorf("expected -features/-append conflict error, got %v", err)
+	}
+	// -help must return flag.ErrHelp, not terminate the process.
+	if err := runGallery([]string{"query", "-help"}, &out); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("runGallery(-help) = %v, want flag.ErrHelp", err)
 	}
 }

@@ -120,6 +120,27 @@ func Deanonymize(known, anon *linalg.Matrix, cfg AttackConfig) (*AttackResult, e
 	return res, nil
 }
 
+// Fingerprints is the enrollment half of Deanonymize: it applies cfg's
+// feature selection to a known group matrix and returns the reduced
+// feature×subject fingerprint matrix together with the selected row
+// indices into the raw feature space. A gallery built from the reduced
+// columns (and carrying the index so probes can be projected the same
+// way) answers top-k queries with exactly the similarity scores
+// Deanonymize would compute. When cfg selects nothing (Features <= 0 or
+// >= the feature count) the group is returned as-is with a nil index,
+// meaning identity.
+func Fingerprints(group *linalg.Matrix, cfg AttackConfig) (*linalg.Matrix, []int, error) {
+	f, _ := group.Dims()
+	if cfg.Features <= 0 || cfg.Features >= f {
+		return group, nil, nil
+	}
+	idx, _, err := selectFeatures(group, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return group.SelectRows(idx), idx, nil
+}
+
 // selectFeatures picks cfg.Features row indices of the known group
 // matrix according to the configured method: the top-scoring features
 // when Deterministic, a weighted sample without replacement otherwise.

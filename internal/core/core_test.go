@@ -298,3 +298,55 @@ func TestPerformancePredictValidation(t *testing.T) {
 		t.Error("expected constant-score error")
 	}
 }
+
+func TestFingerprintsMatchesDeanonymizeSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	group := linalg.NewMatrix(120, 10)
+	data := group.RawData()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	cfg := DefaultAttackConfig()
+	cfg.Features = 25
+	reduced, idx, err := Fingerprints(group, cfg)
+	if err != nil {
+		t.Fatalf("Fingerprints: %v", err)
+	}
+	if r, c := reduced.Dims(); r != 25 || c != 10 {
+		t.Fatalf("reduced is %dx%d want 25x10", r, c)
+	}
+	if len(idx) != 25 {
+		t.Fatalf("index has %d entries want 25", len(idx))
+	}
+	// The selected rows must be the ones Deanonymize selects.
+	res, err := Deanonymize(group, group, cfg)
+	if err != nil {
+		t.Fatalf("Deanonymize: %v", err)
+	}
+	for k := range idx {
+		if idx[k] != res.Features[k] {
+			t.Fatalf("index %d: Fingerprints picked row %d, Deanonymize row %d", k, idx[k], res.Features[k])
+		}
+	}
+	// And the reduced matrix must be the row selection itself.
+	if !reduced.EqualApprox(group.SelectRows(idx), 0) {
+		t.Error("reduced matrix differs from SelectRows of the index")
+	}
+}
+
+func TestFingerprintsIdentityWhenNoSelection(t *testing.T) {
+	group := linalg.NewMatrix(12, 4)
+	for _, features := range []int{0, -3, 12, 50} {
+		cfg := AttackConfig{Features: features, Method: sampling.Leverage, Deterministic: true}
+		reduced, idx, err := Fingerprints(group, cfg)
+		if err != nil {
+			t.Fatalf("Features=%d: %v", features, err)
+		}
+		if reduced != group {
+			t.Errorf("Features=%d: expected the group returned as-is", features)
+		}
+		if idx != nil {
+			t.Errorf("Features=%d: expected a nil identity index, got %v", features, idx)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package gallery
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"brainprint/internal/linalg"
+)
+
+// The gallery file format, version 1. All integers are little-endian,
+// all checksums CRC-32 (IEEE).
+//
+//	header:
+//	  magic        [8]byte  "BPGALRY\x00"
+//	  version      uint32   1
+//	  features     uint32   fingerprint dimensionality (> 0)
+//	  indexLen     uint32   feature-index length (0 = none, else == features)
+//	  featureIndex [indexLen]uint32
+//	  headerCRC    uint32   over every preceding header byte
+//	record (repeated until EOF):
+//	  idLen        uint16
+//	  id           [idLen]byte
+//	  fingerprint  [features]float64   z-scored
+//	  recordCRC    uint32   over idLen, id and fingerprint bytes
+//
+// Records are self-delimiting and individually checksummed, so
+// enrollment appends records to an existing file without rewriting it
+// (EnrollFile) and a reader detects truncation mid-record.
+const (
+	galleryMagic = "BPGALRY\x00"
+
+	// FormatVersion is the gallery file format version this package
+	// reads and writes.
+	FormatVersion = 1
+
+	// maxFeatures bounds the plausible fingerprint dimensionality
+	// (half a GiB per record) so a corrupt header cannot drive a
+	// multi-gigabyte allocation before its checksum is even read.
+	maxFeatures = 1 << 26
+
+	// maxIDLen bounds subject ID length on enrollment; the wire format
+	// caps it at 65535 anyway (uint16).
+	maxIDLen = 1 << 12
+)
+
+// Typed codec and enrollment errors, matched with errors.Is.
+var (
+	// ErrBadMagic means the file does not start with the gallery magic.
+	ErrBadMagic = errors.New("gallery: bad magic (not a gallery file)")
+	// ErrVersion means the file uses an unsupported format version.
+	ErrVersion = errors.New("gallery: unsupported format version")
+	// ErrTruncated means the file ends mid-header or mid-record.
+	ErrTruncated = errors.New("gallery: truncated file")
+	// ErrChecksum means a header or record failed CRC verification.
+	ErrChecksum = errors.New("gallery: checksum mismatch")
+	// ErrDimMismatch means fingerprint dimensions disagree with the
+	// gallery (on enrollment, query, or in a corrupt header).
+	ErrDimMismatch = errors.New("gallery: fingerprint dimension mismatch")
+	// ErrDuplicateID means a subject ID is already enrolled.
+	ErrDuplicateID = errors.New("gallery: duplicate subject id")
+)
+
+// Save writes the gallery in the binary format above: header first,
+// then one record per enrolled subject in enrollment order.
+func (g *Gallery) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(g.encodeHeader()); err != nil {
+		return err
+	}
+	for i := range g.ids {
+		rec, err := g.encodeRecord(i)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a gallery written by Save. Stored fingerprints are already
+// z-scored, so loading performs no renormalization: the bytes on disk
+// are the canonical bits queries score against.
+func Load(r io.Reader) (*Gallery, error) {
+	br := bufio.NewReader(r)
+	fixed := make([]byte, len(galleryMagic)+12)
+	if err := readFull(br, fixed, "header"); err != nil {
+		return nil, err
+	}
+	if string(fixed[:8]) != galleryMagic {
+		return nil, ErrBadMagic
+	}
+	version := binary.LittleEndian.Uint32(fixed[8:])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w %d (supported: %d)", ErrVersion, version, FormatVersion)
+	}
+	features := binary.LittleEndian.Uint32(fixed[12:])
+	indexLen := binary.LittleEndian.Uint32(fixed[16:])
+	if features == 0 || features > maxFeatures {
+		return nil, fmt.Errorf("%w: implausible feature count %d in header", ErrDimMismatch, features)
+	}
+	if indexLen != 0 && indexLen != features {
+		return nil, fmt.Errorf("%w: feature index length %d != %d features", ErrDimMismatch, indexLen, features)
+	}
+	rest := make([]byte, 4*indexLen+4)
+	if err := readFull(br, rest, "header feature index"); err != nil {
+		return nil, err
+	}
+	stored := binary.LittleEndian.Uint32(rest[4*indexLen:])
+	crc := crc32.NewIEEE()
+	crc.Write(fixed)
+	crc.Write(rest[:4*indexLen])
+	if crc.Sum32() != stored {
+		return nil, fmt.Errorf("%w in header", ErrChecksum)
+	}
+
+	g := New(int(features))
+	if indexLen > 0 {
+		g.featureIndex = make([]int, indexLen)
+		for k := range g.featureIndex {
+			g.featureIndex[k] = int(binary.LittleEndian.Uint32(rest[4*k:]))
+		}
+	}
+	lenBuf := make([]byte, 2)
+	for rec := 0; ; rec++ {
+		if _, err := io.ReadFull(br, lenBuf); err != nil {
+			if err == io.EOF {
+				return g, nil // clean end at a record boundary
+			}
+			return nil, readErr(err, fmt.Sprintf("record %d length", rec))
+		}
+		idLen := int(binary.LittleEndian.Uint16(lenBuf))
+		body := make([]byte, idLen+8*g.features+4)
+		if err := readFull(br, body, fmt.Sprintf("record %d", rec)); err != nil {
+			return nil, err
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(lenBuf)
+		crc.Write(body[:len(body)-4])
+		if crc.Sum32() != binary.LittleEndian.Uint32(body[len(body)-4:]) {
+			return nil, fmt.Errorf("%w in record %d", ErrChecksum, rec)
+		}
+		id := string(body[:idLen])
+		if _, dup := g.byID[id]; dup {
+			return nil, fmt.Errorf("%w: %q in record %d", ErrDuplicateID, id, rec)
+		}
+		vec := make([]float64, g.features)
+		if _, err := linalg.DecodeFloat64s(body[idLen:], vec); err != nil {
+			return nil, fmt.Errorf("record %d: %w", rec, err)
+		}
+		g.byID[id] = len(g.ids)
+		g.ids = append(g.ids, id)
+		g.vecs = append(g.vecs, vec...)
+	}
+}
+
+// WriteFile saves the gallery to path, replacing any existing file.
+func (g *Gallery) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenFile loads the gallery stored at path.
+func OpenFile(path string) (*Gallery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// EnrollFile enrolls new subjects into an existing gallery file without
+// rewriting it: the file is validated by a full load (dimension checks,
+// checksums, ID uniqueness against the new subjects), then only the new
+// records are appended in one synced write. It returns the updated
+// in-memory gallery. Like EnrollMatrix, group columns may be raw-space
+// vectors when the gallery carries a feature index.
+//
+// The append is not atomic against crashes or a full disk: a write cut
+// off mid-record leaves a trailing partial record, which Load reports
+// as ErrTruncated for the whole file rather than silently dropping it.
+// A journaled commit record (and a repair path) is future work.
+func EnrollFile(path string, ids []string, group *linalg.Matrix) (*Gallery, error) {
+	g, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	before := g.Len()
+	if err := g.EnrollMatrix(ids, group); err != nil {
+		return nil, err
+	}
+	// Encode the whole batch before touching the file: every validation
+	// failure (oversized ID, dimension problem) surfaces here, so the
+	// file is never left with a partial batch appended.
+	var batch []byte
+	for i := before; i < g.Len(); i++ {
+		rec, err := g.encodeRecord(i)
+		if err != nil {
+			return nil, err
+		}
+		batch = append(batch, rec...)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(batch); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return g, f.Close()
+}
+
+// encodeHeader renders the checksummed header.
+func (g *Gallery) encodeHeader() []byte {
+	buf := make([]byte, 0, len(galleryMagic)+12+4*len(g.featureIndex)+4)
+	buf = append(buf, galleryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.features))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.featureIndex)))
+	for _, idx := range g.featureIndex {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(idx))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// encodeRecord renders the checksummed record of enrolled subject i.
+func (g *Gallery) encodeRecord(i int) ([]byte, error) {
+	id := g.ids[i]
+	if len(id) > maxIDLen {
+		return nil, fmt.Errorf("gallery: subject id %d is %d bytes (max %d)", i, len(id), maxIDLen)
+	}
+	buf := make([]byte, 0, 2+len(id)+8*g.features+4)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	buf = linalg.AppendFloat64s(buf, g.fingerprint(i))
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
+}
+
+// readFull fills buf from r, mapping EOF and short reads to
+// ErrTruncated with context.
+func readFull(r io.Reader, buf []byte, what string) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return readErr(err, what)
+	}
+	return nil
+}
+
+// readErr maps an io error to the typed truncation error when the
+// stream simply ended, passing real I/O failures through.
+func readErr(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: in %s", ErrTruncated, what)
+	}
+	return fmt.Errorf("gallery: reading %s: %w", what, err)
+}

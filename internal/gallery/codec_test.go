@@ -1,0 +1,139 @@
+package gallery
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// encodedGallery returns the serialized bytes of a small gallery.
+func encodedGallery(t *testing.T, withIndex bool) []byte {
+	t.Helper()
+	var g *Gallery
+	if withIndex {
+		g = WithFeatureIndex([]int{1, 3, 4, 8, 13})
+		if err := g.EnrollMatrix(subjectIDs(6), randomGroup(7, 20, 6)); err != nil {
+			t.Fatalf("EnrollMatrix: %v", err)
+		}
+	} else {
+		g = New(11)
+		if err := g.EnrollMatrix(subjectIDs(6), randomGroup(7, 11, 6)); err != nil {
+			t.Fatalf("EnrollMatrix: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	raw := encodedGallery(t, false)
+	raw[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("Load with clobbered magic = %v, want ErrBadMagic", err)
+	}
+	// A completely different file type.
+	if _, err := Load(bytes.NewReader(append([]byte("PK\x03\x04junkjunkjunkjunkjunk"), raw...))); !errors.Is(err, ErrBadMagic) {
+		t.Error("expected ErrBadMagic for a foreign file")
+	}
+}
+
+func TestLoadRejectsUnsupportedVersion(t *testing.T) {
+	raw := encodedGallery(t, false)
+	// Patch the version field and re-seal the header CRC so only the
+	// version check can object.
+	binary.LittleEndian.PutUint32(raw[8:], 99)
+	headerLen := len(galleryMagic) + 12 // no feature index in this file
+	binary.LittleEndian.PutUint32(raw[headerLen:], crc32.ChecksumIEEE(raw[:headerLen]))
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrVersion) {
+		t.Errorf("Load with version 99 = %v, want ErrVersion", err)
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	raw := encodedGallery(t, true)
+	cases := map[string]int{
+		"empty file":       0,
+		"mid magic":        4,
+		"mid header":       len(galleryMagic) + 6,
+		"mid record":       len(raw) - 13,
+		"mid record crc":   len(raw) - 2,
+		"one length byte":  headerLenOf(t, raw) + 1,
+		"record sans body": headerLenOf(t, raw) + 2,
+	}
+	for name, n := range cases {
+		if _, err := Load(bytes.NewReader(raw[:n])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("%s (%d bytes): Load = %v, want ErrTruncated", name, n, err)
+		}
+	}
+	// The untruncated original still loads.
+	if _, err := Load(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("control load failed: %v", err)
+	}
+}
+
+// headerLenOf computes the header length of an encoded gallery by
+// reading its index-length field.
+func headerLenOf(t *testing.T, raw []byte) int {
+	t.Helper()
+	indexLen := int(binary.LittleEndian.Uint32(raw[16:]))
+	return len(galleryMagic) + 12 + 4*indexLen + 4
+}
+
+func TestLoadRejectsHeaderDimMismatch(t *testing.T) {
+	raw := encodedGallery(t, false)
+	// Zero features is implausible regardless of checksums.
+	binary.LittleEndian.PutUint32(raw[12:], 0)
+	headerLen := len(galleryMagic) + 12
+	binary.LittleEndian.PutUint32(raw[headerLen:], crc32.ChecksumIEEE(raw[:headerLen]))
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Load with 0 features = %v, want ErrDimMismatch", err)
+	}
+
+	raw = encodedGallery(t, true)
+	// A feature index whose length disagrees with the feature count.
+	binary.LittleEndian.PutUint32(raw[12:], 4)
+	headerLen = headerLenOf(t, raw)
+	binary.LittleEndian.PutUint32(raw[headerLen-4:], crc32.ChecksumIEEE(raw[:headerLen-4]))
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("Load with index/features disagreement = %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestLoadRejectsChecksumFailure(t *testing.T) {
+	// Header corruption: flip a feature-index byte without resealing.
+	raw := encodedGallery(t, true)
+	raw[len(galleryMagic)+12] ^= 0x01
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("Load with corrupt header = %v, want ErrChecksum", err)
+	}
+
+	// Record corruption: flip one payload byte in the last record.
+	raw = encodedGallery(t, true)
+	raw[len(raw)-10] ^= 0x40
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("Load with corrupt record = %v, want ErrChecksum", err)
+	}
+}
+
+func TestSaveLoadPreservesFeatureIndex(t *testing.T) {
+	raw := encodedGallery(t, true)
+	g, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := []int{1, 3, 4, 8, 13}
+	got := g.FeatureIndex()
+	if len(got) != len(want) {
+		t.Fatalf("FeatureIndex = %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FeatureIndex = %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package gallery is the persistent fingerprint database and query
+// engine behind the enrollment-once, query-many form of the paper's
+// attack. The de-anonymization problem of §3.1 is a gallery problem: an
+// attacker enrolls the functional fingerprints of known subjects once,
+// then correlates each anonymous probe against the gallery and predicts
+// the argmax (or inspects the top-k candidates). The rest of the
+// codebase recomputes fingerprints from raw series on every run and
+// materializes the full known×anonymous similarity matrix; this package
+// stores z-scored fingerprints in a versioned, checksummed binary file
+// (codec.go) and answers ranked top-k queries with a blocked parallel
+// sweep (query.go) instead of a dense O(n²) matrix.
+//
+// Scores are bit-identical to match.SimilarityMatrix: enrollment
+// z-scores each fingerprint through the same stats.ZScore code path
+// match uses on its columns, queries z-score each probe once the same
+// way, and every score is the identical linalg.Dot(zk, za)/features
+// expression. DenseSimilarity exposes the exact-equivalence fallback;
+// the property test in equiv_test.go pins both paths to match.
+package gallery
+
+import (
+	"fmt"
+
+	"brainprint/internal/linalg"
+	"brainprint/internal/stats"
+)
+
+// Gallery is an in-memory set of enrolled fingerprints, loaded from or
+// saved to the binary gallery format. Fingerprints are stored z-scored
+// (zero mean, unit population std over the feature axis), subject-major,
+// so a query is one dot product per enrolled subject.
+//
+// A Gallery is not safe for concurrent mutation; concurrent queries
+// (TopK, QueryAll, DenseSimilarity) against a fixed gallery are safe.
+type Gallery struct {
+	features     int
+	featureIndex []int // optional raw-space row indices; nil = identity
+	ids          []string
+	byID         map[string]int
+	vecs         []float64 // len = len(ids)*features, subject-major, z-scored
+}
+
+// New returns an empty gallery whose fingerprints have the given number
+// of features. It panics if features is not positive.
+func New(features int) *Gallery {
+	if features <= 0 {
+		panic(fmt.Sprintf("gallery: non-positive feature count %d", features))
+	}
+	return &Gallery{features: features, byID: map[string]int{}}
+}
+
+// WithFeatureIndex returns an empty gallery over the given raw-space
+// feature (row) indices, typically the principal-features subspace
+// selected by core.Fingerprints on the enrollment group. The gallery's
+// feature count is len(index); raw vectors longer than that are
+// projected through the index on enrollment and query, so probes can be
+// full connectome vectors. The index is persisted in the gallery file.
+func WithFeatureIndex(index []int) *Gallery {
+	g := New(len(index))
+	g.featureIndex = append([]int(nil), index...)
+	return g
+}
+
+// Features returns the fingerprint dimensionality.
+func (g *Gallery) Features() int { return g.features }
+
+// FeatureIndex returns the raw-space feature indices the gallery was
+// built over, or nil when fingerprints are used as-is. The caller must
+// not mutate the returned slice.
+func (g *Gallery) FeatureIndex() []int { return g.featureIndex }
+
+// Len returns the number of enrolled subjects.
+func (g *Gallery) Len() int { return len(g.ids) }
+
+// IDs returns the enrolled subject IDs in enrollment order. The caller
+// must not mutate the returned slice.
+func (g *Gallery) IDs() []string { return g.ids }
+
+// ID returns the subject ID at enrollment index i.
+func (g *Gallery) ID(i int) string { return g.ids[i] }
+
+// Index returns the enrollment index of a subject ID, or -1.
+func (g *Gallery) Index(id string) int {
+	if i, ok := g.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// fingerprint returns the stored z-scored vector of subject i, aliased.
+func (g *Gallery) fingerprint(i int) []float64 {
+	return g.vecs[i*g.features : (i+1)*g.features]
+}
+
+// Enroll adds one subject. The fingerprint may be given in gallery space
+// (len == Features()) or, when the gallery carries a feature index, in
+// raw space (any longer vector covering every index); it is projected
+// and z-scored into the gallery without mutating the argument. IDs must
+// be unique.
+func (g *Gallery) Enroll(id string, fingerprint []float64) error {
+	if _, dup := g.byID[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	if len(id) > maxIDLen {
+		return fmt.Errorf("gallery: subject id is %d bytes (max %d)", len(id), maxIDLen)
+	}
+	z, err := g.project(fingerprint)
+	if err != nil {
+		return fmt.Errorf("enrolling %q: %w", id, err)
+	}
+	stats.ZScore(z)
+	g.byID[id] = len(g.ids)
+	g.ids = append(g.ids, id)
+	g.vecs = append(g.vecs, z...)
+	return nil
+}
+
+// EnrollMatrix enrolls every column j of group as subject ids[j]. Like
+// Enroll, group may be in gallery space or raw space.
+func (g *Gallery) EnrollMatrix(ids []string, group *linalg.Matrix) error {
+	_, n := group.Dims()
+	if len(ids) != n {
+		return fmt.Errorf("gallery: %d ids for %d subject columns", len(ids), n)
+	}
+	for j, id := range ids {
+		if err := g.Enroll(id, group.Col(j)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// project copies v into gallery space: identity when v is already
+// gallery-sized, a gather through the feature index when the gallery has
+// one and v is a longer raw vector.
+func (g *Gallery) project(v []float64) ([]float64, error) {
+	if len(v) == g.features {
+		out := make([]float64, g.features)
+		copy(out, v)
+		return out, nil
+	}
+	if g.featureIndex == nil {
+		return nil, fmt.Errorf("%w: got %d features, gallery has %d", ErrDimMismatch, len(v), g.features)
+	}
+	out := make([]float64, g.features)
+	for k, idx := range g.featureIndex {
+		if idx < 0 || idx >= len(v) {
+			return nil, fmt.Errorf("%w: feature index %d outside raw vector of length %d", ErrDimMismatch, idx, len(v))
+		}
+		out[k] = v[idx]
+	}
+	return out, nil
+}

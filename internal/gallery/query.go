@@ -1,0 +1,221 @@
+package gallery
+
+import (
+	"fmt"
+
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+	"brainprint/internal/parallel"
+	"brainprint/internal/stats"
+)
+
+// Candidate is one ranked identification hypothesis: an enrolled
+// subject and its Pearson correlation with the probe.
+type Candidate struct {
+	// Index is the subject's enrollment index in the gallery.
+	Index int
+	// ID is the enrolled subject ID.
+	ID string
+	// Score is the Pearson correlation between the probe and the
+	// enrolled fingerprint — the same value match.SimilarityMatrix
+	// would put at (Index, probe), bit for bit.
+	Score float64
+}
+
+// better reports whether a outranks b. Ties break toward the lower
+// enrollment index, making the ranking a total order: top-k results are
+// identical at any parallelism setting and any chunking.
+func better(a, b Candidate) bool {
+	return a.Score > b.Score || (a.Score == b.Score && a.Index < b.Index)
+}
+
+// TopK ranks the k enrolled subjects most correlated with the probe,
+// best first, using the default worker count. The probe may be a
+// gallery-space vector (len == Features()) or a raw vector when the
+// gallery carries a feature index; it is projected and z-scored once,
+// never mutated. k larger than the gallery is clamped.
+func (g *Gallery) TopK(probe []float64, k int) ([]Candidate, error) {
+	return g.TopKP(probe, k, 0)
+}
+
+// TopKP is TopK with an explicit parallelism knob (0 = all cores,
+// 1 = serial, n = n workers). The gallery sweep is blocked: each worker
+// chunk keeps a local ranked list of at most k candidates, and partial
+// lists merge in ascending chunk order, so the result is identical at
+// any setting.
+func (g *Gallery) TopKP(probe []float64, k, parallelism int) ([]Candidate, error) {
+	k, err := g.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	zp, err := g.project(probe)
+	if err != nil {
+		return nil, err
+	}
+	stats.ZScore(zp)
+	return g.topK(zp, k, parallelism), nil
+}
+
+// QueryAll answers a batch of probes — the columns of a features×probes
+// matrix — returning one ranked top-k list per probe. See QueryAllP.
+func (g *Gallery) QueryAll(probes *linalg.Matrix, k int) ([][]Candidate, error) {
+	return g.QueryAllP(probes, k, 0)
+}
+
+// QueryAllP is QueryAll with an explicit parallelism knob. Probes are
+// z-scored once up front (through the same match.ZScoreColumns path the
+// dense attack uses), then the batch fans out one probe per worker with
+// a serial inner sweep — the outer loop owns the cores. Results are
+// identical at any setting.
+func (g *Gallery) QueryAllP(probes *linalg.Matrix, k, parallelism int) ([][]Candidate, error) {
+	k, err := g.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	zcols, err := g.prepProbes(probes, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Candidate, len(zcols))
+	parallel.ForWith(parallelism, len(zcols), 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = g.topK(zcols[j], k, 1)
+		}
+	})
+	return out, nil
+}
+
+// DenseSimilarity materializes the full gallery×probes similarity
+// matrix — the exact-equivalence fallback path. Entry (i, j) is
+// bit-identical to match.SimilarityMatrix(known, probes) at (i, j) when
+// the gallery was enrolled from the columns of known: enrollment stored
+// the same z-scored columns, probes normalize through the same code
+// path, and each entry is the same Dot·(1/features) expression.
+func (g *Gallery) DenseSimilarity(probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("gallery: empty gallery")
+	}
+	zcols, err := g.prepProbes(probes, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	n, m := g.Len(), len(zcols)
+	out := linalg.NewMatrix(n, m)
+	inv := 1 / float64(g.features)
+	parallel.ForWith(parallelism, n, 1+4096/(g.features*m+1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fp := g.fingerprint(i)
+			orow := out.RowView(i)
+			for j, zc := range zcols {
+				orow[j] = linalg.Dot(fp, zc) * inv
+			}
+		}
+	})
+	return out, nil
+}
+
+// clampK validates the gallery and k, clamping k to the gallery size.
+func (g *Gallery) clampK(k int) (int, error) {
+	if g.Len() == 0 {
+		return 0, fmt.Errorf("gallery: empty gallery")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("gallery: k=%d must be positive", k)
+	}
+	return min(k, g.Len()), nil
+}
+
+// topK is the blocked sweep over a z-scored, gallery-space probe: score
+// every enrolled subject, keep the best k. Chunks produce local ranked
+// lists; parallel.Reduce folds them in chunk order.
+func (g *Gallery) topK(zp []float64, k, parallelism int) []Candidate {
+	inv := 1 / float64(g.features)
+	grain := 1 + (1<<15)/g.features // ≈32k multiplies per chunk
+	return parallel.Reduce(parallelism, g.Len(), grain, nil,
+		func(lo, hi int) []Candidate {
+			local := make([]Candidate, 0, min(k, hi-lo))
+			for i := lo; i < hi; i++ {
+				c := Candidate{Index: i, ID: g.ids[i], Score: linalg.Dot(g.fingerprint(i), zp) * inv}
+				local = insertRanked(local, c, k)
+			}
+			return local
+		},
+		func(acc, part []Candidate) []Candidate { return mergeRanked(acc, part, k) },
+	)
+}
+
+// prepProbes converts a features×probes matrix into z-scored
+// gallery-space probe vectors, projecting through the feature index
+// when the probes are raw-space.
+func (g *Gallery) prepProbes(probes *linalg.Matrix, parallelism int) ([][]float64, error) {
+	f, m := probes.Dims()
+	if m == 0 {
+		return nil, fmt.Errorf("gallery: no probe columns")
+	}
+	gal := probes
+	if f != g.features {
+		if g.featureIndex == nil {
+			return nil, fmt.Errorf("%w: probes have %d features, gallery has %d", ErrDimMismatch, f, g.features)
+		}
+		for _, idx := range g.featureIndex {
+			if idx < 0 || idx >= f {
+				return nil, fmt.Errorf("%w: feature index %d outside raw probes with %d features", ErrDimMismatch, idx, f)
+			}
+		}
+		gal = probes.SelectRows(g.featureIndex)
+	}
+	z := match.ZScoreColumns(gal, parallelism)
+	cols := make([][]float64, m)
+	parallel.ForWith(parallelism, m, 1+1024/g.features, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			cols[j] = z.Col(j)
+		}
+	})
+	return cols, nil
+}
+
+// insertRanked inserts c into a descending-ranked list bounded at k.
+func insertRanked(list []Candidate, c Candidate, k int) []Candidate {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if better(c, list[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= k {
+		return list
+	}
+	if len(list) < k {
+		list = append(list, Candidate{})
+	}
+	copy(list[lo+1:], list[lo:])
+	list[lo] = c
+	return list
+}
+
+// mergeRanked merges two descending-ranked lists, keeping at most k.
+// Equal-score ties resolve by index through better, so the merge is
+// order-deterministic.
+func mergeRanked(a, b []Candidate, k int) []Candidate {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Candidate, 0, min(len(a)+len(b), k))
+	i, j := 0, 0
+	for len(out) < k && (i < len(a) || j < len(b)) {
+		if j >= len(b) || (i < len(a) && better(a[i], b[j])) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

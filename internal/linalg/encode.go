@@ -4,11 +4,41 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // matrixWireVersion tags the binary encoding so future layout changes
 // remain detectable.
 const matrixWireVersion = 1
+
+// AppendFloat64s appends the little-endian IEEE-754 encoding of vals to
+// dst and returns the extended slice. It is the hand-rolled fast path
+// shared by the Matrix gob codec and the gallery fingerprint codec:
+// unlike binary.Write it performs no reflection and at most one
+// allocation (growing dst).
+func AppendFloat64s(dst []byte, vals []float64) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, 8*len(vals))...)
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
+		off += 8
+	}
+	return dst
+}
+
+// DecodeFloat64s decodes len(out) little-endian float64 values from the
+// front of src into out and returns the number of bytes consumed. It
+// returns an error if src is too short.
+func DecodeFloat64s(src []byte, out []float64) (int, error) {
+	need := 8 * len(out)
+	if len(src) < need {
+		return 0, fmt.Errorf("linalg: float64 payload truncated: have %d bytes, need %d", len(src), need)
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return need, nil
+}
 
 // GobEncode implements gob.GobEncoder with a compact little-endian
 // layout: version, rows, cols, then the row-major float64 data.
@@ -18,9 +48,7 @@ func (m *Matrix) GobEncode() ([]byte, error) {
 	if err := binary.Write(&buf, binary.LittleEndian, header); err != nil {
 		return nil, err
 	}
-	if err := binary.Write(&buf, binary.LittleEndian, m.data); err != nil {
-		return nil, err
-	}
+	buf.Write(AppendFloat64s(nil, m.data))
 	return buf.Bytes(), nil
 }
 
@@ -39,7 +67,7 @@ func (m *Matrix) GobDecode(b []byte) error {
 		return fmt.Errorf("linalg: corrupt matrix header %dx%d", rows, cols)
 	}
 	data := make([]float64, rows*cols)
-	if err := binary.Read(buf, binary.LittleEndian, data); err != nil {
+	if _, err := DecodeFloat64s(b[len(b)-buf.Len():], data); err != nil {
 		return err
 	}
 	m.rows, m.cols, m.data = rows, cols, data

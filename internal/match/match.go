@@ -38,8 +38,8 @@ func SimilarityMatrixP(known, anon *linalg.Matrix, parallelism int) (*linalg.Mat
 		return nil, fmt.Errorf("match: empty inputs %dx%d vs %dx%d", kf, kn, af, an)
 	}
 	// Z-score columns once so each correlation is a single dot product.
-	zk := zscoreColumns(known, parallelism)
-	za := zscoreColumns(anon, parallelism)
+	zk := ZScoreColumns(known, parallelism)
+	za := ZScoreColumns(anon, parallelism)
 	// Work column-major: extract columns once.
 	kcols := make([][]float64, kn)
 	parallel.ForWith(parallelism, kn, 1+1024/kf, func(lo, hi int) {
@@ -95,10 +95,12 @@ func rankColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
 	return out
 }
 
-// zscoreColumns returns a copy of m with each column standardized to
+// ZScoreColumns returns a copy of m with each column standardized to
 // zero mean and unit population standard deviation (constant columns
-// become zero).
-func zscoreColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
+// become zero). It is exported because the persistent fingerprint
+// gallery normalizes probes through this exact code path: sharing it is
+// what makes gallery top-k scores bit-identical to SimilarityMatrix.
+func ZScoreColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
 	rows, cols := m.Dims()
 	out := linalg.NewMatrix(rows, cols)
 	parallel.ForWith(parallelism, cols, 1+2048/(rows+1), func(lo, hi int) {

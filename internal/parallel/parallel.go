@@ -160,6 +160,44 @@ func plan(workers int, n, grain *int) (int, bool) {
 	return w, w > 1
 }
 
+// Reduce maps disjoint chunks of [0, n) — each at most grain indices —
+// to partial results on Workers(workers) goroutines, then folds the
+// partials serially in ascending chunk order starting from zero:
+//
+//	acc = merge(...merge(merge(zero, p₀), p₁)..., p₍c₋₁₎)
+//
+// The chunk boundaries and the fold order are functions of (n, grain)
+// alone, never of the worker count or scheduling, so Reduce is
+// deterministic whenever mapFn and merge are. It is the reduction
+// counterpart of ForWith, built for blocked searches that keep a small
+// per-chunk partial (e.g. the gallery top-k sweep) instead of writing a
+// dense output.
+func Reduce[T any](workers, n, grain int, zero T, mapFn func(lo, hi int) T, merge func(acc, part T) T) T {
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= 0 {
+		return zero
+	}
+	chunks := (n + grain - 1) / grain
+	partials := make([]T, chunks)
+	ForWith(workers, chunks, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			clo := c * grain
+			chi := clo + grain
+			if chi > n {
+				chi = n
+			}
+			partials[c] = mapFn(clo, chi)
+		}
+	})
+	acc := zero
+	for _, p := range partials {
+		acc = merge(acc, p)
+	}
+	return acc
+}
+
 // Group is an errgroup-style fan-out: tasks submitted with Go run on at
 // most Workers(workers) concurrent goroutines, Wait blocks until all of
 // them finish, and the first error observed wins. Go blocks while the

@@ -135,6 +135,55 @@ func TestForErrStopsSchedulingAfterFailure(t *testing.T) {
 	}
 }
 
+func TestReduceSumMatchesSerial(t *testing.T) {
+	const n = 1000
+	want := n * (n - 1) / 2
+	for _, workers := range []int{1, 2, 8} {
+		for _, grain := range []int{1, 7, 64, 5000} {
+			got := Reduce(workers, n, grain, 0, func(lo, hi int) int {
+				s := 0
+				for i := lo; i < hi; i++ {
+					s += i
+				}
+				return s
+			}, func(acc, part int) int { return acc + part })
+			if got != want {
+				t.Errorf("workers=%d grain=%d: Reduce sum = %d want %d", workers, grain, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceFoldOrderIsChunkOrder(t *testing.T) {
+	// A non-commutative merge (slice append) exposes the fold order: the
+	// concatenated chunk ranges must come back ascending at any worker
+	// count, because partials fold in chunk order regardless of which
+	// worker produced them.
+	for _, workers := range []int{1, 3, 8} {
+		got := Reduce(workers, 100, 9, nil, func(lo, hi int) []int {
+			return []int{lo, hi}
+		}, func(acc, part []int) []int { return append(acc, part...) })
+		for i := 2; i < len(got); i += 2 {
+			if got[i] != got[i-1] {
+				t.Fatalf("workers=%d: chunk ranges out of order: %v", workers, got)
+			}
+		}
+		if got[0] != 0 || got[len(got)-1] != 100 {
+			t.Fatalf("workers=%d: chunks do not cover [0,100): %v", workers, got)
+		}
+	}
+}
+
+func TestReduceEmptyRangeReturnsZero(t *testing.T) {
+	got := Reduce(4, 0, 8, -7, func(lo, hi int) int {
+		t.Error("mapFn must not run on an empty range")
+		return 0
+	}, func(acc, part int) int { return acc + part })
+	if got != -7 {
+		t.Errorf("Reduce on empty range = %d want the zero value -7", got)
+	}
+}
+
 func TestGroupPropagatesErrorAndBoundsConcurrency(t *testing.T) {
 	g := NewGroup(3)
 	var inFlight, peak atomic.Int32

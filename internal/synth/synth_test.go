@@ -556,3 +556,27 @@ func TestWritePerformanceCSV(t *testing.T) {
 		t.Errorf("header = %q", lines[0])
 	}
 }
+
+func TestParseTaskAndEncoding(t *testing.T) {
+	for _, task := range AllTasks {
+		got, err := ParseTask(task.String())
+		if err != nil || got != task {
+			t.Errorf("ParseTask(%q) = %v, %v", task.String(), got, err)
+		}
+	}
+	if got, err := ParseTask("rest1"); err != nil || got != Rest1 {
+		t.Errorf("ParseTask is not case-insensitive: %v, %v", got, err)
+	}
+	if _, err := ParseTask("JUGGLING"); err == nil {
+		t.Error("expected error for unknown task")
+	}
+	if got, err := ParseEncoding("rl"); err != nil || got != RL {
+		t.Errorf("ParseEncoding(rl) = %v, %v", got, err)
+	}
+	if got, err := ParseEncoding("LR"); err != nil || got != LR {
+		t.Errorf("ParseEncoding(LR) = %v, %v", got, err)
+	}
+	if _, err := ParseEncoding("UD"); err == nil {
+		t.Error("expected error for unknown encoding")
+	}
+}

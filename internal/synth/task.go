@@ -20,7 +20,10 @@
 // empirical phenomenon (Finn et al. 2017) the paper's attack rests on.
 package synth
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Task identifies an HCP scan condition: two resting-state sessions and
 // the seven tasks of the HCP protocol (§3.2).
@@ -76,6 +79,28 @@ func (t Task) String() string {
 
 // IsRest reports whether the condition is a resting-state session.
 func (t Task) IsRest() bool { return t == Rest1 || t == Rest2 }
+
+// ParseTask maps a task name — as printed by Task.String, matched
+// case-insensitively — back to its Task. It powers the CLI's -task flag.
+func ParseTask(s string) (Task, error) {
+	for _, t := range AllTasks {
+		if strings.EqualFold(s, t.String()) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("synth: unknown task %q (want one of %v)", s, AllTasks)
+}
+
+// ParseEncoding maps "LR" or "RL" (case-insensitive) to its Encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch {
+	case strings.EqualFold(s, "LR"):
+		return LR, nil
+	case strings.EqualFold(s, "RL"):
+		return RL, nil
+	}
+	return 0, fmt.Errorf("synth: unknown encoding %q (want LR or RL)", s)
+}
 
 // componentIndex maps conditions to their task-component slot: both
 // resting sessions share one component (they form a single t-SNE
