@@ -8,6 +8,8 @@ package brainprint_test
 // full 100×360 dimensions. Ablation benchmarks cover the design choices
 // called out in DESIGN.md.
 
+//lint:file-ignore SA1019 the deprecated wrappers are benchmarked on purpose
+
 import (
 	"sync"
 	"testing"

@@ -12,14 +12,18 @@
 // experiment drivers that regenerate every figure and table of the
 // paper, and the voxel-level fMRI simulation + preprocessing pipeline.
 //
-// Quick start:
+// Quick start (the context-aware session API in session.go is the
+// primary surface; the free functions below remain as compatibility
+// wrappers):
 //
 //	cohort, _ := brainprint.GenerateHCP(brainprint.DefaultHCPParams())
-//	res, _ := brainprint.RunFigure1(cohort, brainprint.DefaultAttackConfig())
+//	atk, _ := brainprint.NewAttacker(nil, brainprint.WithConfig(brainprint.DefaultAttackConfig()))
+//	res, _ := atk.RunExperiment(ctx, "fig1", brainprint.ExperimentInput{HCP: cohort})
 //	fmt.Println(res.Render())
 package brainprint
 
 import (
+	"context"
 	"math/rand"
 
 	"brainprint/internal/connectome"
@@ -163,15 +167,27 @@ func ConnectomeFromSeries(series *Matrix, opt ConnectomeOptions) (*Connectome, e
 }
 
 // GroupMatrix stacks the vectorized connectomes of the scans into the
-// features×subjects matrix the attack operates on.
+// features×subjects matrix the attack operates on. GroupMatrixCtx is
+// the cancellable variant.
 func GroupMatrix(scans []*Scan, opt ConnectomeOptions) (*Matrix, error) {
-	return experiments.BuildGroupMatrix(scans, opt)
+	return experiments.BuildGroupMatrix(context.Background(), scans, opt)
+}
+
+// GroupMatrixCtx is GroupMatrix under a context: construction aborts
+// between scans once ctx is cancelled.
+func GroupMatrixCtx(ctx context.Context, scans []*Scan, opt ConnectomeOptions) (*Matrix, error) {
+	return experiments.BuildGroupMatrix(ctx, scans, opt)
 }
 
 // GroupMatrixADHD stacks the vectorized connectomes of ADHD-like scans
 // into a features×subjects group matrix.
 func GroupMatrixADHD(scans []*ADHDScan, opt ConnectomeOptions) (*Matrix, error) {
-	return experiments.BuildGroupMatrixADHD(scans, opt)
+	return experiments.BuildGroupMatrixADHD(context.Background(), scans, opt)
+}
+
+// GroupMatrixADHDCtx is GroupMatrixADHD under a context.
+func GroupMatrixADHDCtx(ctx context.Context, scans []*ADHDScan, opt ConnectomeOptions) (*Matrix, error) {
+	return experiments.BuildGroupMatrixADHD(ctx, scans, opt)
 }
 
 // ---- Persistent fingerprint gallery ----
@@ -319,49 +335,113 @@ type Figure9Result = experiments.Figure9Result
 type Table2Result = experiments.Table2Result
 
 // RunFigure1 regenerates Figure 1 (resting-state similarity matrix).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig1", ...) for
+// cancellation and session-owned configuration.
 func RunFigure1(c *HCPCohort, cfg AttackConfig) (*SimilarityResult, error) {
-	return experiments.Figure1(c, cfg)
+	res, err := runExperimentCompat("fig1", cfg, ExperimentInput{HCP: c})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SimilarityResult), nil
 }
 
 // RunFigure2 regenerates Figure 2 (language-task similarity matrix).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig2", ...).
 func RunFigure2(c *HCPCohort, cfg AttackConfig) (*SimilarityResult, error) {
-	return experiments.Figure2(c, cfg)
+	res, err := runExperimentCompat("fig2", cfg, ExperimentInput{HCP: c})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SimilarityResult), nil
 }
 
 // RunFigure5 regenerates Figure 5 (cross-task identification accuracy).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig5", ...).
 func RunFigure5(c *HCPCohort, cfg AttackConfig) (*CrossTaskResult, error) {
-	return experiments.Figure5(c, cfg)
+	res, err := runExperimentCompat("fig5", cfg, ExperimentInput{HCP: c})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*CrossTaskResult), nil
 }
 
 // RunFigure6 regenerates Figure 6 (t-SNE task clustering + prediction).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig6", ...).
 func RunFigure6(c *HCPCohort, knownFraction float64, tcfg TSNEConfig, seed int64) (*TaskClusterResult, error) {
-	return experiments.Figure6(c, knownFraction, tcfg, seed)
+	res, err := runExperimentCompat("fig6", DefaultAttackConfig(),
+		ExperimentInput{HCP: c, KnownFraction: knownFraction, TSNE: &tcfg, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*TaskClusterResult), nil
 }
 
 // RunTable1 regenerates Table 1 (task-performance prediction error).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "table1", ...).
 func RunTable1(c *HCPCohort, cfg PerformanceConfig) (*Table1Result, error) {
-	return experiments.Table1(c, cfg)
+	res, err := runExperimentCompat("table1", DefaultAttackConfig(),
+		ExperimentInput{HCP: c, Performance: &cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Table1Result), nil
 }
 
 // RunFigure7 regenerates Figure 7 (ADHD subtype-1 similarity).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig7", ...).
 func RunFigure7(c *ADHDCohort, cfg AttackConfig) (*SimilarityResult, error) {
-	return experiments.Figure7(c, cfg)
+	res, err := runExperimentCompat("fig7", cfg, ExperimentInput{ADHD: c})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SimilarityResult), nil
 }
 
 // RunFigure8 regenerates Figure 8 (ADHD subtype-3 similarity).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig8", ...).
 func RunFigure8(c *ADHDCohort, cfg AttackConfig) (*SimilarityResult, error) {
-	return experiments.Figure8(c, cfg)
+	res, err := runExperimentCompat("fig8", cfg, ExperimentInput{ADHD: c})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*SimilarityResult), nil
 }
 
 // RunFigure9 regenerates Figure 9 (full ADHD cohort + transfer
 // accuracies).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "fig9", ...).
 func RunFigure9(c *ADHDCohort, cfg AttackConfig, trials int, trainFraction float64, seed int64) (*Figure9Result, error) {
-	return experiments.Figure9(c, cfg, trials, trainFraction, seed)
+	if trials <= 0 {
+		// The registry's session-level default (5) differs; preserve this
+		// wrapper's historical fallback, defined once in experiments.
+		trials = experiments.DefaultTransferTrials
+	}
+	res, err := runExperimentCompat("fig9", cfg,
+		ExperimentInput{ADHD: c, Trials: trials, TrainFraction: trainFraction, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Figure9Result), nil
 }
 
 // RunTable2 regenerates Table 2 (multi-site noise robustness).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "table2", ...).
 func RunTable2(hcp *HCPCohort, adhd *ADHDCohort, levels []float64, trials int, cfg AttackConfig, seed int64) (*Table2Result, error) {
-	return experiments.Table2(hcp, adhd, levels, trials, cfg, seed)
+	res, err := runExperimentCompat("table2", cfg,
+		ExperimentInput{HCP: hcp, ADHD: adhd, NoiseLevels: levels, Trials: trials, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Table2Result), nil
 }
 
 // ---- Defense (§4) ----
@@ -392,6 +472,21 @@ type DefenseResult = experiments.DefenseResult
 // signature features of the released dataset, targeted vs uniform at
 // matched distortion, measuring identification accuracy (privacy) and
 // task-prediction accuracy (utility).
+//
+// Deprecated: use Attacker.RunExperiment(ctx, "defense", ...).
 func RunDefense(c *HCPCohort, sigmas []float64, topFeatures int, cfg AttackConfig, seed int64) (*DefenseResult, error) {
-	return experiments.DefenseSweep(c, sigmas, topFeatures, cfg, seed)
+	// The registry's session-level defaults differ; preserve this
+	// wrapper's historical fallbacks, defined once in experiments.
+	if len(sigmas) == 0 {
+		sigmas = experiments.DefaultDefenseSigmas()
+	}
+	if topFeatures <= 0 {
+		topFeatures = experiments.DefaultDefenseTopFeatures
+	}
+	res, err := runExperimentCompat("defense", cfg,
+		ExperimentInput{HCP: c, Sigmas: sigmas, DefenseTopFeatures: topFeatures, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*DefenseResult), nil
 }

@@ -2,7 +2,10 @@ package brainprint_test
 
 // Facade tests: exercise the public API exactly as a downstream user
 // would, covering the documented quickstart flow and every exported
-// entry point's happy path.
+// entry point's happy path — including the deprecated compatibility
+// wrappers, which must keep delegating correctly.
+
+//lint:file-ignore SA1019 the deprecated wrappers are exercised on purpose
 
 import (
 	"fmt"

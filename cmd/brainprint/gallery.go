@@ -5,9 +5,11 @@
 //	brainprint gallery enroll -db hcp.bpg -task REST1 -encoding LR
 //	brainprint gallery info   -db hcp.bpg
 //	brainprint gallery query  -db hcp.bpg -task REST2 -encoding RL -k 5
+//	brainprint gallery probe  -task REST2 -encoding RL -subject 3
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,7 +22,7 @@ import (
 // runGallery dispatches the gallery subcommands.
 func runGallery(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("gallery: missing subcommand (want enroll, query, or info)")
+		return fmt.Errorf("gallery: missing subcommand (want enroll, query, info, or probe)")
 	}
 	switch args[0] {
 	case "enroll":
@@ -29,8 +31,10 @@ func runGallery(args []string, out io.Writer) error {
 		return galleryQuery(args[1:], out)
 	case "info":
 		return galleryInfo(args[1:], out)
+	case "probe":
+		return galleryProbe(args[1:], out)
 	default:
-		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, query, or info)", args[0])
+		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, query, info, or probe)", args[0])
 	}
 }
 
@@ -259,6 +263,43 @@ func galleryQuery(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "no probe IDs are enrolled; accuracy not applicable")
 	}
 	return nil
+}
+
+// galleryProbe emits one cohort subject's probe as an identify-request
+// JSON document, ready to POST to the serve subcommand's /v1/identify:
+//
+//	brainprint gallery probe -task REST2 -encoding RL -subject 3 |
+//	    curl -s -X POST --data @- localhost:7311/v1/identify
+//
+// The probe is a raw connectome vector; galleries enrolled with a
+// feature index project it server-side, so enroll and probe only need
+// to agree on the cohort parameters (-scale/-subjects/-regions/-seed).
+func galleryProbe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery probe", flag.ContinueOnError)
+	var cf cohortFlags
+	cf.register(fs)
+	subject := fs.Int("subject", 0, "cohort subject index to emit")
+	k := fs.Int("k", 0, "candidate count to request (0 = server default)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *subject < 0 {
+		return fmt.Errorf("gallery probe: -subject %d must be non-negative", *subject)
+	}
+	ids, group, err := cf.buildGroup()
+	if err != nil {
+		return err
+	}
+	if *subject >= len(ids) {
+		return fmt.Errorf("gallery probe: -subject %d out of range (cohort has %d subjects)", *subject, len(ids))
+	}
+	req := struct {
+		ID    string    `json:"id"`
+		Probe []float64 `json:"probe"`
+		K     int       `json:"k,omitempty"`
+	}{ID: ids[*subject], Probe: group.Col(*subject), K: *k}
+	enc := json.NewEncoder(out)
+	return enc.Encode(req)
 }
 
 // galleryInfo prints the header metadata of a gallery file.

@@ -1,38 +1,52 @@
 // Command brainprint regenerates the paper's figures and tables on
-// synthetic cohorts and manages persistent fingerprint galleries. Each
+// synthetic cohorts, manages persistent fingerprint galleries, and
+// serves a loaded gallery as an HTTP identification service. Each
 // experiment prints a textual rendering of the corresponding artifact
 // (ASCII heatmaps for matrix figures, aligned tables for the result
 // tables); the gallery subcommands enroll synthetic cohorts to disk and
-// attack them incrementally with ranked top-k queries.
+// attack them incrementally with ranked top-k queries; serve exposes
+// the same query engine over HTTP/JSON.
 //
 // Usage:
 //
-//	brainprint -experiment fig1|fig2|fig5|fig6|fig7|fig8|fig9|table1|table2|all [flags]
-//	brainprint gallery enroll|query|info [flags]
+//	brainprint [-experiment <name>|all] [flags]
+//	brainprint gallery enroll|query|info|probe [flags]
+//	brainprint serve -db gallery.bpg [flags]
 //
+// The experiment list (fig1 … defense) is generated from the library's
+// experiment registry — run 'brainprint -help' for the current set.
 // The -scale flag selects cohort dimensions: "small" is fast and good
 // for smoke runs, "medium" is a compromise, and "paper" matches the
-// paper's 100 subjects × 360 regions (slow; minutes).
+// paper's 100 subjects × 360 regions (slow; minutes). Experiments run
+// under a signal-aware context: Ctrl-C aborts the sweep promptly.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"brainprint"
 )
 
 // usageText is the short usage block fail appends to every CLI error.
-const usageText = `usage:
-  brainprint [-experiment fig1|fig2|fig5|fig6|fig7|fig8|fig9|table1|table2|defense|all] [flags]
-  brainprint gallery enroll|query|info [flags]
+// The experiment list comes from the registry, so usage can never drift
+// from what run dispatches.
+var usageText = fmt.Sprintf(`usage:
+  brainprint [-experiment %s|all] [flags]
+  brainprint gallery enroll|query|info|probe [flags]
+  brainprint serve -db gallery.bpg [flags]
 
-run 'brainprint -help' or 'brainprint gallery <subcommand> -help' for the
-flags of each form`
+run 'brainprint -help', 'brainprint gallery <subcommand> -help' or
+'brainprint serve -help' for the flags of each form`,
+	strings.Join(brainprint.ExperimentNames(), "|"))
 
 func main() {
 	args := os.Args[1:]
@@ -42,16 +56,23 @@ func main() {
 		}
 		return
 	}
+	if len(args) > 0 && args[0] == "serve" {
+		if err := runServe(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+			fail(err)
+		}
+		return
+	}
 	fs := flag.NewFlagSet("brainprint", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: fig1, fig2, fig5, fig6, fig7, fig8, fig9, table1, table2, defense, or all")
-		scale      = fs.String("scale", "small", "cohort scale: small, medium, or paper")
-		subjects   = fs.Int("subjects", 0, "override subject count (0 = scale default)")
-		regions    = fs.Int("regions", 0, "override region count (0 = scale default)")
-		features   = fs.Int("features", 100, "size of the principal features subspace")
-		trials     = fs.Int("trials", 5, "repeated trials for resampled experiments")
-		seed       = fs.Int64("seed", 1, "master random seed")
-		workers    = fs.Int("parallelism", 0, "worker count for the parallel execution engine (0 = all cores, 1 = serial); results are identical at any setting")
+		experiment = fs.String("experiment", "all",
+			fmt.Sprintf("which experiment to run: %s, or all", strings.Join(brainprint.ExperimentNames(), ", ")))
+		scale    = fs.String("scale", "small", "cohort scale: small, medium, or paper")
+		subjects = fs.Int("subjects", 0, "override subject count (0 = scale default)")
+		regions  = fs.Int("regions", 0, "override region count (0 = scale default)")
+		features = fs.Int("features", 100, "size of the principal features subspace")
+		trials   = fs.Int("trials", 5, "repeated trials for resampled experiments")
+		seed     = fs.Int64("seed", 1, "master random seed")
+		workers  = fs.Int("parallelism", 0, "worker count for the parallel execution engine (0 = all cores, 1 = serial); results are identical at any setting")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,7 +80,9 @@ func main() {
 		}
 		fail(err)
 	}
-	if err := run(*experiment, *scale, *subjects, *regions, *features, *trials, *seed, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *experiment, *scale, *subjects, *regions, *features, *trials, *seed, *workers); err != nil {
 		fail(err)
 	}
 }
@@ -89,7 +112,11 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 	return err
 }
 
-func run(experiment, scale string, subjects, regions, features, trials int, seed int64, workers int) error {
+// run executes the selected experiments through the session API: one
+// Attacker owns the attack configuration, cohorts generate lazily based
+// on what each registry entry declares it needs, and every experiment
+// runs under ctx so cancellation aborts mid-sweep.
+func run(ctx context.Context, experiment, scale string, subjects, regions, features, trials int, seed int64, workers int) error {
 	hcpParams, adhdParams, err := paramsForScale(scale, subjects, regions, seed)
 	if err != nil {
 		return err
@@ -98,6 +125,10 @@ func run(experiment, scale string, subjects, regions, features, trials int, seed
 	attack := brainprint.DefaultAttackConfig()
 	attack.Features = features
 	attack.Parallelism = workers
+	atk, err := brainprint.NewAttacker(nil, brainprint.WithConfig(attack))
+	if err != nil {
+		return err
+	}
 
 	var (
 		hcp  *brainprint.HCPCohort
@@ -134,124 +165,31 @@ func run(experiment, scale string, subjects, regions, features, trials int, seed
 
 	experiments := []string{experiment}
 	if experiment == "all" {
-		experiments = []string{"fig1", "fig2", "fig5", "fig6", "table1", "fig7", "fig8", "fig9", "table2", "defense"}
+		experiments = brainprint.ExperimentNames()
 	}
 	for _, exp := range experiments {
-		start := time.Now()
-		var rendered string
-		switch exp {
-		case "fig1":
-			c, err := needHCP()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure1(c, attack)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "fig2":
-			c, err := needHCP()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure2(c, attack)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "fig5":
-			c, err := needHCP()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure5(c, attack)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "fig6":
-			c, err := needHCP()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure6(c, 0.5, brainprint.TSNEConfig{Perplexity: 20, Iterations: 400, Seed: seed}, seed)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "table1":
-			c, err := needHCP()
-			if err != nil {
-				return err
-			}
-			cfg := brainprint.DefaultPerformanceConfig()
-			cfg.Features = features
-			cfg.Trials = trials * 4
-			cfg.Seed = seed
-			res, err := brainprint.RunTable1(c, cfg)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "fig7":
-			c, err := needADHD()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure7(c, attack)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "fig8":
-			c, err := needADHD()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure8(c, attack)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "fig9":
-			c, err := needADHD()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunFigure9(c, attack, trials, 0.7, seed)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "table2":
-			h, err := needHCP()
-			if err != nil {
-				return err
-			}
-			a, err := needADHD()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunTable2(h, a, []float64{0.1, 0.2, 0.3}, trials, attack, seed)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		case "defense":
-			c, err := needHCP()
-			if err != nil {
-				return err
-			}
-			res, err := brainprint.RunDefense(c, []float64{0, 0.2, 0.4, 0.8}, 2*features, attack, seed)
-			if err != nil {
-				return err
-			}
-			rendered = res.Render()
-		default:
-			return fmt.Errorf("unknown experiment %q", exp)
+		spec, ok := brainprint.LookupExperiment(exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want %s, or all)",
+				exp, strings.Join(brainprint.ExperimentNames(), ", "))
 		}
-		fmt.Println(rendered)
+		in := brainprint.ExperimentInput{Seed: seed, Trials: trials}
+		if spec.NeedsHCP {
+			if in.HCP, err = needHCP(); err != nil {
+				return err
+			}
+		}
+		if spec.NeedsADHD {
+			if in.ADHD, err = needADHD(); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		res, err := atk.RunExperiment(ctx, exp, in)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %.1fs]\n\n", exp, time.Since(start).Seconds())
 	}
 	return nil

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"brainprint"
 )
 
 func TestParamsForScale(t *testing.T) {
@@ -60,21 +63,50 @@ func TestRunSingleExperiments(t *testing.T) {
 		t.Skip("CLI smoke test")
 	}
 	for _, exp := range []string{"fig1", "fig7"} {
-		if err := run(exp, "small", 8, 30, 60, 2, 5, 0); err != nil {
+		if err := run(context.Background(), exp, "small", 8, 30, 60, 2, 5, 0); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", "small", 8, 30, 60, 2, 5, 1); err == nil {
+	if err := run(context.Background(), "fig99", "small", 8, 30, 60, 2, 5, 1); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }
 
 func TestRunUnknownScale(t *testing.T) {
-	if err := run("fig1", "nope", 0, 0, 60, 2, 5, 1); err == nil {
+	if err := run(context.Background(), "fig1", "nope", 0, 0, 60, 2, 5, 1); err == nil {
 		t.Error("expected error for unknown scale")
+	}
+}
+
+// TestRunCancelled: a cancelled context aborts an experiment run with
+// the context error instead of a result.
+func TestRunCancelled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, "fig1", "small", 8, 30, 60, 2, 5, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("run under cancelled ctx: %v", err)
+	}
+}
+
+// TestUsageFromRegistry pins the satellite fix: the usage block and the
+// registry can no longer drift, so every registered experiment —
+// defense included — appears in the usage text.
+func TestUsageFromRegistry(t *testing.T) {
+	for _, name := range brainprint.ExperimentNames() {
+		if !strings.Contains(usageText, name) {
+			t.Errorf("usage text is missing experiment %q:\n%s", name, usageText)
+		}
+	}
+	for _, want := range []string{"defense", "gallery enroll|query|info|probe", "serve -db"} {
+		if !strings.Contains(usageText, want) {
+			t.Errorf("usage text is missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+// The serve subcommand: expose an enrolled gallery file as the HTTP
+// identification service of internal/serve.
+//
+//	brainprint gallery enroll -db hcp.bpg -task REST1 -encoding LR
+//	brainprint serve -db hcp.bpg -addr 127.0.0.1:7311
+//	curl -s localhost:7311/healthz
+//	brainprint gallery probe -task REST2 -encoding RL -subject 3 |
+//	    curl -s -X POST --data @- localhost:7311/v1/identify
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"brainprint"
+	"brainprint/internal/serve"
+)
+
+// runServe loads a gallery, wraps it in an attacker session, and runs
+// the HTTP service until SIGINT/SIGTERM.
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint serve", flag.ContinueOnError)
+	var (
+		db          = fs.String("db", "", "gallery file to serve (required)")
+		addr        = fs.String("addr", "127.0.0.1:7311", "listen address (loopback by default; widen deliberately)")
+		k           = fs.Int("k", 5, "default candidates per identification (requests may override with \"k\")")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request identification deadline")
+		parallelism = fs.Int("parallelism", 0, "worker count for identification sweeps (0 = all cores)")
+		maxInflight = fs.Int("max-inflight", 0, "bound on concurrently served requests (0 = 4x workers)")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("serve: -db is required")
+	}
+	g, err := brainprint.OpenGallery(*db)
+	if err != nil {
+		return err
+	}
+	atk, err := brainprint.NewAttacker(g,
+		brainprint.WithParallelism(*parallelism),
+		brainprint.WithTopK(*k))
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(atk, serve.Config{
+		Addr:           *addr,
+		RequestTimeout: *timeout,
+		MaxInflight:    *maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(out, "serving gallery %s (%d subjects, %d features) on http://%s\n",
+		*db, g.Len(), g.Features(), srv.Addr())
+	fmt.Fprintf(out, "endpoints: POST /v1/identify, POST /v1/identify/batch, GET /v1/gallery, GET /v1/metrics, GET /healthz\n")
+	return srv.ListenAndServe(ctx)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestServeFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runServe(nil, &out); err == nil || !strings.Contains(err.Error(), "-db") {
+		t.Errorf("missing -db: %v", err)
+	}
+	if err := runServe([]string{"-db", filepath.Join(t.TempDir(), "nope.bpg")}, &out); err == nil {
+		t.Error("expected error for a missing gallery file")
+	}
+	if err := runServe([]string{"-help"}, &out); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("runServe(-help) = %v, want flag.ErrHelp", err)
+	}
+	if err := runServe([]string{"-db", "x.bpg", "-bogus"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+// TestGalleryProbeEmit drives the probe emitter end to end: the emitted
+// JSON must be a valid identify request for the matching cohort.
+func TestGalleryProbeEmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	var out bytes.Buffer
+	args := []string{"probe", "-scale", "small", "-subjects", "6", "-regions", "30",
+		"-task", "REST2", "-encoding", "RL", "-subject", "3", "-k", "2"}
+	if err := runGallery(args, &out); err != nil {
+		t.Fatalf("gallery probe: %v", err)
+	}
+	var req struct {
+		ID    string    `json:"id"`
+		Probe []float64 `json:"probe"`
+		K     int       `json:"k"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &req); err != nil {
+		t.Fatalf("probe output is not JSON: %v\n%s", err, out.String())
+	}
+	if req.ID != "hcp-s003" || req.K != 2 {
+		t.Errorf("probe request = id %q k %d", req.ID, req.K)
+	}
+	if want := 30 * 29 / 2; len(req.Probe) != want {
+		t.Errorf("probe vector has %d features, want %d", len(req.Probe), want)
+	}
+}
+
+func TestGalleryProbeErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runGallery([]string{"probe", "-subject", "-1"}, &out); err == nil {
+		t.Error("expected error for a negative subject index")
+	}
+	if err := runGallery([]string{"probe", "-scale", "small", "-subjects", "4", "-regions", "24", "-subject", "99"}, &out); err == nil {
+		t.Error("expected error for an out-of-range subject index")
+	}
+}

@@ -2,10 +2,12 @@
 // healthy adults to a clinical cohort of children with ADHD, across a
 // different atlas (116 regions ⇒ 6670 features), a different acquisition
 // protocol, and a case/control mix — and the feature subspace learned on
-// training subjects identifies held-out subjects it has never seen.
+// training subjects identifies held-out subjects it has never seen. The
+// three experiments run through one Attacker session.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	params := brainprint.DefaultADHDParams()
 	params.Controls = 20
 	params.Subtype1 = 10
@@ -24,25 +27,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	attack := brainprint.DefaultAttackConfig()
-
-	f7, err := brainprint.RunFigure7(cohort, attack)
+	attacker, err := brainprint.NewAttacker(nil,
+		brainprint.WithConfig(brainprint.DefaultAttackConfig()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(f7.Render())
+	in := brainprint.ExperimentInput{ADHD: cohort, Trials: 8, TrainFraction: 0.7, Seed: 11}
 
-	f8, err := brainprint.RunFigure8(cohort, attack)
-	if err != nil {
-		log.Fatal(err)
+	for _, name := range []string{"fig7", "fig8", "fig9"} {
+		res, err := attacker.RunExperiment(ctx, name, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Render())
 	}
-	fmt.Println(f8.Render())
-
-	f9, err := brainprint.RunFigure9(cohort, attack, 8, 0.7, 11)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(f9.Render())
 	fmt.Println("the signature generalizes across subjects: features selected on the")
 	fmt.Println("training split identify held-out subjects, as in the paper's 97.2%/94.1%.")
 }

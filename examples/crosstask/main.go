@@ -2,10 +2,13 @@
 // scale: de-anonymizing one dataset compromises subjects in datasets of
 // *different* tasks, with identifiability ordered by how strongly each
 // task expresses the individual signature (rest ≫ language > social ≫
-// motor/working-memory).
+// motor/working-memory). Experiments run through the Attacker session's
+// registry under a cancellable context; the returned interface asserts
+// back to the typed result for programmatic inspection.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +26,17 @@ func main() {
 
 	attack := brainprint.DefaultAttackConfig()
 	attack.Features = 80
-
-	res, err := brainprint.RunFigure5(cohort, attack)
+	attacker, err := brainprint.NewAttacker(nil, brainprint.WithConfig(attack))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	out, err := attacker.RunExperiment(context.Background(), "fig5",
+		brainprint.ExperimentInput{HCP: cohort})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.(*brainprint.CrossTaskResult)
 	fmt.Println(res.Render())
 
 	// Read off the paper's two headline observations.

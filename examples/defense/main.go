@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,8 +24,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	attack := brainprint.DefaultAttackConfig()
-	res, err := brainprint.RunDefense(cohort, []float64{0, 0.3, 0.6}, 200, attack, 11)
+	attacker, err := brainprint.NewAttacker(nil,
+		brainprint.WithConfig(brainprint.DefaultAttackConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := attacker.RunExperiment(context.Background(), "defense",
+		brainprint.ExperimentInput{
+			HCP:                cohort,
+			Sigmas:             []float64{0, 0.3, 0.6},
+			DefenseTopFeatures: 200,
+			Seed:               11,
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

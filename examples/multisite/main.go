@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,8 +27,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	attack := brainprint.DefaultAttackConfig()
-	res, err := brainprint.RunTable2(hcp, adhd, []float64{0.1, 0.2, 0.3, 0.5}, 5, attack, 3)
+	attacker, err := brainprint.NewAttacker(nil,
+		brainprint.WithConfig(brainprint.DefaultAttackConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := attacker.RunExperiment(context.Background(), "table2",
+		brainprint.ExperimentInput{
+			HCP:         hcp,
+			ADHD:        adhd,
+			NoiseLevels: []float64{0.1, 0.2, 0.3, 0.5},
+			Trials:      5,
+			Seed:        3,
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

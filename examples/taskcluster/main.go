@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,8 +22,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := brainprint.RunFigure6(cohort, 0.5,
-		brainprint.TSNEConfig{Perplexity: 12, Iterations: 400, Seed: 7}, 7)
+	attacker, err := brainprint.NewAttacker(nil,
+		brainprint.WithConfig(brainprint.DefaultAttackConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := attacker.RunExperiment(context.Background(), "fig6",
+		brainprint.ExperimentInput{
+			HCP:           cohort,
+			KnownFraction: 0.5,
+			TSNE:          &brainprint.TSNEConfig{Perplexity: 12, Iterations: 400, Seed: 7},
+			Seed:          7,
+		})
 	if err != nil {
 		log.Fatal(err)
 	}

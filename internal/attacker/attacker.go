@@ -1,0 +1,353 @@
+// Package attacker implements the stateful, context-aware session API
+// of the reproduction. The paper's threat model (§2) is inherently a
+// long-lived session: an adversary enrolls one de-anonymized dataset
+// once and then re-identifies subjects in any number of anonymized
+// releases. An Attacker owns that state — the enrolled fingerprint
+// gallery, the attack configuration, and the execution knobs — and
+// serves every probe, batch, stream, and whole-experiment request under
+// a context.Context, so callers (the CLI, the HTTP service, tests) get
+// cancellation, per-request deadlines, and shared worker-pool backing
+// without re-plumbing configuration through free functions.
+//
+// Construction uses functional options:
+//
+//	a, err := attacker.New(g,
+//		attacker.WithConfig(cfg),
+//		attacker.WithParallelism(8),
+//		attacker.WithTopK(5),
+//		attacker.WithAssignment(true))
+//
+// All identification scores are bit-identical to the stateless
+// pipeline (gallery.QueryAll / match.SimilarityMatrix) at any
+// parallelism setting; the session adds lifecycle, not arithmetic.
+package attacker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"brainprint/internal/core"
+	"brainprint/internal/gallery"
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+	"brainprint/internal/parallel"
+)
+
+// ErrNoGallery is returned by identification methods of a session built
+// without an enrolled gallery (experiment-only sessions pass nil).
+var ErrNoGallery = errors.New("attacker: session has no enrolled gallery")
+
+// Attacker is a long-lived identification session: an enrolled gallery
+// plus the attack configuration, shared by every query it serves. The
+// zero value is not usable; construct with New. An Attacker is safe for
+// concurrent use once constructed — all state is read-only after New.
+type Attacker struct {
+	gallery    *gallery.Gallery
+	cfg        core.AttackConfig
+	topK       int
+	assignment bool
+	timeout    time.Duration
+}
+
+// Option configures an Attacker during New. Options are applied in
+// order, so later options override earlier ones (WithParallelism after
+// WithConfig overrides the config's Parallelism field).
+type Option func(*Attacker) error
+
+// WithConfig sets the attack configuration (feature selection and the
+// parallelism knob) used by experiments and, where applicable, queries.
+func WithConfig(cfg core.AttackConfig) Option {
+	return func(a *Attacker) error {
+		a.cfg = cfg
+		return nil
+	}
+}
+
+// WithParallelism bounds the worker count of every sweep the session
+// runs: 0 = all cores, 1 = serial, n = n workers. Results are identical
+// at any setting.
+func WithParallelism(n int) Option {
+	return func(a *Attacker) error {
+		if n < 0 {
+			n = 0
+		}
+		a.cfg.Parallelism = n
+		return nil
+	}
+}
+
+// WithTopK sets how many ranked candidates each identification returns
+// (default 1, the paper's argmax prediction).
+func WithTopK(k int) Option {
+	return func(a *Attacker) error {
+		if k <= 0 {
+			return fmt.Errorf("attacker: WithTopK(%d): k must be positive", k)
+		}
+		a.topK = k
+		return nil
+	}
+}
+
+// WithAssignment enables the optimal one-to-one assignment
+// (Hungarian) on batch identifications: IdentifyBatch additionally
+// returns a bijective probe→subject assignment, the strengthening of
+// the paper's independent argmax that applies when both datasets cover
+// the same population. Requires a square batch (as many probes as
+// enrolled subjects).
+func WithAssignment(on bool) Option {
+	return func(a *Attacker) error {
+		a.assignment = on
+		return nil
+	}
+}
+
+// WithTimeout sets a default per-call deadline applied to every
+// Identify/IdentifyBatch/TaskPredict/RunExperiment invocation (0, the
+// default, means none). An explicit earlier deadline on the caller's
+// context still wins.
+func WithTimeout(d time.Duration) Option {
+	return func(a *Attacker) error {
+		if d < 0 {
+			return fmt.Errorf("attacker: WithTimeout(%v): negative timeout", d)
+		}
+		a.timeout = d
+		return nil
+	}
+}
+
+// New builds a session over an enrolled gallery. gallery may be nil for
+// an experiment-only session (RunExperiment and TaskPredict work;
+// identification methods return ErrNoGallery).
+func New(g *gallery.Gallery, opts ...Option) (*Attacker, error) {
+	a := &Attacker{gallery: g, cfg: core.DefaultAttackConfig(), topK: 1}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Gallery returns the enrolled gallery (nil for experiment-only
+// sessions).
+func (a *Attacker) Gallery() *gallery.Gallery { return a.gallery }
+
+// Config returns the session's attack configuration.
+func (a *Attacker) Config() core.AttackConfig { return a.cfg }
+
+// TopK returns the per-identification candidate count.
+func (a *Attacker) TopK() int { return a.topK }
+
+// Parallelism returns the session's worker knob (0 = all cores).
+func (a *Attacker) Parallelism() int { return a.cfg.Parallelism }
+
+// deadline derives the working context: the session's default timeout
+// when one is configured, the caller's context unchanged otherwise.
+func (a *Attacker) deadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if a.timeout > 0 {
+		return context.WithTimeout(ctx, a.timeout)
+	}
+	return ctx, func() {}
+}
+
+// Identify ranks the topK enrolled subjects most correlated with the
+// probe, best first. The probe may be a gallery-space vector or a raw
+// connectome vector when the gallery carries a feature index.
+// Cancellation aborts the sweep between chunks and returns ctx.Err().
+func (a *Attacker) Identify(ctx context.Context, probe []float64) ([]gallery.Candidate, error) {
+	return a.IdentifyTopK(ctx, probe, a.topK)
+}
+
+// IdentifyTopK is Identify with an explicit per-call candidate count —
+// the entry point serving layers use when a request overrides the
+// session default.
+func (a *Attacker) IdentifyTopK(ctx context.Context, probe []float64, k int) ([]gallery.Candidate, error) {
+	if a.gallery == nil {
+		return nil, ErrNoGallery
+	}
+	ctx, cancel := a.deadline(ctx)
+	defer cancel()
+	return a.gallery.TopKCtx(ctx, probe, k, a.cfg.Parallelism)
+}
+
+// BatchResult is the outcome of one batch identification.
+type BatchResult struct {
+	// Ranked holds, per probe column, the topK candidates best first.
+	// Scores are bit-identical to Gallery.QueryAll and to the rows of
+	// match.SimilarityMatrix at any parallelism setting.
+	Ranked [][]gallery.Candidate
+	// Assignment is the optimal one-to-one probe→subject matching
+	// (Assignment[j] = enrolled index assigned to probe j); nil unless
+	// the session was built WithAssignment(true).
+	Assignment []int
+}
+
+// IdentifyBatch attacks a whole anonymized release at once: probes are
+// the columns of a features×probes matrix. With WithAssignment(true)
+// the result additionally carries the Hungarian bijection over the
+// dense similarity matrix.
+func (a *Attacker) IdentifyBatch(ctx context.Context, probes *linalg.Matrix) (*BatchResult, error) {
+	return a.IdentifyBatchTopK(ctx, probes, a.topK, a.assignment)
+}
+
+// IdentifyBatchTopK is IdentifyBatch with an explicit per-call
+// candidate count and assignment switch — the entry point serving
+// layers use when a request overrides the session defaults. Scores are
+// bit-identical to the session-default path at any parallelism.
+//
+// With assignment the gallery×probes correlations are computed exactly
+// once: the dense matrix the Hungarian matching needs also yields the
+// per-probe top-k (the scores are the same bits, per the gallery's
+// equivalence contract), so the sweep is never run twice.
+func (a *Attacker) IdentifyBatchTopK(ctx context.Context, probes *linalg.Matrix, k int, assignment bool) (*BatchResult, error) {
+	if a.gallery == nil {
+		return nil, ErrNoGallery
+	}
+	ctx, cancel := a.deadline(ctx)
+	defer cancel()
+	if !assignment {
+		ranked, err := a.gallery.QueryAllCtx(ctx, probes, k, a.cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return &BatchResult{Ranked: ranked}, nil
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("attacker: k=%d must be positive", k)
+	}
+	sim, err := a.gallery.DenseSimilarityCtx(ctx, probes, a.cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchResult{Ranked: a.rankedFromDense(sim, k)}
+	if res.Assignment, err = match.AssignmentMatch(sim); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// rankedFromDense extracts the per-probe top-k from a gallery×probes
+// similarity matrix with the query engine's exact ranking order (score
+// descending, ties toward the lower enrollment index).
+func (a *Attacker) rankedFromDense(sim *linalg.Matrix, k int) [][]gallery.Candidate {
+	n, m := sim.Dims()
+	if k > n {
+		k = n
+	}
+	out := make([][]gallery.Candidate, m)
+	for j := 0; j < m; j++ {
+		top := make([]gallery.Candidate, 0, k)
+		for i := 0; i < n; i++ {
+			c := gallery.Candidate{Index: i, ID: a.gallery.ID(i), Score: sim.At(i, j)}
+			lo, hi := 0, len(top)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if c.Score > top[mid].Score || (c.Score == top[mid].Score && c.Index < top[mid].Index) {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			if lo >= k {
+				continue
+			}
+			if len(top) < k {
+				top = append(top, gallery.Candidate{})
+			}
+			copy(top[lo+1:], top[lo:])
+			top[lo] = c
+		}
+		out[j] = top
+	}
+	return out
+}
+
+// Probe is one streamed identification request.
+type Probe struct {
+	// ID is an opaque caller label echoed back on the result.
+	ID string
+	// Vector is the probe fingerprint (gallery-space or raw).
+	Vector []float64
+}
+
+// StreamResult is one streamed identification outcome.
+type StreamResult struct {
+	// Probe echoes the request (results arrive in completion order, not
+	// submission order).
+	Probe Probe
+	// Candidates are the topK matches, best first; nil when Err is set.
+	Candidates []gallery.Candidate
+	// Err reports a per-probe failure (dimension mismatch, …) or the
+	// context error that stopped the stream.
+	Err error
+}
+
+// IdentifyStream attacks an unbounded probe stream: it consumes probes
+// until the channel closes or ctx is cancelled, fanning work out over
+// Parallelism workers, and sends one StreamResult per probe on the
+// returned channel, which is closed when the stream drains. Results
+// arrive in completion order; use Probe.ID to correlate. A cancelled
+// context stops the workers promptly — probes already in flight finish,
+// unread probes are dropped.
+func (a *Attacker) IdentifyStream(ctx context.Context, probes <-chan Probe) <-chan StreamResult {
+	workers := parallel.Workers(a.cfg.Parallelism)
+	out := make(chan StreamResult, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case p, ok := <-probes:
+					if !ok {
+						return
+					}
+					var r StreamResult
+					r.Probe = p
+					if a.gallery == nil {
+						r.Err = ErrNoGallery
+					} else {
+						// The outer fan-out owns the cores; each probe
+						// sweeps serially, like Gallery.QueryAll.
+						r.Candidates, r.Err = a.gallery.TopKCtx(ctx, p.Vector, a.topK, 1)
+					}
+					select {
+					case out <- r:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// TaskPredict runs the §3.3.2 task-inference attack under the session's
+// deadline: scans (rows of points) are embedded with t-SNE and
+// anonymous scans take the label of their nearest known neighbour.
+// Cancellation aborts between gradient iterations.
+func (a *Attacker) TaskPredict(ctx context.Context, points *linalg.Matrix, labels []int, known []bool, cfg core.TaskPredictConfig) (*core.TaskPredictResult, error) {
+	ctx, cancel := a.deadline(ctx)
+	defer cancel()
+	return core.TaskPredictCtx(ctx, points, labels, known, cfg)
+}
+
+// Deanonymize runs the §3.1 dense attack between two group matrices
+// with the session's configuration — the stateless core attack, kept on
+// the session so callers hold one object.
+func (a *Attacker) Deanonymize(ctx context.Context, knownGroup, anonGroup *linalg.Matrix) (*core.AttackResult, error) {
+	ctx, cancel := a.deadline(ctx)
+	defer cancel()
+	return core.DeanonymizeCtx(ctx, knownGroup, anonGroup, a.cfg)
+}

@@ -1,0 +1,221 @@
+package attacker
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"brainprint/internal/core"
+	"brainprint/internal/experiments"
+	"brainprint/internal/synth"
+	"brainprint/internal/tsne"
+)
+
+// Result is what every experiment returns: a structured result that can
+// render the paper's artifact as text.
+type Result interface {
+	Render() string
+}
+
+// Input carries the datasets and sweep parameters of one experiment
+// run. Zero values mean "the defaults the CLI has always used"; the
+// attack configuration itself (feature budget, selection method,
+// parallelism) comes from the session, not the input.
+type Input struct {
+	// HCP is the HCP-like cohort (required when the experiment's spec
+	// says NeedsHCP).
+	HCP *synth.HCPCohort
+	// ADHD is the ADHD-200-like cohort (required when NeedsADHD).
+	ADHD *synth.ADHDCohort
+	// Seed drives every randomized sweep of the experiment.
+	Seed int64
+	// Trials is the repeat count of resampled experiments (default 5).
+	Trials int
+	// KnownFraction is the labelled fraction for task clustering
+	// (default 0.5, the paper's 50 known subjects).
+	KnownFraction float64
+	// TrainFraction is the train split of the transfer experiment
+	// (default 0.7).
+	TrainFraction float64
+	// NoiseLevels are the Table 2 noise-variance fractions (default
+	// 0.1, 0.2, 0.3, the paper's grid).
+	NoiseLevels []float64
+	// Sigmas are the defense sweep noise levels (default 0, 0.2, 0.4,
+	// 0.8).
+	Sigmas []float64
+	// DefenseTopFeatures is the targeted-noise feature budget (default
+	// twice the session's feature budget).
+	DefenseTopFeatures int
+	// TSNE overrides the t-SNE configuration of the clustering attack
+	// (default perplexity 20, 400 iterations, seeded from Seed).
+	TSNE *tsne.Config
+	// Performance overrides the Table 1 regression configuration
+	// (default: the session's feature budget, 4×Trials resampling
+	// splits — the CLI's historical stabilizing multiplier — and Seed).
+	Performance *core.PerformanceConfig
+}
+
+// withDefaults resolves the zero values against the session config.
+func (in Input) withDefaults(cfg core.AttackConfig) Input {
+	if in.Trials <= 0 {
+		in.Trials = 5
+	}
+	if in.KnownFraction <= 0 || in.KnownFraction >= 1 {
+		in.KnownFraction = 0.5
+	}
+	if in.TrainFraction <= 0 || in.TrainFraction >= 1 {
+		in.TrainFraction = 0.7
+	}
+	if len(in.NoiseLevels) == 0 {
+		in.NoiseLevels = []float64{0.1, 0.2, 0.3}
+	}
+	if len(in.Sigmas) == 0 {
+		in.Sigmas = []float64{0, 0.2, 0.4, 0.8}
+	}
+	if in.DefenseTopFeatures <= 0 {
+		in.DefenseTopFeatures = 2 * cfg.Features
+	}
+	if in.TSNE == nil {
+		in.TSNE = &tsne.Config{Perplexity: 20, Iterations: 400, Seed: in.Seed}
+	}
+	if in.Performance == nil {
+		p := core.DefaultPerformanceConfig()
+		p.Features = cfg.Features
+		p.Trials = 4 * in.Trials
+		p.Seed = in.Seed
+		in.Performance = &p
+	}
+	return in
+}
+
+// Experiment is one registry entry: the single source of truth for the
+// experiment's CLI name, its one-line synopsis, which cohorts it needs,
+// and how to run it. The CLI derives its usage text and dispatch from
+// this registry, so the two can never drift.
+type Experiment struct {
+	// Name is the CLI identifier (fig1, table2, defense, …).
+	Name string
+	// Synopsis is a one-line description for usage text.
+	Synopsis string
+	// NeedsHCP/NeedsADHD declare which cohorts Run requires, letting
+	// callers generate expensive cohorts lazily.
+	NeedsHCP  bool
+	NeedsADHD bool
+
+	run func(ctx context.Context, a *Attacker, in Input) (Result, error)
+}
+
+// Run executes the experiment after validating its inputs.
+func (e Experiment) Run(ctx context.Context, a *Attacker, in Input) (Result, error) {
+	if e.NeedsHCP && in.HCP == nil {
+		return nil, fmt.Errorf("attacker: experiment %q needs an HCP cohort", e.Name)
+	}
+	if e.NeedsADHD && in.ADHD == nil {
+		return nil, fmt.Errorf("attacker: experiment %q needs an ADHD cohort", e.Name)
+	}
+	return e.run(ctx, a, in.withDefaults(a.cfg))
+}
+
+// registry lists every experiment in the canonical "all" execution
+// order.
+var registry = []Experiment{
+	{
+		Name: "fig1", Synopsis: "resting-state pairwise similarity (Figure 1)", NeedsHCP: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure1(ctx, in.HCP, a.cfg)
+		},
+	},
+	{
+		Name: "fig2", Synopsis: "language-task pairwise similarity (Figure 2)", NeedsHCP: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure2(ctx, in.HCP, a.cfg)
+		},
+	},
+	{
+		Name: "fig5", Synopsis: "cross-task identification accuracy matrix (Figure 5)", NeedsHCP: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure5(ctx, in.HCP, a.cfg)
+		},
+	},
+	{
+		Name: "fig6", Synopsis: "t-SNE task clustering and prediction (Figure 6)", NeedsHCP: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure6(ctx, in.HCP, in.KnownFraction, *in.TSNE, in.Seed)
+		},
+	},
+	{
+		Name: "table1", Synopsis: "task-performance prediction error (Table 1)", NeedsHCP: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Table1(ctx, in.HCP, *in.Performance)
+		},
+	},
+	{
+		Name: "fig7", Synopsis: "ADHD subtype-1 inter-session similarity (Figure 7)", NeedsADHD: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure7(ctx, in.ADHD, a.cfg)
+		},
+	},
+	{
+		Name: "fig8", Synopsis: "ADHD subtype-3 inter-session similarity (Figure 8)", NeedsADHD: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure8(ctx, in.ADHD, a.cfg)
+		},
+	},
+	{
+		Name: "fig9", Synopsis: "full ADHD cohort with leverage transfer (Figure 9)", NeedsADHD: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Figure9(ctx, in.ADHD, a.cfg, in.Trials, in.TrainFraction, in.Seed)
+		},
+	},
+	{
+		Name: "table2", Synopsis: "multi-site noise robustness sweep (Table 2)", NeedsHCP: true, NeedsADHD: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.Table2(ctx, in.HCP, in.ADHD, in.NoiseLevels, in.Trials, a.cfg, in.Seed)
+		},
+	},
+	{
+		Name: "defense", Synopsis: "targeted vs uniform release-noise defense (§4)", NeedsHCP: true,
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.DefenseSweep(ctx, in.HCP, in.Sigmas, in.DefenseTopFeatures, a.cfg, in.Seed)
+		},
+	},
+}
+
+// Experiments returns every registered experiment in canonical order.
+// The returned slice is a copy.
+func Experiments() []Experiment {
+	return append([]Experiment(nil), registry...)
+}
+
+// Names returns the experiment names in canonical order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Find returns the experiment registered under name.
+func Find(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunExperiment runs one registered experiment by name under the
+// session's configuration and deadline. Unknown names list the valid
+// ones; a cancelled context aborts the sweep between grid cells and
+// surfaces ctx.Err().
+func (a *Attacker) RunExperiment(ctx context.Context, name string, in Input) (Result, error) {
+	e, ok := Find(name)
+	if !ok {
+		return nil, fmt.Errorf("attacker: unknown experiment %q (want one of %s)", name, strings.Join(Names(), ", "))
+	}
+	ctx, cancel := a.deadline(ctx)
+	defer cancel()
+	return e.Run(ctx, a, in)
+}

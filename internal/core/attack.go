@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -85,10 +86,21 @@ type AttackResult struct {
 // (de-anonymized) group only, both groups are restricted to them, and
 // subjects are matched by maximum Pearson correlation.
 func Deanonymize(known, anon *linalg.Matrix, cfg AttackConfig) (*AttackResult, error) {
+	return DeanonymizeCtx(context.Background(), known, anon, cfg)
+}
+
+// DeanonymizeCtx is Deanonymize under a context: cancellation aborts
+// the similarity sweep between row chunks and surfaces ctx.Err(). On
+// success the result is bit-identical to Deanonymize at any
+// parallelism setting.
+func DeanonymizeCtx(ctx context.Context, known, anon *linalg.Matrix, cfg AttackConfig) (*AttackResult, error) {
 	kf, _ := known.Dims()
 	af, _ := anon.Dims()
 	if kf != af {
 		return nil, fmt.Errorf("core: group matrices disagree on features: %d vs %d", kf, af)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res := &AttackResult{}
 
@@ -106,7 +118,7 @@ func Deanonymize(known, anon *linalg.Matrix, cfg AttackConfig) (*AttackResult, e
 		res.Features = allIndices(kf)
 	}
 
-	sim, err := match.SimilarityMatrixP(kSel, aSel, cfg.Parallelism)
+	sim, err := match.SimilarityMatrixCtx(ctx, kSel, aSel, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

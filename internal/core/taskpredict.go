@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/knn"
@@ -41,6 +42,13 @@ type TaskPredictResult struct {
 // labels the attacker knows. Accuracy is computed over the anonymous
 // scans against their (withheld) true labels.
 func TaskPredict(points *linalg.Matrix, labels []int, known []bool, cfg TaskPredictConfig) (*TaskPredictResult, error) {
+	return TaskPredictCtx(context.Background(), points, labels, known, cfg)
+}
+
+// TaskPredictCtx is TaskPredict under a context: the dominant cost, the
+// t-SNE gradient loop, checks ctx every iteration, so cancellation
+// aborts the attack promptly and surfaces ctx.Err().
+func TaskPredictCtx(ctx context.Context, points *linalg.Matrix, labels []int, known []bool, cfg TaskPredictConfig) (*TaskPredictResult, error) {
 	n, _ := points.Dims()
 	if n != len(labels) || n != len(known) {
 		return nil, fmt.Errorf("core: %d points, %d labels, %d known flags", n, len(labels), len(known))
@@ -49,7 +57,7 @@ func TaskPredict(points *linalg.Matrix, labels []int, known []bool, cfg TaskPred
 	if k <= 0 {
 		k = 1
 	}
-	emb, err := tsne.Embed(points, cfg.TSNE)
+	emb, err := tsne.EmbedCtx(ctx, points, cfg.TSNE)
 	if err != nil {
 		return nil, err
 	}

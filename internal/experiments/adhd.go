@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,32 +18,32 @@ import (
 
 // Figure7 reproduces the paper's Figure 7: session-1 vs session-2
 // similarity of ADHD subtype-1 (combined type) subjects.
-func Figure7(c *synth.ADHDCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
-	return adhdSimilarity(c, cfg, "Figure 7: ADHD subtype-1 inter-session similarity", synth.Subtype1)
+func Figure7(ctx context.Context, c *synth.ADHDCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
+	return adhdSimilarity(ctx, c, cfg, "Figure 7: ADHD subtype-1 inter-session similarity", synth.Subtype1)
 }
 
 // Figure8 reproduces Figure 8 for subtype 3 (inattentive type).
-func Figure8(c *synth.ADHDCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
-	return adhdSimilarity(c, cfg, "Figure 8: ADHD subtype-3 inter-session similarity", synth.Subtype3)
+func Figure8(ctx context.Context, c *synth.ADHDCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
+	return adhdSimilarity(ctx, c, cfg, "Figure 8: ADHD subtype-3 inter-session similarity", synth.Subtype3)
 }
 
 // adhdSimilarity runs the attack between the two sessions of the given
 // diagnostic groups.
-func adhdSimilarity(c *synth.ADHDCohort, cfg core.AttackConfig, name string, groups ...synth.ADHDGroup) (*SimilarityResult, error) {
+func adhdSimilarity(ctx context.Context, c *synth.ADHDCohort, cfg core.AttackConfig, name string, groups ...synth.ADHDGroup) (*SimilarityResult, error) {
 	subjects := c.SubjectsInGroups(groups...)
 	if len(subjects) < 2 {
 		return nil, fmt.Errorf("experiments: only %d subjects in groups %v", len(subjects), groups)
 	}
-	known, anon, err := adhdPair(c, subjects, cfg.Parallelism)
+	known, anon, err := adhdPair(ctx, c, subjects, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return pairSimilarity(name, known, anon, cfg)
+	return pairSimilarity(ctx, name, known, anon, cfg)
 }
 
 // adhdPair builds session-1 and session-2 group matrices for a subject
 // subset.
-func adhdPair(c *synth.ADHDCohort, subjects []int, parallelism int) (*linalg.Matrix, *linalg.Matrix, error) {
+func adhdPair(ctx context.Context, c *synth.ADHDCohort, subjects []int, parallelism int) (*linalg.Matrix, *linalg.Matrix, error) {
 	s1, err := c.SessionScans(subjects, 0)
 	if err != nil {
 		return nil, nil, err
@@ -51,16 +52,21 @@ func adhdPair(c *synth.ADHDCohort, subjects []int, parallelism int) (*linalg.Mat
 	if err != nil {
 		return nil, nil, err
 	}
-	known, err := BuildGroupMatrixADHD(s1, connectome.Options{Parallelism: parallelism})
+	known, err := BuildGroupMatrixADHD(ctx, s1, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
-	anon, err := BuildGroupMatrixADHD(s2, connectome.Options{Parallelism: parallelism})
+	anon, err := BuildGroupMatrixADHD(ctx, s2, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
 	return known, anon, nil
 }
+
+// DefaultTransferTrials is the resampling count TransferAccuracy falls
+// back to — the single definition site shared with the facade's
+// compatibility wrapper.
+const DefaultTransferTrials = 10
 
 // Figure9Result extends the similarity result with the train/test
 // feature-transfer accuracy the paper reports alongside Figure 9
@@ -84,7 +90,7 @@ func (r *Figure9Result) Render() string {
 // similarity matrix and the train/test experiment in which the
 // principal features subspace is computed on a training subset of
 // subjects and reused, unchanged, to identify held-out test subjects.
-func Figure9(c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFraction float64, seed int64) (*Figure9Result, error) {
+func Figure9(ctx context.Context, c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFraction float64, seed int64) (*Figure9Result, error) {
 	all := make([]int, c.Params.NumSubjects())
 	for i := range all {
 		all[i] = i
@@ -93,7 +99,8 @@ func Figure9(c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFracti
 	// The three sub-experiments (full-cohort similarity and the two
 	// transfer runs) only read the cohort and write disjoint results, so
 	// they fan out as a group; each keeps its own seed, so the outcome
-	// matches the serial order exactly.
+	// matches the serial order exactly. The group's derived context
+	// cancels the siblings as soon as one fails or the caller cancels.
 	var (
 		sim                *SimilarityResult
 		casesAcc, mixedAcc stats.Summary
@@ -102,18 +109,18 @@ func Figure9(c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFracti
 	if parallel.Workers(cfg.Parallelism) > 1 {
 		subCfg.Parallelism = 1
 	}
-	g := parallel.NewGroup(cfg.Parallelism)
-	g.Go(func() (err error) {
-		sim, err = adhdSimilarity(c, subCfg, "Figure 9: all ADHD-200 subjects (cases + controls)",
+	g, _ := parallel.NewGroupCtx(ctx, cfg.Parallelism)
+	g.Go(func(gctx context.Context) (err error) {
+		sim, err = adhdSimilarity(gctx, c, subCfg, "Figure 9: all ADHD-200 subjects (cases + controls)",
 			synth.Control, synth.Subtype1, synth.Subtype2, synth.Subtype3)
 		return err
 	})
-	g.Go(func() (err error) {
-		casesAcc, err = TransferAccuracy(c, cases, subCfg, trials, trainFraction, seed)
+	g.Go(func(gctx context.Context) (err error) {
+		casesAcc, err = TransferAccuracy(gctx, c, cases, subCfg, trials, trainFraction, seed)
 		return err
 	})
-	g.Go(func() (err error) {
-		mixedAcc, err = TransferAccuracy(c, all, subCfg, trials, trainFraction, seed+1)
+	g.Go(func(gctx context.Context) (err error) {
+		mixedAcc, err = TransferAccuracy(gctx, c, all, subCfg, trials, trainFraction, seed+1)
 		return err
 	})
 	if err := g.Wait(); err != nil {
@@ -127,9 +134,9 @@ func Figure9(c *synth.ADHDCohort, cfg core.AttackConfig, trials int, trainFracti
 // and test sets, leverage scores are computed on the training group
 // matrix only, and the held-out test subjects are identified across
 // sessions in that fixed feature space (§3.3.4's protocol).
-func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig, trials int, trainFraction float64, seed int64) (stats.Summary, error) {
+func TransferAccuracy(ctx context.Context, c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig, trials int, trainFraction float64, seed int64) (stats.Summary, error) {
 	if trials <= 0 {
-		trials = 10
+		trials = DefaultTransferTrials
 	}
 	if trainFraction <= 0 || trainFraction >= 1 {
 		trainFraction = 0.7
@@ -141,7 +148,7 @@ func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig
 	if features <= 0 {
 		features = 100
 	}
-	known, anon, err := adhdPair(c, subjects, cfg.Parallelism)
+	known, anon, err := adhdPair(ctx, c, subjects, cfg.Parallelism)
 	if err != nil {
 		return stats.Summary{}, err
 	}
@@ -164,7 +171,7 @@ func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig
 	if parallel.Workers(cfg.Parallelism) > 1 {
 		trialCfg = 1
 	}
-	err = parallel.ForErr(cfg.Parallelism, trials, 1, func(lo, hi int) error {
+	err = parallel.ForCtx(ctx, cfg.Parallelism, trials, 1, func(lo, hi int) error {
 		for trial := lo; trial < hi; trial++ {
 			rng := rand.New(rand.NewSource(parallel.DeriveSeed(seed, int64(trial))))
 			perm := rng.Perm(n)
@@ -176,7 +183,7 @@ func TransferAccuracy(c *synth.ADHDCohort, subjects []int, cfg core.AttackConfig
 			}
 			kTest := known.SelectRows(featIdx).SelectCols(testIdx)
 			aTest := anon.SelectRows(featIdx).SelectCols(testIdx)
-			sim, err := match.SimilarityMatrixP(kTest, aTest, trialCfg)
+			sim, err := match.SimilarityMatrixCtx(ctx, kTest, aTest, trialCfg)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/connectome"
@@ -46,7 +47,7 @@ func (r *CrossTaskResult) Render() string {
 // identification accuracy on the column group. The row group uses L-R
 // encodings (REST1 for rest); the column group uses R-L encodings
 // (REST2 for rest), exactly as §3.3.1 describes.
-func Figure5(c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error) {
+func Figure5(ctx context.Context, c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error) {
 	conds := synth.TaskConditions
 	known := make([]*linalg.Matrix, len(conds))
 	anon := make([]*linalg.Matrix, len(conds))
@@ -58,7 +59,7 @@ func Figure5(c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error
 	if parallel.Workers(cfg.Parallelism) > 1 {
 		buildOpt.Parallelism = 1
 	}
-	err := parallel.ForErr(cfg.Parallelism, len(conds), 1, func(lo, hi int) error {
+	err := parallel.ForCtx(ctx, cfg.Parallelism, len(conds), 1, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			t := conds[i]
 			kt, at := t, t
@@ -73,10 +74,10 @@ func Figure5(c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error
 			if err != nil {
 				return err
 			}
-			if known[i], err = BuildGroupMatrix(scansK, buildOpt); err != nil {
+			if known[i], err = BuildGroupMatrix(ctx, scansK, buildOpt); err != nil {
 				return err
 			}
-			if anon[i], err = BuildGroupMatrix(scansA, buildOpt); err != nil {
+			if anon[i], err = BuildGroupMatrix(ctx, scansA, buildOpt); err != nil {
 				return err
 			}
 		}
@@ -95,10 +96,10 @@ func Figure5(c *synth.HCPCohort, cfg core.AttackConfig) (*CrossTaskResult, error
 	acc := linalg.NewMatrix(len(conds), len(conds))
 	raw := acc.RawData()
 	cells := len(conds) * len(conds)
-	err = parallel.ForErr(cfg.Parallelism, cells, 1, func(lo, hi int) error {
+	err = parallel.ForCtx(ctx, cfg.Parallelism, cells, 1, func(lo, hi int) error {
 		for cell := lo; cell < hi; cell++ {
 			i, j := cell/len(conds), cell%len(conds)
-			res, err := core.Deanonymize(known[i], anon[j], cellCfg)
+			res, err := core.DeanonymizeCtx(ctx, known[i], anon[j], cellCfg)
 			if err != nil {
 				return fmt.Errorf("experiments: %v vs %v: %w", conds[i], conds[j], err)
 			}

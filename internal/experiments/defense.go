@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -14,6 +15,15 @@ import (
 	"brainprint/internal/synth"
 	"brainprint/internal/tsne"
 )
+
+// DefaultDefenseTopFeatures is the targeted-noise feature budget
+// DefenseSweep falls back to — the single definition site shared with
+// the facade's compatibility wrapper.
+const DefaultDefenseTopFeatures = 200
+
+// DefaultDefenseSigmas returns the noise grid DefenseSweep falls back
+// to (a fresh slice per call; callers may mutate it).
+func DefaultDefenseSigmas() []float64 { return []float64{0.05, 0.15, 0.3} }
 
 // DefenseRow is one cell of the defense sweep: a strategy at a noise
 // level, with the privacy and utility outcomes.
@@ -63,12 +73,12 @@ func (r *DefenseResult) Render() string {
 // attacker's identification accuracy (privacy) and the task-prediction
 // accuracy across all conditions (a utility proxy: the data must stay
 // analyzable).
-func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackCfg core.AttackConfig, seed int64) (*DefenseResult, error) {
+func DefenseSweep(ctx context.Context, c *synth.HCPCohort, sigmas []float64, topFeatures int, attackCfg core.AttackConfig, seed int64) (*DefenseResult, error) {
 	if len(sigmas) == 0 {
-		sigmas = []float64{0.05, 0.15, 0.3}
+		sigmas = DefaultDefenseSigmas()
 	}
 	if topFeatures <= 0 {
-		topFeatures = 200
+		topFeatures = DefaultDefenseTopFeatures
 	}
 
 	// Attacker side: known group from REST1-LR.
@@ -76,7 +86,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 	if err != nil {
 		return nil, err
 	}
-	known, err := BuildGroupMatrix(knownScans, connectome.Options{Parallelism: attackCfg.Parallelism})
+	known, err := BuildGroupMatrix(ctx, knownScans, connectome.Options{Parallelism: attackCfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +95,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 	if err != nil {
 		return nil, err
 	}
-	anon, err := BuildGroupMatrix(anonScans, connectome.Options{Parallelism: attackCfg.Parallelism})
+	anon, err := BuildGroupMatrix(ctx, anonScans, connectome.Options{Parallelism: attackCfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +106,9 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 	var vecs [][]float64
 	var labels []int
 	for ci, task := range conds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		scans, err := c.ScansFor(task, synth.RL)
 		if err != nil {
 			return nil, err
@@ -125,7 +138,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 	if parallel.Workers(attackCfg.Parallelism) > 1 {
 		cellCfg.Parallelism = 1
 	}
-	err = parallel.ForErr(attackCfg.Parallelism, len(rows), 1, func(lo, hi int) error {
+	err = parallel.ForCtx(ctx, attackCfg.Parallelism, len(rows), 1, func(lo, hi int) error {
 		for cell := lo; cell < hi; cell++ {
 			si, sti := cell/len(strategies), cell%len(strategies)
 			sigma, strategy := sigmas[si], strategies[sti]
@@ -135,7 +148,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 				return err
 			}
 			defense.ClampCorrelations(prot.Protected)
-			attack, err := core.Deanonymize(known, prot.Protected, cellCfg)
+			attack, err := core.DeanonymizeCtx(ctx, known, prot.Protected, cellCfg)
 			if err != nil {
 				return err
 			}
@@ -161,7 +174,7 @@ func DefenseSweep(c *synth.HCPCohort, sigmas []float64, topFeatures int, attackC
 					return err
 				}
 			}
-			taskRes, err := core.TaskPredict(taskInput, labels, knownMask, core.TaskPredictConfig{
+			taskRes, err := core.TaskPredictCtx(ctx, taskInput, labels, knownMask, core.TaskPredictConfig{
 				TSNE: tsne.Config{Perplexity: 15, Iterations: 200, Seed: seed},
 			})
 			if err != nil {

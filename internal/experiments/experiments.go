@@ -3,9 +3,16 @@
 // experiment, each returning a structured result with a Render method
 // that prints the same rows or picture the paper reports. DESIGN.md maps
 // each driver to its paper artifact.
+//
+// Every driver takes a context.Context first: the grid sweeps and group
+// builds underneath run on parallel.ForCtx, so a cancelled context
+// aborts a running experiment between cells/scans and surfaces
+// ctx.Err(). Results are bit-identical at any parallelism setting and
+// unaffected by the context on success.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/connectome"
@@ -19,18 +26,19 @@ import (
 // column. Scans are independent, so their connectomes build concurrently
 // under opt.Parallelism; the scan-pair sweep inside each build runs
 // serially then, keeping the total worker count at the knob.
-func BuildGroupMatrix(scans []*synth.Scan, opt connectome.Options) (*linalg.Matrix, error) {
-	return buildGroup(len(scans), opt, func(i int) *linalg.Matrix { return scans[i].Series })
+func BuildGroupMatrix(ctx context.Context, scans []*synth.Scan, opt connectome.Options) (*linalg.Matrix, error) {
+	return buildGroup(ctx, len(scans), opt, func(i int) *linalg.Matrix { return scans[i].Series })
 }
 
 // BuildGroupMatrixADHD converts ADHD-like scans into a group matrix.
-func BuildGroupMatrixADHD(scans []*synth.ADHDScan, opt connectome.Options) (*linalg.Matrix, error) {
-	return buildGroup(len(scans), opt, func(i int) *linalg.Matrix { return scans[i].Series })
+func BuildGroupMatrixADHD(ctx context.Context, scans []*synth.ADHDScan, opt connectome.Options) (*linalg.Matrix, error) {
+	return buildGroup(ctx, len(scans), opt, func(i int) *linalg.Matrix { return scans[i].Series })
 }
 
 // buildGroup fans the per-scan connectome construction out over the
-// scans and stacks the results in scan order.
-func buildGroup(n int, opt connectome.Options, series func(i int) *linalg.Matrix) (*linalg.Matrix, error) {
+// scans and stacks the results in scan order. Cancellation aborts
+// between scans.
+func buildGroup(ctx context.Context, n int, opt connectome.Options, series func(i int) *linalg.Matrix) (*linalg.Matrix, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("experiments: no scans")
 	}
@@ -41,7 +49,7 @@ func buildGroup(n int, opt connectome.Options, series func(i int) *linalg.Matrix
 		inner.Parallelism = 1
 	}
 	cons := make([]*connectome.Connectome, n)
-	err := parallel.ForErr(opt.Parallelism, n, 1, func(lo, hi int) error {
+	err := parallel.ForCtx(ctx, opt.Parallelism, n, 1, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			c, err := connectome.FromRegionSeries(series(i), inner)
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func attackCfg() core.AttackConfig {
 func TestBuildGroupMatrix(t *testing.T) {
 	c := testHCP(t)
 	scans, _ := c.ScansFor(synth.Rest1, synth.LR)
-	g, err := BuildGroupMatrix(scans, connectome.Options{})
+	g, err := BuildGroupMatrix(context.Background(), scans, connectome.Options{})
 	if err != nil {
 		t.Fatalf("BuildGroupMatrix: %v", err)
 	}
@@ -59,14 +60,14 @@ func TestBuildGroupMatrix(t *testing.T) {
 	if r, cc := g.Dims(); r != wantFeatures || cc != 14 {
 		t.Fatalf("dims %dx%d want %dx14", r, cc, wantFeatures)
 	}
-	if _, err := BuildGroupMatrix(nil, connectome.Options{}); err == nil {
+	if _, err := BuildGroupMatrix(context.Background(), nil, connectome.Options{}); err == nil {
 		t.Error("expected error for no scans")
 	}
 }
 
 func TestFigure1ShapeMatchesPaper(t *testing.T) {
 	c := testHCP(t)
-	res, err := Figure1(c, attackCfg())
+	res, err := Figure1(context.Background(), c, attackCfg())
 	if err != nil {
 		t.Fatalf("Figure1: %v", err)
 	}
@@ -84,11 +85,11 @@ func TestFigure1ShapeMatchesPaper(t *testing.T) {
 
 func TestFigure2WeakerContrastThanFigure1(t *testing.T) {
 	c := testHCP(t)
-	f1, err := Figure1(c, attackCfg())
+	f1, err := Figure1(context.Background(), c, attackCfg())
 	if err != nil {
 		t.Fatalf("Figure1: %v", err)
 	}
-	f2, err := Figure2(c, attackCfg())
+	f2, err := Figure2(context.Background(), c, attackCfg())
 	if err != nil {
 		t.Fatalf("Figure2: %v", err)
 	}
@@ -105,7 +106,7 @@ func TestFigure2WeakerContrastThanFigure1(t *testing.T) {
 
 func TestFigure5Shape(t *testing.T) {
 	c := testHCP(t)
-	res, err := Figure5(c, attackCfg())
+	res, err := Figure5(context.Background(), c, attackCfg())
 	if err != nil {
 		t.Fatalf("Figure5: %v", err)
 	}
@@ -151,7 +152,7 @@ func TestFigure5Shape(t *testing.T) {
 
 func TestFigure6Clusters(t *testing.T) {
 	c := testHCP(t)
-	res, err := Figure6(c, 0.5, tsne.Config{Perplexity: 10, Iterations: 250, Seed: 2}, 3)
+	res, err := Figure6(context.Background(), c, 0.5, tsne.Config{Perplexity: 10, Iterations: 250, Seed: 2}, 3)
 	if err != nil {
 		t.Fatalf("Figure6: %v", err)
 	}
@@ -183,7 +184,7 @@ func TestTable1AllTasksPresent(t *testing.T) {
 	cfg := core.DefaultPerformanceConfig()
 	cfg.Trials = 5
 	cfg.Seed = 2
-	res, err := Table1(c, cfg)
+	res, err := Table1(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}
@@ -209,7 +210,7 @@ func TestTable1AllTasksPresent(t *testing.T) {
 func TestFigures7And8(t *testing.T) {
 	c := testADHD(t)
 	cfg := attackCfg()
-	f7, err := Figure7(c, cfg)
+	f7, err := Figure7(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatalf("Figure7: %v", err)
 	}
@@ -219,7 +220,7 @@ func TestFigures7And8(t *testing.T) {
 	if f7.NumSubj != 6 {
 		t.Errorf("subtype-1 subjects = %d want 6", f7.NumSubj)
 	}
-	f8, err := Figure8(c, cfg)
+	f8, err := Figure8(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatalf("Figure8: %v", err)
 	}
@@ -240,7 +241,7 @@ func TestFigure9TransferAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GenerateADHD: %v", err)
 	}
-	res, err := Figure9(c, attackCfg(), 6, 0.7, 5)
+	res, err := Figure9(context.Background(), c, attackCfg(), 6, 0.7, 5)
 	if err != nil {
 		t.Fatalf("Figure9: %v", err)
 	}
@@ -261,7 +262,7 @@ func TestFigure9TransferAccuracy(t *testing.T) {
 
 func TestTransferAccuracyValidation(t *testing.T) {
 	c := testADHD(t)
-	if _, err := TransferAccuracy(c, []int{0, 1}, attackCfg(), 3, 0.7, 1); err == nil {
+	if _, err := TransferAccuracy(context.Background(), c, []int{0, 1}, attackCfg(), 3, 0.7, 1); err == nil {
 		t.Error("expected error for too-few subjects")
 	}
 }
@@ -277,7 +278,7 @@ func TestTable2MonotoneDecay(t *testing.T) {
 		t.Fatalf("GenerateHCP: %v", err)
 	}
 	adhd := testADHD(t)
-	res, err := Table2(hcp, adhd, []float64{0.1, 0.3}, 3, attackCfg(), 7)
+	res, err := Table2(context.Background(), hcp, adhd, []float64{0.1, 0.3}, 3, attackCfg(), 7)
 	if err != nil {
 		t.Fatalf("Table2: %v", err)
 	}
@@ -319,7 +320,7 @@ func TestDefenseSweepTradeoffShape(t *testing.T) {
 		t.Fatalf("GenerateHCP: %v", err)
 	}
 	cfg := attackCfg()
-	res, err := DefenseSweep(c, []float64{0.0, 0.6}, 150, cfg, 4)
+	res, err := DefenseSweep(context.Background(), c, []float64{0.0, 0.6}, 150, cfg, 4)
 	if err != nil {
 		t.Fatalf("DefenseSweep: %v", err)
 	}
@@ -378,7 +379,7 @@ func TestFigure6UsesProjectionForHugeFeatureSpaces(t *testing.T) {
 	if err != nil {
 		t.Fatalf("GenerateHCP: %v", err)
 	}
-	res, err := Figure6(c, 0.5, tsne.Config{Perplexity: 8, Iterations: 150, Seed: 4}, 4)
+	res, err := Figure6(context.Background(), c, 0.5, tsne.Config{Perplexity: 8, Iterations: 150, Seed: 4}, 4)
 	if err != nil {
 		t.Fatalf("Figure6: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -40,7 +41,7 @@ func (r *Table2Result) Render() string {
 // time series of the second session, connectomes are recomputed, and the
 // identification attack is repeated. Each level is run `trials` times
 // with fresh noise.
-func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, trials int, cfg core.AttackConfig, seed int64) (*Table2Result, error) {
+func Table2(ctx context.Context, hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, trials int, cfg core.AttackConfig, seed int64) (*Table2Result, error) {
 	if len(levels) == 0 {
 		levels = []float64{0.1, 0.2, 0.3}
 	}
@@ -57,7 +58,7 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 	if err != nil {
 		return nil, err
 	}
-	hcpKnown, err := BuildGroupMatrix(hcpKnownScans, connectome.Options{Parallelism: cfg.Parallelism})
+	hcpKnown, err := BuildGroupMatrix(ctx, hcpKnownScans, connectome.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +75,7 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 	if err != nil {
 		return nil, err
 	}
-	adhdKnown, err := BuildGroupMatrixADHD(adhdS1, connectome.Options{Parallelism: cfg.Parallelism})
+	adhdKnown, err := BuildGroupMatrixADHD(ctx, adhdS1, connectome.Options{Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +91,7 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 		cellCfg.Parallelism = 1
 	}
 	cellOpt := connectome.Options{Parallelism: cellCfg.Parallelism}
-	err = parallel.ForErr(cfg.Parallelism, len(levels)*trials, 1, func(lo, hi int) error {
+	err = parallel.ForCtx(ctx, cfg.Parallelism, len(levels)*trials, 1, func(lo, hi int) error {
 		for cell := lo; cell < hi; cell++ {
 			li, trial := cell/trials, cell%trials
 			level := levels[li]
@@ -99,11 +100,11 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 			if err != nil {
 				return err
 			}
-			anon, err := BuildGroupMatrix(noisyHCP, cellOpt)
+			anon, err := BuildGroupMatrix(ctx, noisyHCP, cellOpt)
 			if err != nil {
 				return err
 			}
-			r, err := core.Deanonymize(hcpKnown, anon, cellCfg)
+			r, err := core.DeanonymizeCtx(ctx, hcpKnown, anon, cellCfg)
 			if err != nil {
 				return err
 			}
@@ -113,11 +114,11 @@ func Table2(hcp *synth.HCPCohort, adhd *synth.ADHDCohort, levels []float64, tria
 			if err != nil {
 				return err
 			}
-			anonA, err := BuildGroupMatrixADHD(noisyADHD, cellOpt)
+			anonA, err := BuildGroupMatrixADHD(ctx, noisyADHD, cellOpt)
 			if err != nil {
 				return err
 			}
-			rA, err := core.Deanonymize(adhdKnown, anonA, cellCfg)
+			rA, err := core.DeanonymizeCtx(ctx, adhdKnown, anonA, cellCfg)
 			if err != nil {
 				return err
 			}

@@ -10,6 +10,7 @@ package experiments
 // single-core CI runner.
 
 import (
+	"context"
 	"testing"
 
 	"brainprint/internal/connectome"
@@ -39,11 +40,11 @@ func TestDeanonymizeParallelSerialEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	known, err := BuildGroupMatrix(scansK, connectome.Options{Parallelism: 1})
+	known, err := BuildGroupMatrix(context.Background(), scansK, connectome.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	anon, err := BuildGroupMatrix(scansA, connectome.Options{Parallelism: 1})
+	anon, err := BuildGroupMatrix(context.Background(), scansA, connectome.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,23 +81,23 @@ func TestGroupMatrixParallelSerialEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := BuildGroupMatrix(scans, connectome.Options{Parallelism: 1})
+	serial, err := BuildGroupMatrix(context.Background(), scans, connectome.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range equivModes {
-		par, err := BuildGroupMatrix(scans, connectome.Options{Parallelism: mode})
+		par, err := BuildGroupMatrix(context.Background(), scans, connectome.Options{Parallelism: mode})
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}
 		matricesIdentical(t, "GroupMatrix", serial, par)
 	}
 	// FisherZ path too.
-	serialZ, err := BuildGroupMatrix(scans, connectome.Options{FisherZ: true, Parallelism: 1})
+	serialZ, err := BuildGroupMatrix(context.Background(), scans, connectome.Options{FisherZ: true, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parZ, err := BuildGroupMatrix(scans, connectome.Options{FisherZ: true, Parallelism: 4})
+	parZ, err := BuildGroupMatrix(context.Background(), scans, connectome.Options{FisherZ: true, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +108,13 @@ func TestFigure5ParallelSerialEquivalence(t *testing.T) {
 	c := testHCP(t)
 	cfg := attackCfg()
 	cfg.Parallelism = 1
-	serial, err := Figure5(c, cfg)
+	serial, err := Figure5(context.Background(), c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range equivModes {
 		cfg.Parallelism = mode
-		par, err := Figure5(c, cfg)
+		par, err := Figure5(context.Background(), c, cfg)
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}
@@ -134,13 +135,13 @@ func TestTable2ParallelSerialEquivalence(t *testing.T) {
 	adhd := testADHD(t)
 	cfg := attackCfg()
 	cfg.Parallelism = 1
-	serial, err := Table2(hcp, adhd, []float64{0.1, 0.3}, 3, cfg, 7)
+	serial, err := Table2(context.Background(), hcp, adhd, []float64{0.1, 0.3}, 3, cfg, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range equivModes {
 		cfg.Parallelism = mode
-		par, err := Table2(hcp, adhd, []float64{0.1, 0.3}, 3, cfg, 7)
+		par, err := Table2(context.Background(), hcp, adhd, []float64{0.1, 0.3}, 3, cfg, 7)
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}
@@ -158,13 +159,13 @@ func TestTransferAccuracyParallelSerialEquivalence(t *testing.T) {
 	subjects := c.SubjectsInGroups(synth.Control, synth.Subtype1, synth.Subtype3)
 	cfg := attackCfg()
 	cfg.Parallelism = 1
-	serial, err := TransferAccuracy(c, subjects, cfg, 5, 0.7, 11)
+	serial, err := TransferAccuracy(context.Background(), c, subjects, cfg, 5, 0.7, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range equivModes {
 		cfg.Parallelism = mode
-		par, err := TransferAccuracy(c, subjects, cfg, 5, 0.7, 11)
+		par, err := TransferAccuracy(context.Background(), c, subjects, cfg, 5, 0.7, 11)
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}
@@ -187,13 +188,13 @@ func TestDefenseSweepParallelSerialEquivalence(t *testing.T) {
 	cfg := attackCfg()
 	cfg.Features = 60
 	cfg.Parallelism = 1
-	serial, err := DefenseSweep(c, []float64{0.1, 0.5}, 100, cfg, 9)
+	serial, err := DefenseSweep(context.Background(), c, []float64{0.1, 0.5}, 100, cfg, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range equivModes {
 		cfg.Parallelism = mode
-		par, err := DefenseSweep(c, []float64{0.1, 0.5}, 100, cfg, 9)
+		par, err := DefenseSweep(context.Background(), c, []float64{0.1, 0.5}, 100, cfg, 9)
 		if err != nil {
 			t.Fatalf("mode %d: %v", mode, err)
 		}

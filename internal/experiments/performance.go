@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/connectome"
@@ -30,17 +31,20 @@ func (r *Table1Result) Render() string {
 // Table1 reproduces §3.3.3: for each task with a performance metric,
 // regress the scores on leverage-selected connectome features of the
 // L-R scans over repeated random 80/20 splits.
-func Table1(c *synth.HCPCohort, cfg core.PerformanceConfig) (*Table1Result, error) {
+func Table1(ctx context.Context, c *synth.HCPCohort, cfg core.PerformanceConfig) (*Table1Result, error) {
 	out := &Table1Result{
 		Tasks: synth.PerformanceTasks,
 		Rows:  make(map[synth.Task]*core.PerformanceResult, len(synth.PerformanceTasks)),
 	}
 	for _, task := range out.Tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		scans, err := c.ScansFor(task, synth.LR)
 		if err != nil {
 			return nil, err
 		}
-		group, err := BuildGroupMatrix(scans, connectome.Options{})
+		group, err := BuildGroupMatrix(ctx, scans, connectome.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/connectome"
@@ -37,8 +38,8 @@ func (r *SimilarityResult) Render() string {
 
 // pairSimilarity runs the attack between two matched scan groups and
 // summarizes the similarity matrix.
-func pairSimilarity(name string, known, anon *linalg.Matrix, cfg core.AttackConfig) (*SimilarityResult, error) {
-	res, err := core.Deanonymize(known, anon, cfg)
+func pairSimilarity(ctx context.Context, name string, known, anon *linalg.Matrix, cfg core.AttackConfig) (*SimilarityResult, error) {
+	res, err := core.DeanonymizeCtx(ctx, known, anon, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -61,27 +62,27 @@ func pairSimilarity(name string, known, anon *linalg.Matrix, cfg core.AttackConf
 // Figure1 reproduces the paper's Figure 1: pairwise similarity of
 // resting-state connectomes, REST1 L-R (de-anonymized) against REST2
 // R-L (anonymous), in the principal features subspace.
-func Figure1(c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
-	known, anon, err := hcpPair(c, synth.Rest1, synth.LR, synth.Rest2, synth.RL, cfg.Parallelism)
+func Figure1(ctx context.Context, c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
+	known, anon, err := hcpPair(ctx, c, synth.Rest1, synth.LR, synth.Rest2, synth.RL, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return pairSimilarity("Figure 1: resting-state pairwise similarity (REST1-LR vs REST2-RL)", known, anon, cfg)
+	return pairSimilarity(ctx, "Figure 1: resting-state pairwise similarity (REST1-LR vs REST2-RL)", known, anon, cfg)
 }
 
 // Figure2 reproduces Figure 2: pairwise similarity of LANGUAGE task
 // connectomes across encodings. The diagonal remains dominant but with
 // weaker contrast than rest.
-func Figure2(c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
-	known, anon, err := hcpPair(c, synth.Language, synth.LR, synth.Language, synth.RL, cfg.Parallelism)
+func Figure2(ctx context.Context, c *synth.HCPCohort, cfg core.AttackConfig) (*SimilarityResult, error) {
+	known, anon, err := hcpPair(ctx, c, synth.Language, synth.LR, synth.Language, synth.RL, cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return pairSimilarity("Figure 2: language-task pairwise similarity (LANGUAGE-LR vs LANGUAGE-RL)", known, anon, cfg)
+	return pairSimilarity(ctx, "Figure 2: language-task pairwise similarity (LANGUAGE-LR vs LANGUAGE-RL)", known, anon, cfg)
 }
 
 // hcpPair builds the two group matrices for a pair of conditions.
-func hcpPair(c *synth.HCPCohort, t1 synth.Task, e1 synth.Encoding, t2 synth.Task, e2 synth.Encoding, parallelism int) (*linalg.Matrix, *linalg.Matrix, error) {
+func hcpPair(ctx context.Context, c *synth.HCPCohort, t1 synth.Task, e1 synth.Encoding, t2 synth.Task, e2 synth.Encoding, parallelism int) (*linalg.Matrix, *linalg.Matrix, error) {
 	s1, err := c.ScansFor(t1, e1)
 	if err != nil {
 		return nil, nil, err
@@ -90,11 +91,11 @@ func hcpPair(c *synth.HCPCohort, t1 synth.Task, e1 synth.Encoding, t2 synth.Task
 	if err != nil {
 		return nil, nil, err
 	}
-	known, err := BuildGroupMatrix(s1, connectome.Options{Parallelism: parallelism})
+	known, err := BuildGroupMatrix(ctx, s1, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}
-	anon, err := BuildGroupMatrix(s2, connectome.Options{Parallelism: parallelism})
+	anon, err := BuildGroupMatrix(ctx, s2, connectome.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -48,7 +49,7 @@ func (r *TaskClusterResult) Render() string {
 // embed with t-SNE, and predict the task of anonymous scans from their
 // nearest labelled neighbour. knownFraction of scans (stratified per
 // condition) keep their labels, matching the paper's 50 known subjects.
-func Figure6(c *synth.HCPCohort, knownFraction float64, tcfg tsne.Config, seed int64) (*TaskClusterResult, error) {
+func Figure6(ctx context.Context, c *synth.HCPCohort, knownFraction float64, tcfg tsne.Config, seed int64) (*TaskClusterResult, error) {
 	if knownFraction <= 0 || knownFraction >= 1 {
 		knownFraction = 0.5
 	}
@@ -56,6 +57,9 @@ func Figure6(c *synth.HCPCohort, knownFraction float64, tcfg tsne.Config, seed i
 	var vecs [][]float64
 	var labels []int
 	for ci, task := range conds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		scans, err := c.ScansFor(task, synth.LR)
 		if err != nil {
 			return nil, err
@@ -97,7 +101,7 @@ func Figure6(c *synth.HCPCohort, knownFraction float64, tcfg tsne.Config, seed i
 	for i := range known {
 		known[i] = knownSubject[i%subjects]
 	}
-	res, err := core.TaskPredict(pointsT, labels, known, core.TaskPredictConfig{TSNE: tcfg})
+	res, err := core.TaskPredictCtx(ctx, pointsT, labels, known, core.TaskPredictConfig{TSNE: tcfg})
 	if err != nil {
 		return nil, err
 	}

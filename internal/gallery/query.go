@@ -1,6 +1,7 @@
 package gallery
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/linalg"
@@ -44,6 +45,13 @@ func (g *Gallery) TopK(probe []float64, k int) ([]Candidate, error) {
 // lists merge in ascending chunk order, so the result is identical at
 // any setting.
 func (g *Gallery) TopKP(probe []float64, k, parallelism int) ([]Candidate, error) {
+	return g.TopKCtx(context.Background(), probe, k, parallelism)
+}
+
+// TopKCtx is TopKP under a context: the gallery sweep aborts between
+// chunks once ctx is cancelled and returns ctx.Err(). On success the
+// ranking is bit-identical to TopK/TopKP at any parallelism setting.
+func (g *Gallery) TopKCtx(ctx context.Context, probe []float64, k, parallelism int) ([]Candidate, error) {
 	k, err := g.clampK(k)
 	if err != nil {
 		return nil, err
@@ -53,7 +61,7 @@ func (g *Gallery) TopKP(probe []float64, k, parallelism int) ([]Candidate, error
 		return nil, err
 	}
 	stats.ZScore(zp)
-	return g.topK(zp, k, parallelism), nil
+	return g.topK(ctx, zp, k, parallelism)
 }
 
 // QueryAll answers a batch of probes — the columns of a features×probes
@@ -68,6 +76,13 @@ func (g *Gallery) QueryAll(probes *linalg.Matrix, k int) ([][]Candidate, error) 
 // a serial inner sweep — the outer loop owns the cores. Results are
 // identical at any setting.
 func (g *Gallery) QueryAllP(probes *linalg.Matrix, k, parallelism int) ([][]Candidate, error) {
+	return g.QueryAllCtx(context.Background(), probes, k, parallelism)
+}
+
+// QueryAllCtx is QueryAllP under a context: the batch aborts between
+// probes once ctx is cancelled and returns ctx.Err(). On success the
+// rankings are bit-identical to QueryAll/QueryAllP at any setting.
+func (g *Gallery) QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, parallelism int) ([][]Candidate, error) {
 	k, err := g.clampK(k)
 	if err != nil {
 		return nil, err
@@ -77,11 +92,19 @@ func (g *Gallery) QueryAllP(probes *linalg.Matrix, k, parallelism int) ([][]Cand
 		return nil, err
 	}
 	out := make([][]Candidate, len(zcols))
-	parallel.ForWith(parallelism, len(zcols), 1, func(lo, hi int) {
+	err = parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
 		for j := lo; j < hi; j++ {
-			out[j] = g.topK(zcols[j], k, 1)
+			top, err := g.topK(ctx, zcols[j], k, 1)
+			if err != nil {
+				return err
+			}
+			out[j] = top
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -92,6 +115,12 @@ func (g *Gallery) QueryAllP(probes *linalg.Matrix, k, parallelism int) ([][]Cand
 // the same z-scored columns, probes normalize through the same code
 // path, and each entry is the same Dot·(1/features) expression.
 func (g *Gallery) DenseSimilarity(probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	return g.DenseSimilarityCtx(context.Background(), probes, parallelism)
+}
+
+// DenseSimilarityCtx is DenseSimilarity under a context: the row sweep
+// aborts between chunks once ctx is cancelled.
+func (g *Gallery) DenseSimilarityCtx(ctx context.Context, probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
 	if g.Len() == 0 {
 		return nil, fmt.Errorf("gallery: empty gallery")
 	}
@@ -102,7 +131,7 @@ func (g *Gallery) DenseSimilarity(probes *linalg.Matrix, parallelism int) (*lina
 	n, m := g.Len(), len(zcols)
 	out := linalg.NewMatrix(n, m)
 	inv := 1 / float64(g.features)
-	parallel.ForWith(parallelism, n, 1+4096/(g.features*m+1), func(lo, hi int) {
+	err = parallel.ForCtx(ctx, parallelism, n, 1+4096/(g.features*m+1), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			fp := g.fingerprint(i)
 			orow := out.RowView(i)
@@ -110,7 +139,11 @@ func (g *Gallery) DenseSimilarity(probes *linalg.Matrix, parallelism int) (*lina
 				orow[j] = linalg.Dot(fp, zc) * inv
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -127,11 +160,13 @@ func (g *Gallery) clampK(k int) (int, error) {
 
 // topK is the blocked sweep over a z-scored, gallery-space probe: score
 // every enrolled subject, keep the best k. Chunks produce local ranked
-// lists; parallel.Reduce folds them in chunk order.
-func (g *Gallery) topK(zp []float64, k, parallelism int) []Candidate {
+// lists; parallel.ReduceCtx folds them in chunk order, so the ranking
+// is identical at any parallelism and a cancelled ctx aborts between
+// chunks.
+func (g *Gallery) topK(ctx context.Context, zp []float64, k, parallelism int) ([]Candidate, error) {
 	inv := 1 / float64(g.features)
 	grain := 1 + (1<<15)/g.features // ≈32k multiplies per chunk
-	return parallel.Reduce(parallelism, g.Len(), grain, nil,
+	return parallel.ReduceCtx(ctx, parallelism, g.Len(), grain, nil,
 		func(lo, hi int) []Candidate {
 			local := make([]Candidate, 0, min(k, hi-lo))
 			for i := lo; i < hi; i++ {

@@ -6,6 +6,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/linalg"
@@ -29,6 +30,14 @@ func SimilarityMatrix(known, anon *linalg.Matrix) (*linalg.Matrix, error) {
 // written by exactly one worker, so every knob setting produces the
 // same matrix.
 func SimilarityMatrixP(known, anon *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	return SimilarityMatrixCtx(context.Background(), known, anon, parallelism)
+}
+
+// SimilarityMatrixCtx is SimilarityMatrixP under a context: the row
+// sweep aborts between chunks once ctx is cancelled and returns
+// ctx.Err(). On success the matrix is bit-identical to every other
+// entry point at any parallelism setting.
+func SimilarityMatrixCtx(ctx context.Context, known, anon *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
 	kf, kn := known.Dims()
 	af, an := anon.Dims()
 	if kf != af {
@@ -37,25 +46,44 @@ func SimilarityMatrixP(known, anon *linalg.Matrix, parallelism int) (*linalg.Mat
 	if kf == 0 || kn == 0 || an == 0 {
 		return nil, fmt.Errorf("match: empty inputs %dx%d vs %dx%d", kf, kn, af, an)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Z-score columns once so each correlation is a single dot product.
-	zk := ZScoreColumns(known, parallelism)
-	za := ZScoreColumns(anon, parallelism)
+	// The normalization prep is itself cancellable (between columns) so
+	// even the pre-sweep phase of a paper-scale matrix aborts promptly.
+	zk, err := zScoreColumnsCtx(ctx, known, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	za, err := zScoreColumnsCtx(ctx, anon, parallelism)
+	if err != nil {
+		return nil, err
+	}
 	// Work column-major: extract columns once.
 	kcols := make([][]float64, kn)
-	parallel.ForWith(parallelism, kn, 1+1024/kf, func(lo, hi int) {
+	err = parallel.ForCtx(ctx, parallelism, kn, 1+1024/kf, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			kcols[i] = zk.Col(i)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	acols := make([][]float64, an)
-	parallel.ForWith(parallelism, an, 1+1024/kf, func(lo, hi int) {
+	err = parallel.ForCtx(ctx, parallelism, an, 1+1024/kf, func(lo, hi int) error {
 		for j := lo; j < hi; j++ {
 			acols[j] = za.Col(j)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := linalg.NewMatrix(kn, an)
 	inv := 1 / float64(kf)
-	parallel.ForWith(parallelism, kn, 1+4096/(kf*an+1), func(lo, hi int) {
+	err = parallel.ForCtx(ctx, parallelism, kn, 1+4096/(kf*an+1), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			ki := kcols[i]
 			orow := out.RowView(i)
@@ -63,7 +91,11 @@ func SimilarityMatrixP(known, anon *linalg.Matrix, parallelism int) (*linalg.Mat
 				orow[j] = linalg.Dot(ki, acols[j]) * inv
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -101,16 +133,27 @@ func rankColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
 // gallery normalizes probes through this exact code path: sharing it is
 // what makes gallery top-k scores bit-identical to SimilarityMatrix.
 func ZScoreColumns(m *linalg.Matrix, parallelism int) *linalg.Matrix {
+	out, _ := zScoreColumnsCtx(context.Background(), m, parallelism)
+	return out
+}
+
+// zScoreColumnsCtx is ZScoreColumns with cancellation between column
+// chunks; it returns (nil, ctx.Err()) on abort.
+func zScoreColumnsCtx(ctx context.Context, m *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
 	rows, cols := m.Dims()
 	out := linalg.NewMatrix(rows, cols)
-	parallel.ForWith(parallelism, cols, 1+2048/(rows+1), func(lo, hi int) {
+	err := parallel.ForCtx(ctx, parallelism, cols, 1+2048/(rows+1), func(lo, hi int) error {
 		for j := lo; j < hi; j++ {
 			col := m.Col(j)
 			stats.ZScore(col)
 			out.SetCol(j, col)
 		}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Predict returns, for every anonymous subject (column of the similarity

@@ -1,0 +1,209 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForCtxMatchesForErr pins the success-path contract: at any worker
+// count, ForCtx must produce exactly the outputs of ForErr (disjoint
+// chunk writes, same chunking).
+func TestForCtxMatchesForErr(t *testing.T) {
+	const n, grain = 1000, 7
+	want := make([]int, n)
+	if err := ForErr(1, n, grain, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("ForErr: %v", err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		got := make([]int, n)
+		if err := ForCtx(context.Background(), workers, n, grain, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				got[i] = i * i
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("ForCtx(workers=%d): %v", workers, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForCtxPreCancelled verifies a pre-cancelled context aborts before
+// any chunk runs, at serial and parallel worker counts.
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForCtx(ctx, workers, 100, 1, func(lo, hi int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d chunks ran on a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+// TestForCtxMidRunCancel cancels while chunks are in flight and asserts
+// the loop returns promptly without running the remaining chunks and
+// without deadlocking (run under -race in CI).
+func TestForCtxMidRunCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		start := time.Now()
+		err := ForCtx(ctx, workers, 10000, 1, func(lo, hi int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() > int64(3+Workers(workers)) {
+			t.Errorf("workers=%d: %d chunks ran after cancellation", workers, ran.Load())
+		}
+		if elapsed > time.Second {
+			t.Errorf("workers=%d: cancellation took %v, want < 1s", workers, elapsed)
+		}
+	}
+}
+
+// TestForCtxErrorBeatsCancel verifies a chunk error is reported even
+// when the context is cancelled concurrently: real failures are never
+// masked as cancellations.
+func TestForCtxErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForCtx(ctx, 4, 100, 1, func(lo, hi int) error {
+		if lo == 10 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the chunk error", err)
+	}
+}
+
+// TestForCtxLowestErrorWins pins the deterministic-error contract shared
+// with ForErr.
+func TestForCtxLowestErrorWins(t *testing.T) {
+	errLo := errors.New("low")
+	errHi := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := ForCtx(context.Background(), 4, 64, 1, func(lo, hi int) error {
+			switch lo {
+			case 5:
+				return errLo
+			case 40:
+				return errHi
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if errors.Is(err, errHi) {
+			t.Fatalf("trial %d: high-range error reported over low-range", trial)
+		}
+	}
+}
+
+// TestReduceCtxMatchesReduce pins ReduceCtx's success path to Reduce.
+func TestReduceCtxMatchesReduce(t *testing.T) {
+	mapFn := func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	}
+	merge := func(a, b int) int { return a + b }
+	want := Reduce(1, 500, 13, 0, mapFn, merge)
+	for _, workers := range []int{1, 3, 0} {
+		got, err := ReduceCtx(context.Background(), workers, 500, 13, 0, mapFn, merge)
+		if err != nil {
+			t.Fatalf("ReduceCtx(workers=%d): %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: got %d want %d", workers, got, want)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := ReduceCtx(ctx, 2, 500, 13, 0, mapFn, merge)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ReduceCtx err = %v", err)
+	}
+	if got != 0 {
+		t.Errorf("cancelled ReduceCtx leaked a partial value %d", got)
+	}
+}
+
+// TestGroupCtx verifies error propagation and sibling cancellation: once
+// one task fails, the derived context stops the others.
+func TestGroupCtx(t *testing.T) {
+	boom := errors.New("boom")
+	g, ctx := NewGroupCtx(context.Background(), 2)
+	g.Go(func(context.Context) error { return boom })
+	g.Go(func(tctx context.Context) error {
+		select {
+		case <-tctx.Done():
+			return nil // sibling failure cancelled us — expected
+		case <-time.After(5 * time.Second):
+			return errors.New("derived context never cancelled")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Errorf("Wait = %v, want task error", err)
+	}
+	if ctx.Err() == nil {
+		t.Error("derived context still live after Wait")
+	}
+}
+
+// TestGroupCtxParentCancel verifies an outside cancellation surfaces as
+// the parent context's error and stops unstarted tasks.
+func TestGroupCtxParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g, _ := NewGroupCtx(ctx, 2)
+	g.Go(func(tctx context.Context) error {
+		<-tctx.Done()
+		return nil
+	})
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait = %v, want context.Canceled", err)
+	}
+	var ran atomic.Bool
+	g.Go(func(context.Context) error { ran.Store(true); return nil })
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Errorf("second Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Error("task started after the group was cancelled")
+	}
+}

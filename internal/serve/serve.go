@@ -1,0 +1,453 @@
+// Package serve exposes a loaded fingerprint gallery as an HTTP/JSON
+// identification service — the serving surface of the attacker session
+// API. The paper's threat model is enrollment-once, query-many: an
+// adversary (or, defensively, a data steward auditing re-identification
+// risk before release) holds a gallery of known subjects and needs to
+// score a stream of anonymized probes against it. The service wraps an
+// attacker.Attacker and answers:
+//
+//	POST /v1/identify        one probe  → ranked top-k candidates
+//	POST /v1/identify/batch  many probes → per-probe rankings
+//	                         (+ optional Hungarian assignment)
+//	GET  /v1/gallery         gallery metadata and enrolled IDs
+//	GET  /v1/metrics         per-endpoint request counters/latency
+//	GET  /healthz            liveness + gallery summary
+//
+// Every request runs under a per-request timeout (the identification
+// sweeps underneath are context-aware, so a slow request is truly
+// aborted, not abandoned), concurrent requests are bounded by an
+// in-flight semaphore, and scores are bit-identical to the library's
+// offline pipeline at any parallelism.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"brainprint/internal/attacker"
+	"brainprint/internal/gallery"
+	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
+)
+
+// Config tunes the HTTP service.
+type Config struct {
+	// Addr is the listen address (default 127.0.0.1:7311 — loopback:
+	// the gallery is sensitive; expose it deliberately, not by default).
+	Addr string
+	// RequestTimeout bounds each request's identification work
+	// (default 30s). Exceeding it aborts the sweep and returns 504.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served identification requests
+	// (default 4× the worker count); excess requests get 503 rather
+	// than queueing without bound.
+	MaxInflight int
+	// MaxBatch bounds the probe count of one batch request
+	// (default 4096).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (default 256 MiB, enough for
+	// a paper-scale raw batch).
+	MaxBodyBytes int64
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults(parallelism int) Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7311"
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * parallel.Workers(parallelism)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+	return c
+}
+
+// endpointMetrics are the per-endpoint counters exposed at /v1/metrics.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	micros   atomic.Int64 // summed wall time of finished requests
+}
+
+// observe records one finished request.
+func (m *endpointMetrics) observe(start time.Time, failed bool) {
+	m.requests.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	m.micros.Add(time.Since(start).Microseconds())
+}
+
+// snapshot renders the counters for the metrics endpoint.
+func (m *endpointMetrics) snapshot() map[string]any {
+	n := m.requests.Load()
+	out := map[string]any{
+		"requests": n,
+		"errors":   m.errors.Load(),
+	}
+	if n > 0 {
+		out["avg_latency_ms"] = float64(m.micros.Load()) / float64(n) / 1000
+	}
+	return out
+}
+
+// Server is the HTTP identification service over one attacker session.
+type Server struct {
+	atk     *attacker.Attacker
+	cfg     Config
+	started time.Time
+
+	inflight chan struct{}
+
+	mIdentify endpointMetrics
+	mBatch    endpointMetrics
+	mGallery  endpointMetrics
+	mHealth   endpointMetrics
+}
+
+// New builds a service over a session with a non-empty gallery.
+func New(atk *attacker.Attacker, cfg Config) (*Server, error) {
+	if atk == nil {
+		return nil, fmt.Errorf("serve: nil attacker session")
+	}
+	g := atk.Gallery()
+	if g == nil || g.Len() == 0 {
+		return nil, fmt.Errorf("serve: session has no enrolled gallery")
+	}
+	cfg = cfg.withDefaults(atk.Parallelism())
+	return &Server{
+		atk:      atk,
+		cfg:      cfg,
+		started:  time.Now(),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+	}, nil
+}
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Handler returns the service's routing table; exposed so tests can
+// drive the full stack through httptest without a socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
+	mux.HandleFunc("POST /v1/identify/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/gallery", s.handleGallery)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// ListenAndServe runs the service until ctx is cancelled, then shuts
+// down gracefully: in-flight requests get 5s to finish (request
+// contexts deliberately do not descend from ctx — cancelling the
+// server must not abort work already accepted; the per-request timeout
+// still bounds it). It returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	srv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound the whole read, not just headers: a client trickling a
+		// body can otherwise hold a connection (and, once admitted, an
+		// in-flight slot) indefinitely.
+		ReadTimeout: s.cfg.RequestTimeout + 30*time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shctx)
+	}
+}
+
+// ---- request/response schema ----
+
+// candidateJSON is one ranked identification hypothesis on the wire.
+type candidateJSON struct {
+	Index int     `json:"index"`
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+func toJSON(cands []gallery.Candidate) []candidateJSON {
+	out := make([]candidateJSON, len(cands))
+	for i, c := range cands {
+		out[i] = candidateJSON{Index: c.Index, ID: c.ID, Score: c.Score}
+	}
+	return out
+}
+
+type identifyRequest struct {
+	// ID is an opaque caller label echoed back.
+	ID string `json:"id,omitempty"`
+	// Probe is the fingerprint vector (gallery-space, or raw when the
+	// gallery carries a feature index).
+	Probe []float64 `json:"probe"`
+	// K overrides the session's candidate count (optional).
+	K int `json:"k,omitempty"`
+}
+
+type identifyResponse struct {
+	ID         string          `json:"id,omitempty"`
+	Candidates []candidateJSON `json:"candidates"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+}
+
+type batchRequest struct {
+	IDs    []string    `json:"ids,omitempty"`
+	Probes [][]float64 `json:"probes"`
+	K      int         `json:"k,omitempty"`
+	// Assignment requests the optimal one-to-one matching (requires as
+	// many probes as enrolled subjects).
+	Assignment bool `json:"assignment,omitempty"`
+}
+
+type batchResponse struct {
+	IDs        []string          `json:"ids,omitempty"`
+	Results    [][]candidateJSON `json:"results"`
+	Assignment []int             `json:"assignment,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+// acquire reserves an in-flight slot or fails fast with 503. Handlers
+// call it only after the request body is fully decoded and validated,
+// so a slow-reading client cannot pin a slot while it trickles bytes.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server at capacity"})
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.inflight }
+
+// requestCtx derives the per-request working context.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mIdentify.observe(start, failed) }()
+
+	var req identifyRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if len(req.Probe) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing probe vector"})
+		return
+	}
+	k, ok := s.resolveK(w, req.K)
+	if !ok {
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	cands, err := s.atk.IdentifyTopK(ctx, req.Probe, k)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, identifyResponse{
+		ID:         req.ID,
+		Candidates: toJSON(cands),
+		ElapsedMS:  msSince(start),
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mBatch.observe(start, failed) }()
+
+	var req batchRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if len(req.Probes) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing probes"})
+		return
+	}
+	if len(req.Probes) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d probes exceeds limit %d", len(req.Probes), s.cfg.MaxBatch)})
+		return
+	}
+	if req.IDs != nil && len(req.IDs) != len(req.Probes) {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("%d ids for %d probes", len(req.IDs), len(req.Probes))})
+		return
+	}
+	probes, err := probesMatrix(req.Probes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	k, ok := s.resolveK(w, req.K)
+	if !ok {
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	batch, err := s.atk.IdentifyBatchTopK(ctx, probes, k, req.Assignment)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	resp := batchResponse{
+		IDs:        req.IDs,
+		Results:    make([][]candidateJSON, len(batch.Ranked)),
+		Assignment: batch.Assignment,
+	}
+	for j, top := range batch.Ranked {
+		resp.Results[j] = toJSON(top)
+	}
+	failed = false
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.mGallery.observe(start, false) }()
+	g := s.atk.Gallery()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"subjects":       g.Len(),
+		"features":       g.Features(),
+		"format_version": gallery.FormatVersion,
+		"feature_index":  g.FeatureIndex() != nil,
+		"ids":            g.IDs(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"inflight":       len(s.inflight),
+		"max_inflight":   s.cfg.MaxInflight,
+		"endpoints": map[string]any{
+			"identify": s.mIdentify.snapshot(),
+			"batch":    s.mBatch.snapshot(),
+			"gallery":  s.mGallery.snapshot(),
+			"healthz":  s.mHealth.snapshot(),
+		},
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.mHealth.observe(start, false) }()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"subjects":       s.atk.Gallery().Len(),
+		"features":       s.atk.Gallery().Features(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// ---- helpers ----
+
+// resolveK validates the requested candidate count, falling back to the
+// session default.
+func (s *Server) resolveK(w http.ResponseWriter, k int) (int, bool) {
+	if k == 0 {
+		k = s.atk.TopK()
+	}
+	if k < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("k=%d must be positive", k)})
+		return 0, false
+	}
+	return k, true
+}
+
+// probesMatrix stacks row-probes into the features×probes column matrix
+// the query engine consumes.
+func probesMatrix(rows [][]float64) (*linalg.Matrix, error) {
+	f := len(rows[0])
+	if f == 0 {
+		return nil, fmt.Errorf("probe 0 is empty")
+	}
+	for j, p := range rows {
+		if len(p) != f {
+			return nil, fmt.Errorf("probe %d has %d features, probe 0 has %d", j, len(p), f)
+		}
+	}
+	m := linalg.NewMatrix(f, len(rows))
+	for j, p := range rows {
+		m.SetCol(j, p)
+	}
+	return m, nil
+}
+
+// decodeBody parses a bounded JSON body, writing 400 on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeQueryError maps identification failures to HTTP statuses:
+// deadline → 504, caller-cancelled → 499-style 503, dimension problems
+// → 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "identification timed out"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}

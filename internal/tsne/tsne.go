@@ -8,6 +8,7 @@
 package tsne
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -73,6 +74,13 @@ type Result struct {
 // Embed maps the rows of x (n points × d features) into the low-
 // dimensional space.
 func Embed(x *linalg.Matrix, cfg Config) (*Result, error) {
+	return EmbedCtx(context.Background(), x, cfg)
+}
+
+// EmbedCtx is Embed under a context: the gradient loop checks ctx every
+// iteration and returns ctx.Err() on cancellation, so even long
+// paper-scale embeddings abort promptly.
+func EmbedCtx(ctx context.Context, x *linalg.Matrix, cfg Config) (*Result, error) {
 	n, _ := x.Dims()
 	if n < 4 {
 		return nil, fmt.Errorf("tsne: need at least 4 points, got %d", n)
@@ -81,7 +89,7 @@ func Embed(x *linalg.Matrix, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return EmbedDistances(d2, n, cfg)
+	return EmbedDistancesCtx(ctx, d2, n, cfg)
 }
 
 // SquaredDistances computes the n×n matrix of squared Euclidean
@@ -111,6 +119,11 @@ func SquaredDistances(x *linalg.Matrix) (*linalg.Matrix, error) {
 // EmbedDistances runs t-SNE from a precomputed n×n squared-distance
 // matrix.
 func EmbedDistances(d2 *linalg.Matrix, n int, cfg Config) (*Result, error) {
+	return EmbedDistancesCtx(context.Background(), d2, n, cfg)
+}
+
+// EmbedDistancesCtx is EmbedDistances under a context (see EmbedCtx).
+func EmbedDistancesCtx(ctx context.Context, d2 *linalg.Matrix, n int, cfg Config) (*Result, error) {
 	if r, c := d2.Dims(); r != n || c != n {
 		return nil, fmt.Errorf("tsne: distance matrix is %dx%d, want %dx%d", r, c, n, n)
 	}
@@ -139,6 +152,9 @@ func EmbedDistances(d2 *linalg.Matrix, n int, cfg Config) (*Result, error) {
 		p.RawData()[i] *= exaggerate
 	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if iter == cfg.ExaggerationIters {
 			inv := 1 / exaggerate
 			for i := range p.RawData() {

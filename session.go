@@ -1,0 +1,124 @@
+package brainprint
+
+// The context-aware session API: a stateful Attacker owns the enrolled
+// fingerprint gallery and the attack configuration, and serves probes,
+// batches, streams, and whole experiments under a context.Context. This
+// is the primary public API; the stateless free functions in
+// brainprint.go remain as thin compatibility wrappers over it.
+
+import (
+	"context"
+	"time"
+
+	"brainprint/internal/attacker"
+	"brainprint/internal/gallery"
+)
+
+// Attacker is a long-lived identification session: it owns an enrolled
+// fingerprint gallery plus the attack configuration and serves
+// Identify, IdentifyBatch, IdentifyStream, TaskPredict, Deanonymize and
+// RunExperiment under a context. Construct with NewAttacker; safe for
+// concurrent use.
+type Attacker = attacker.Attacker
+
+// AttackerOption configures NewAttacker; options apply in order, later
+// options win.
+type AttackerOption = attacker.Option
+
+// Probe is one streamed identification request (an opaque ID plus the
+// fingerprint vector).
+type Probe = attacker.Probe
+
+// StreamResult is one streamed identification outcome.
+type StreamResult = attacker.StreamResult
+
+// BatchResult is the outcome of Attacker.IdentifyBatch: per-probe
+// ranked candidates, plus the optimal one-to-one assignment when the
+// session was built WithAssignment(true).
+type BatchResult = attacker.BatchResult
+
+// ExperimentInput carries the cohorts and sweep parameters of one
+// Attacker.RunExperiment call; zero values mean the documented
+// defaults.
+type ExperimentInput = attacker.Input
+
+// ExperimentResult is the structured outcome of an experiment; Render
+// prints the paper's artifact as text.
+type ExperimentResult = attacker.Result
+
+// ExperimentSpec describes one registered experiment: its CLI name,
+// one-line synopsis, and which cohorts it needs. The CLI's usage text
+// and dispatch both derive from this registry.
+type ExperimentSpec = attacker.Experiment
+
+// ErrNoGallery is returned by identification methods of an Attacker
+// built without a gallery.
+var ErrNoGallery = attacker.ErrNoGallery
+
+// NewAttacker builds an identification session over an enrolled
+// gallery. Pass nil for an experiment-only session (RunExperiment and
+// TaskPredict work; identification methods return ErrNoGallery).
+func NewAttacker(g *Gallery, opts ...AttackerOption) (*Attacker, error) {
+	return attacker.New(g, opts...)
+}
+
+// WithConfig sets the session's attack configuration.
+func WithConfig(cfg AttackConfig) AttackerOption { return attacker.WithConfig(cfg) }
+
+// WithParallelism bounds the session's worker count (0 = all cores,
+// 1 = serial). Results are identical at any setting.
+func WithParallelism(n int) AttackerOption { return attacker.WithParallelism(n) }
+
+// WithTopK sets how many ranked candidates each identification returns
+// (default 1).
+func WithTopK(k int) AttackerOption { return attacker.WithTopK(k) }
+
+// WithAssignment enables the Hungarian one-to-one assignment on batch
+// identifications.
+func WithAssignment(on bool) AttackerOption { return attacker.WithAssignment(on) }
+
+// WithTimeout sets a default per-call deadline for every session
+// method (0 = none).
+func WithTimeout(d time.Duration) AttackerOption { return attacker.WithTimeout(d) }
+
+// Experiments returns every registered experiment in canonical "all"
+// order.
+func Experiments() []ExperimentSpec { return attacker.Experiments() }
+
+// ExperimentNames returns the registered experiment names in canonical
+// order — the single source of the CLI's experiment list.
+func ExperimentNames() []string { return attacker.Names() }
+
+// LookupExperiment returns the experiment registered under name.
+func LookupExperiment(name string) (ExperimentSpec, bool) { return attacker.Find(name) }
+
+// ---- Typed gallery errors ----
+//
+// Re-exported so callers can errors.Is against facade symbols without
+// importing internal/gallery.
+var (
+	// ErrGalleryBadMagic: the file is not a gallery file.
+	ErrGalleryBadMagic = gallery.ErrBadMagic
+	// ErrGalleryVersion: unsupported gallery format version.
+	ErrGalleryVersion = gallery.ErrVersion
+	// ErrGalleryTruncated: the file ends mid-header or mid-record.
+	ErrGalleryTruncated = gallery.ErrTruncated
+	// ErrGalleryChecksum: a header or record failed CRC verification.
+	ErrGalleryChecksum = gallery.ErrChecksum
+	// ErrGalleryDimMismatch: fingerprint dimensions disagree with the
+	// gallery on enrollment, query, or in a corrupt header.
+	ErrGalleryDimMismatch = gallery.ErrDimMismatch
+	// ErrGalleryDuplicateID: a subject ID is already enrolled.
+	ErrGalleryDuplicateID = gallery.ErrDuplicateID
+)
+
+// runExperimentCompat backs the deprecated RunFigureX/RunTableX/
+// RunDefense wrappers: a throwaway session around the legacy positional
+// arguments, run under context.Background().
+func runExperimentCompat(name string, cfg AttackConfig, in ExperimentInput) (ExperimentResult, error) {
+	a, err := NewAttacker(nil, WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return a.RunExperiment(context.Background(), name, in)
+}
