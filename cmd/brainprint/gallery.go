@@ -1,15 +1,21 @@
 // The gallery subcommands: enroll synthetic cohorts into a persistent
-// fingerprint database on disk, inspect it, and attack anonymous probe
-// sessions against it with ranked top-k queries.
+// fingerprint database on disk (single-file or sharded), inspect it,
+// convert between layouts, and attack anonymous probe sessions against
+// it with ranked top-k queries.
 //
 //	brainprint gallery enroll -db hcp.bpg -task REST1 -encoding LR
-//	brainprint gallery info   -db hcp.bpg
-//	brainprint gallery query  -db hcp.bpg -task REST2 -encoding RL -k 5
+//	brainprint gallery shard  -db hcp.bpg -out hcp.bpm -shards 4 -quantize
+//	brainprint gallery info   -db hcp.bpm
+//	brainprint gallery query  -db hcp.bpm -task REST2 -encoding RL -k 5
 //	brainprint gallery probe  -task REST2 -encoding RL -subject 3
+//
+// query, info, and serve accept either a single-file gallery (.bpg) or
+// a shard manifest (.bpm) — the store layer auto-detects the format.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,11 +28,13 @@ import (
 // runGallery dispatches the gallery subcommands.
 func runGallery(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("gallery: missing subcommand (want enroll, query, info, or probe)")
+		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, query, info, or probe)")
 	}
 	switch args[0] {
 	case "enroll":
 		return galleryEnroll(args[1:], out)
+	case "shard":
+		return galleryShard(args[1:], out)
 	case "query":
 		return galleryQuery(args[1:], out)
 	case "info":
@@ -34,8 +42,22 @@ func runGallery(args []string, out io.Writer) error {
 	case "probe":
 		return galleryProbe(args[1:], out)
 	default:
-		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, query, info, or probe)", args[0])
+		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, query, info, or probe)", args[0])
 	}
+}
+
+// openStore opens a gallery database of either layout, downgrading a
+// partial shard failure to a warning so degraded stores stay usable
+// from the CLI (the typed error still names every faulted shard).
+func openStore(path string, out io.Writer) (*brainprint.GalleryStore, error) {
+	store, err := brainprint.OpenGalleryStore(path)
+	if err != nil {
+		if !errors.Is(err, brainprint.ErrGalleryPartial) {
+			return nil, err
+		}
+		fmt.Fprintf(out, "warning: %v\n", err)
+	}
+	return store, nil
 }
 
 // cohortFlags are the flags shared by enroll and query: they select the
@@ -140,20 +162,29 @@ func (c *cohortFlags) buildGroup() ([]string, *brainprint.Matrix, error) {
 }
 
 // galleryEnroll builds fingerprints for one cohort session and writes
-// (or, with -append, extends) a gallery file.
+// (or, with -append, extends) a gallery file — or, with -shards/
+// -quantize, a sharded store (manifest plus shard files).
 func galleryEnroll(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("brainprint gallery enroll", flag.ContinueOnError)
 	var cf cohortFlags
 	cf.register(fs)
-	db := fs.String("db", "", "gallery file to write (required)")
+	db := fs.String("db", "", "gallery file (or shard manifest, with -shards/-quantize) to write (required)")
 	features := fs.Int("features", 100, "principal-features subspace size selected on the enrollment group (0 = keep every feature)")
 	appendMode := fs.Bool("append", false, "append to an existing gallery file instead of creating one (uses the file's stored feature index)")
 	force := fs.Bool("force", false, "overwrite an existing gallery file")
+	shards := fs.Int("shards", 1, "write a sharded store with this many shard files (1 = single-file gallery)")
+	quantize := fs.Bool("quantize", false, "store int8 scalar-quantization parameters and enable the quantized scan path (implies a sharded store)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *db == "" {
 		return fmt.Errorf("gallery enroll: -db is required")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("gallery enroll: -shards %d must be at least 1", *shards)
+	}
+	if *appendMode && (*shards > 1 || *quantize) {
+		return fmt.Errorf("gallery enroll: -append cannot be combined with -shards/-quantize (append targets a single-file gallery)")
 	}
 	if *appendMode {
 		// Appending reuses the file's stored feature selection; an
@@ -200,6 +231,18 @@ func galleryEnroll(args []string, out io.Writer) error {
 	if err := g.EnrollMatrix(ids, fps); err != nil {
 		return err
 	}
+	if *shards > 1 || *quantize {
+		store, err := brainprint.NewGalleryStore(g, *shards, *quantize)
+		if err != nil {
+			return err
+		}
+		if err := store.WriteFiles(*db); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "enrolled %d subjects (%d features each) into %s (%d shards%s)\n",
+			g.Len(), g.Features(), *db, *shards, quantSuffix(*quantize))
+		return nil
+	}
 	if err := g.WriteFile(*db); err != nil {
 		return err
 	}
@@ -207,12 +250,60 @@ func galleryEnroll(args []string, out io.Writer) error {
 	return nil
 }
 
-// galleryQuery attacks a probe session against an enrolled gallery.
+// quantSuffix renders the ", quantized" tail of enroll/shard messages.
+func quantSuffix(on bool) string {
+	if on {
+		return ", quantized"
+	}
+	return ""
+}
+
+// galleryShard converts a single-file gallery into a sharded store:
+// subjects are routed by the stable hash, shard files are standard
+// gallery files, and the manifest records per-shard checksums and dims.
+// With -quantize the store also carries int8 scalar-quantization
+// parameters, enabling the approximate-scan-exact-rescore path.
+func galleryShard(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery shard", flag.ContinueOnError)
+	db := fs.String("db", "", "single-file gallery to convert (required)")
+	outPath := fs.String("out", "", "shard manifest to write (required; shard files land beside it)")
+	shards := fs.Int("shards", 4, "shard count")
+	quantize := fs.Bool("quantize", false, "derive int8 scalar-quantization parameters and enable the quantized scan path")
+	force := fs.Bool("force", false, "overwrite an existing manifest")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" || *outPath == "" {
+		return fmt.Errorf("gallery shard: -db and -out are required")
+	}
+	if !*force {
+		if _, err := os.Stat(*outPath); err == nil {
+			return fmt.Errorf("gallery shard: %s already exists (use -force to overwrite)", *outPath)
+		}
+	}
+	g, err := brainprint.OpenGallery(*db)
+	if err != nil {
+		return err
+	}
+	store, err := brainprint.NewGalleryStore(g, *shards, *quantize)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteFiles(*outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "sharded %d subjects (%d features each) from %s into %s (%d shards%s)\n",
+		g.Len(), g.Features(), *db, *outPath, *shards, quantSuffix(*quantize))
+	return nil
+}
+
+// galleryQuery attacks a probe session against an enrolled gallery or
+// sharded store.
 func galleryQuery(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("brainprint gallery query", flag.ContinueOnError)
 	var cf cohortFlags
 	cf.register(fs)
-	db := fs.String("db", "", "gallery file to query (required)")
+	db := fs.String("db", "", "gallery file or shard manifest to query (required)")
 	k := fs.Int("k", 5, "candidates to report per probe")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -220,7 +311,7 @@ func galleryQuery(args []string, out io.Writer) error {
 	if *db == "" {
 		return fmt.Errorf("gallery query: -db is required")
 	}
-	g, err := brainprint.OpenGallery(*db)
+	g, err := openStore(*db, out)
 	if err != nil {
 		return err
 	}
@@ -302,33 +393,67 @@ func galleryProbe(args []string, out io.Writer) error {
 	return enc.Encode(req)
 }
 
-// galleryInfo prints the header metadata of a gallery file.
+// galleryInfo prints the metadata and per-shard health of a gallery
+// database. For sharded stores each shard reports its record count,
+// size, and checksum status; a faulted shard (missing file, CRC
+// failure, manifest↔shard dims mismatch) is flagged with its typed
+// diagnosis instead of aborting the whole inspection with a raw decode
+// error.
 func galleryInfo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("brainprint gallery info", flag.ContinueOnError)
-	db := fs.String("db", "", "gallery file to inspect (required)")
+	db := fs.String("db", "", "gallery file or shard manifest to inspect (required)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *db == "" {
 		return fmt.Errorf("gallery info: -db is required")
 	}
-	g, err := brainprint.OpenGallery(*db)
-	if err != nil {
-		return err
-	}
-	st, err := os.Stat(*db)
-	if err != nil {
+	g, err := brainprint.OpenGalleryStore(*db)
+	if err != nil && !errors.Is(err, brainprint.ErrGalleryPartial) {
 		return err
 	}
 	fmt.Fprintf(out, "gallery %s\n", *db)
-	fmt.Fprintf(out, "  format version: %d\n", brainprint.GalleryFormatVersion)
-	fmt.Fprintf(out, "  size on disk:   %d bytes\n", st.Size())
-	fmt.Fprintf(out, "  subjects:       %d\n", g.Len())
+	if g.HasManifest() {
+		fmt.Fprintf(out, "  layout:         %d shard(s) (manifest version %d, shard format version %d)\n",
+			g.Shards(), brainprint.GalleryManifestVersion, brainprint.GalleryFormatVersion)
+	} else {
+		fmt.Fprintf(out, "  layout:         single file (format version %d)\n", brainprint.GalleryFormatVersion)
+	}
+	if g.HasQuant() {
+		fmt.Fprintf(out, "  quantized:      int8 scalar scan with exact float64 rescore\n")
+	}
+	stats := g.Stats()
+	var bytes int64
+	loaded := 0
+	for _, st := range stats {
+		if st.Loaded {
+			bytes += st.Meta.Bytes
+			loaded++
+		}
+	}
+	fmt.Fprintf(out, "  data on disk:   %d bytes across %d of %d shard file(s)\n", bytes, loaded, len(stats))
+	fmt.Fprintf(out, "  subjects:       %d", g.Len())
+	if g.LoadedShards() < g.Shards() {
+		fmt.Fprintf(out, " (loaded shards only; %d shard(s) unavailable)", g.Shards()-g.LoadedShards())
+	}
+	fmt.Fprintln(out)
 	fmt.Fprintf(out, "  features:       %d\n", g.Features())
 	if idx := g.FeatureIndex(); idx != nil {
 		fmt.Fprintf(out, "  feature index:  %d raw-space rows (probes may be full connectome vectors)\n", len(idx))
 	} else {
 		fmt.Fprintf(out, "  feature index:  none (probes must be gallery-space vectors)\n")
+	}
+	if len(stats) > 1 {
+		fmt.Fprintf(out, "  shards:\n")
+		for i, st := range stats {
+			switch {
+			case st.Loaded:
+				fmt.Fprintf(out, "    [%d] %-16s %5d records  %8d bytes  checksum ok\n",
+					i, st.Meta.Name, st.Meta.Records, st.Meta.Bytes)
+			default:
+				fmt.Fprintf(out, "    [%d] %-16s FAULT: %v\n", i, st.Meta.Name, st.Err)
+			}
+		}
 	}
 	if g.Len() > 0 {
 		n := min(g.Len(), 5)

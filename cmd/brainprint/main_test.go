@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -103,7 +104,7 @@ func TestUsageFromRegistry(t *testing.T) {
 			t.Errorf("usage text is missing experiment %q:\n%s", name, usageText)
 		}
 	}
-	for _, want := range []string{"defense", "gallery enroll|query|info|probe", "serve -db"} {
+	for _, want := range []string{"defense", "gallery enroll|shard|query|info|probe", "serve -db"} {
 		if !strings.Contains(usageText, want) {
 			t.Errorf("usage text is missing %q", want)
 		}
@@ -159,6 +160,113 @@ func TestGallerySubcommands(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "12 enrolled subjects (k=3)") || !strings.Contains(out.String(), "top-1:") {
 		t.Errorf("query output:\n%s", out.String())
+	}
+}
+
+// TestGalleryShardSubcommands drives the sharded-store lifecycle from
+// the CLI: enroll a single-file gallery, convert it with `gallery
+// shard -quantize`, inspect the per-shard stats, and query the store —
+// the query accuracy line must match the single-file gallery's, since
+// sharded scores are bit-identical.
+func TestGalleryShardSubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	db := filepath.Join(dir, "hcp.bpg")
+	manifest := filepath.Join(dir, "hcp.bpm")
+	var out bytes.Buffer
+	size := []string{"-scale", "small", "-subjects", "6", "-regions", "30"}
+
+	enroll := append([]string{"enroll", "-db", db, "-task", "REST1", "-encoding", "LR", "-features", "40"}, size...)
+	if err := runGallery(enroll, &out); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+
+	out.Reset()
+	if err := runGallery([]string{"shard", "-db", db, "-out", manifest, "-shards", "3", "-quantize"}, &out); err != nil {
+		t.Fatalf("shard: %v", err)
+	}
+	if !strings.Contains(out.String(), "sharded 6 subjects") || !strings.Contains(out.String(), "3 shards, quantized") {
+		t.Errorf("shard output: %q", out.String())
+	}
+	// Refuses to clobber without -force.
+	if err := runGallery([]string{"shard", "-db", db, "-out", manifest, "-shards", "3"}, &out); err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Errorf("expected overwrite refusal, got %v", err)
+	}
+
+	out.Reset()
+	if err := runGallery([]string{"info", "-db", manifest}, &out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, want := range []string{"layout:         3 shard(s)", "quantized:      int8", "subjects:       6", "checksum ok", "hcp.s000.bpg"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Query against the manifest and the single file: same accuracy line.
+	query := append([]string{"query", "-task", "REST2", "-encoding", "RL", "-k", "3"}, size...)
+	out.Reset()
+	if err := runGallery(append([]string{query[0], "-db", manifest}, query[1:]...), &out); err != nil {
+		t.Fatalf("query (sharded): %v", err)
+	}
+	sharded := out.String()
+	out.Reset()
+	if err := runGallery(append([]string{query[0], "-db", db}, query[1:]...), &out); err != nil {
+		t.Fatalf("query (single): %v", err)
+	}
+	single := out.String()
+	if !strings.Contains(sharded, "6 enrolled subjects (k=3)") || !strings.Contains(sharded, "top-1:") {
+		t.Errorf("sharded query output:\n%s", sharded)
+	}
+	shardAcc := sharded[strings.Index(sharded, "top-1:"):]
+	singleAcc := single[strings.Index(single, "top-1:"):]
+	if shardAcc != singleAcc {
+		t.Errorf("sharded accuracy %q != single-file %q", shardAcc, singleAcc)
+	}
+
+	// Direct sharded enrollment (no intermediate single file).
+	direct := filepath.Join(dir, "direct.bpm")
+	out.Reset()
+	enrollSharded := append([]string{"enroll", "-db", direct, "-task", "REST1", "-encoding", "LR", "-features", "40", "-shards", "2"}, size...)
+	if err := runGallery(enrollSharded, &out); err != nil {
+		t.Fatalf("enroll -shards: %v", err)
+	}
+	if !strings.Contains(out.String(), "(2 shards)") {
+		t.Errorf("enroll -shards output: %q", out.String())
+	}
+	// -append conflicts with sharded output.
+	if err := runGallery([]string{"enroll", "-db", direct, "-append", "-shards", "2"}, &out); err == nil || !strings.Contains(err.Error(), "-append") {
+		t.Errorf("expected -append/-shards conflict, got %v", err)
+	}
+}
+
+// TestGalleryInfoFlagsMissingShard: deleting one shard file must leave
+// info working, flagging the missing shard instead of failing.
+func TestGalleryInfoFlagsMissingShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "hcp.bpm")
+	var out bytes.Buffer
+	enroll := []string{"enroll", "-db", manifest, "-task", "REST1", "-encoding", "LR", "-features", "40",
+		"-shards", "3", "-scale", "small", "-subjects", "6", "-regions", "30"}
+	if err := runGallery(enroll, &out); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, "hcp.s001.bpg")); err != nil {
+		t.Fatalf("remove shard: %v", err)
+	}
+	out.Reset()
+	if err := runGallery([]string{"info", "-db", manifest}, &out); err != nil {
+		t.Fatalf("info on degraded store: %v", err)
+	}
+	for _, want := range []string{"FAULT", "shard file missing", "shard(s) unavailable"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("degraded info output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

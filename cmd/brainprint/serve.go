@@ -22,12 +22,15 @@ import (
 	"brainprint/internal/serve"
 )
 
-// runServe loads a gallery, wraps it in an attacker session, and runs
-// the HTTP service until SIGINT/SIGTERM.
+// runServe loads a gallery (single-file or sharded manifest), wraps it
+// in an attacker session, and runs the HTTP service until
+// SIGINT/SIGTERM. A partially loaded sharded store serves in degraded
+// mode (surviving shards only) with a startup warning and a "degraded"
+// /healthz status.
 func runServe(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("brainprint serve", flag.ContinueOnError)
 	var (
-		db          = fs.String("db", "", "gallery file to serve (required)")
+		db          = fs.String("db", "", "gallery file or shard manifest to serve (required)")
 		addr        = fs.String("addr", "127.0.0.1:7311", "listen address (loopback by default; widen deliberately)")
 		k           = fs.Int("k", 5, "default candidates per identification (requests may override with \"k\")")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-request identification deadline")
@@ -40,7 +43,7 @@ func runServe(args []string, out io.Writer) error {
 	if *db == "" {
 		return fmt.Errorf("serve: -db is required")
 	}
-	g, err := brainprint.OpenGallery(*db)
+	g, err := openStore(*db, out)
 	if err != nil {
 		return err
 	}
@@ -60,8 +63,15 @@ func runServe(args []string, out io.Writer) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(out, "serving gallery %s (%d subjects, %d features) on http://%s\n",
-		*db, g.Len(), g.Features(), srv.Addr())
+	layout := "single file"
+	if g.Shards() > 1 {
+		layout = fmt.Sprintf("%d/%d shards loaded", g.LoadedShards(), g.Shards())
+	}
+	if g.Quantized() {
+		layout += ", quantized scan"
+	}
+	fmt.Fprintf(out, "serving gallery %s (%d subjects, %d features, %s) on http://%s\n",
+		*db, g.Len(), g.Features(), layout, srv.Addr())
 	fmt.Fprintf(out, "endpoints: POST /v1/identify, POST /v1/identify/batch, GET /v1/gallery, GET /v1/metrics, GET /healthz\n")
 	return srv.ListenAndServe(ctx)
 }

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"time"
 
@@ -41,11 +42,14 @@ import (
 var ErrNoGallery = errors.New("attacker: session has no enrolled gallery")
 
 // Attacker is a long-lived identification session: an enrolled gallery
-// plus the attack configuration, shared by every query it serves. The
-// zero value is not usable; construct with New. An Attacker is safe for
-// concurrent use once constructed — all state is read-only after New.
+// engine plus the attack configuration, shared by every query it
+// serves. The engine may be a single-file gallery or a sharded store
+// (internal/gallery/shard) — the session is written against
+// gallery.Engine and never cares which. The zero value is not usable;
+// construct with New. An Attacker is safe for concurrent use once
+// constructed — all state is read-only after New.
 type Attacker struct {
-	gallery    *gallery.Gallery
+	gallery    gallery.Engine
 	cfg        core.AttackConfig
 	topK       int
 	assignment bool
@@ -118,10 +122,14 @@ func WithTimeout(d time.Duration) Option {
 	}
 }
 
-// New builds a session over an enrolled gallery. gallery may be nil for
-// an experiment-only session (RunExperiment and TaskPredict work;
+// New builds a session over an enrolled gallery engine — a single-file
+// *gallery.Gallery or a sharded *shard.Store. g may be nil for an
+// experiment-only session (RunExperiment and TaskPredict work;
 // identification methods return ErrNoGallery).
-func New(g *gallery.Gallery, opts ...Option) (*Attacker, error) {
+func New(g gallery.Engine, opts ...Option) (*Attacker, error) {
+	if isNilEngine(g) {
+		g = nil
+	}
 	a := &Attacker{gallery: g, cfg: core.DefaultAttackConfig(), topK: 1}
 	for _, opt := range opts {
 		if err := opt(a); err != nil {
@@ -131,9 +139,20 @@ func New(g *gallery.Gallery, opts ...Option) (*Attacker, error) {
 	return a, nil
 }
 
-// Gallery returns the enrolled gallery (nil for experiment-only
+// isNilEngine detects a typed-nil engine (a nil *gallery.Gallery passed
+// through the interface parameter), which would otherwise dodge the
+// ErrNoGallery guard and panic inside a query.
+func isNilEngine(g gallery.Engine) bool {
+	if g == nil {
+		return true
+	}
+	v := reflect.ValueOf(g)
+	return v.Kind() == reflect.Pointer && v.IsNil()
+}
+
+// Gallery returns the enrolled gallery engine (nil for experiment-only
 // sessions).
-func (a *Attacker) Gallery() *gallery.Gallery { return a.gallery }
+func (a *Attacker) Gallery() gallery.Engine { return a.gallery }
 
 // Config returns the session's attack configuration.
 func (a *Attacker) Config() core.AttackConfig { return a.cfg }
@@ -231,34 +250,20 @@ func (a *Attacker) IdentifyBatchTopK(ctx context.Context, probes *linalg.Matrix,
 
 // rankedFromDense extracts the per-probe top-k from a gallery×probes
 // similarity matrix with the query engine's exact ranking order (score
-// descending, ties toward the lower enrollment index).
+// descending, ties toward the lower canonical index).
 func (a *Attacker) rankedFromDense(sim *linalg.Matrix, k int) [][]gallery.Candidate {
 	n, m := sim.Dims()
 	if k > n {
 		k = n
 	}
+	outranks := func(x, y gallery.Candidate) bool {
+		return x.Score > y.Score || (x.Score == y.Score && x.Index < y.Index)
+	}
 	out := make([][]gallery.Candidate, m)
 	for j := 0; j < m; j++ {
 		top := make([]gallery.Candidate, 0, k)
 		for i := 0; i < n; i++ {
-			c := gallery.Candidate{Index: i, ID: a.gallery.ID(i), Score: sim.At(i, j)}
-			lo, hi := 0, len(top)
-			for lo < hi {
-				mid := (lo + hi) / 2
-				if c.Score > top[mid].Score || (c.Score == top[mid].Score && c.Index < top[mid].Index) {
-					hi = mid
-				} else {
-					lo = mid + 1
-				}
-			}
-			if lo >= k {
-				continue
-			}
-			if len(top) < k {
-				top = append(top, gallery.Candidate{})
-			}
-			copy(top[lo+1:], top[lo:])
-			top[lo] = c
+			top = gallery.RankInsert(top, gallery.Candidate{Index: i, ID: a.gallery.ID(i), Score: sim.At(i, j)}, k, outranks)
 		}
 		out[j] = top
 	}

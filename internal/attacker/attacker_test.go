@@ -87,7 +87,7 @@ func TestIdentifyBatchBitIdentical(t *testing.T) {
 	}
 
 	// Reference 2: the gallery query engine.
-	wantRanked, err := a.Gallery().QueryAll(probes, 3)
+	wantRanked, err := a.Gallery().QueryAllCtx(context.Background(), probes, 3, 0)
 	if err != nil {
 		t.Fatalf("QueryAll: %v", err)
 	}
@@ -201,7 +201,7 @@ func TestAssignment(t *testing.T) {
 	}
 	// The assignment path derives rankings from the dense matrix; they
 	// must be identical to the query engine's.
-	wantRanked, err := a.Gallery().QueryAll(probes, 3)
+	wantRanked, err := a.Gallery().QueryAllCtx(context.Background(), probes, 3, 0)
 	if err != nil {
 		t.Fatalf("QueryAll: %v", err)
 	}
@@ -226,7 +226,7 @@ func TestAssignment(t *testing.T) {
 	}
 	// The bijection must reproduce the Hungarian run on the dense
 	// similarity matrix.
-	sim, err := a.Gallery().DenseSimilarity(probes, 0)
+	sim, err := a.Gallery().DenseSimilarityCtx(context.Background(), probes, 0)
 	if err != nil {
 		t.Fatalf("DenseSimilarity: %v", err)
 	}

@@ -14,6 +14,8 @@ import (
 // Result is what every experiment returns: a structured result that can
 // render the paper's artifact as text.
 type Result interface {
+	// Render prints the paper's artifact (ASCII heatmap, aligned
+	// table, …) as text.
 	Render() string
 }
 
@@ -97,9 +99,10 @@ type Experiment struct {
 	Name string
 	// Synopsis is a one-line description for usage text.
 	Synopsis string
-	// NeedsHCP/NeedsADHD declare which cohorts Run requires, letting
+	// NeedsHCP declares that Run requires an HCP-like cohort, letting
 	// callers generate expensive cohorts lazily.
-	NeedsHCP  bool
+	NeedsHCP bool
+	// NeedsADHD declares that Run requires an ADHD-like cohort.
 	NeedsADHD bool
 
 	run func(ctx context.Context, a *Attacker, in Input) (Result, error)

@@ -19,11 +19,48 @@
 package gallery
 
 import (
+	"context"
 	"fmt"
 
 	"brainprint/internal/linalg"
 	"brainprint/internal/stats"
 )
+
+// Engine is the query surface shared by the single-file Gallery and the
+// sharded store (internal/gallery/shard.Store): enumeration of the
+// enrolled subjects plus the three context-aware query paths. The
+// attacker session and the HTTP service are written against this
+// interface, so a million-subject sharded store drops in wherever a
+// single-file gallery works today. Implementations must keep scores
+// bit-identical to match.SimilarityMatrix and results independent of
+// the parallelism setting.
+type Engine interface {
+	// Len returns the number of enrolled subjects.
+	Len() int
+	// Features returns the fingerprint dimensionality.
+	Features() int
+	// FeatureIndex returns the raw-space feature indices the engine was
+	// built over, or nil when fingerprints are used as-is.
+	FeatureIndex() []int
+	// IDs returns the enrolled subject IDs in the engine's canonical
+	// enumeration order; the caller must not mutate the result.
+	IDs() []string
+	// ID returns the subject ID at canonical index i.
+	ID(i int) string
+	// Index returns the canonical index of a subject ID, or -1.
+	Index(id string) int
+	// TopKCtx ranks the k enrolled subjects most correlated with the
+	// probe, best first.
+	TopKCtx(ctx context.Context, probe []float64, k, parallelism int) ([]Candidate, error)
+	// QueryAllCtx answers a batch of probes (matrix columns), one
+	// ranked top-k list per probe.
+	QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, parallelism int) ([][]Candidate, error)
+	// DenseSimilarityCtx materializes the full subjects×probes
+	// similarity matrix, rows in canonical index order.
+	DenseSimilarityCtx(ctx context.Context, probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error)
+}
+
+var _ Engine = (*Gallery)(nil)
 
 // Gallery is an in-memory set of enrolled fingerprints, loaded from or
 // saved to the binary gallery format. Fingerprints are stored z-scored
@@ -90,6 +127,37 @@ func (g *Gallery) Index(id string) int {
 // fingerprint returns the stored z-scored vector of subject i, aliased.
 func (g *Gallery) fingerprint(i int) []float64 {
 	return g.vecs[i*g.features : (i+1)*g.features]
+}
+
+// Fingerprint returns the stored z-scored fingerprint of subject i,
+// aliased into the gallery's backing array — the caller must not mutate
+// it. It is the raw material the sharded store's scan and exact-rescore
+// paths read, exported so the shard engine can score records without
+// copying the gallery.
+func (g *Gallery) Fingerprint(i int) []float64 { return g.fingerprint(i) }
+
+// EnrollNormalized adds one subject whose fingerprint is already in
+// gallery space and already z-scored, storing it verbatim without
+// renormalization. Re-running stats.ZScore over an already z-scored
+// vector would perturb the stored bits (the recomputed mean is ~1e-17,
+// not exactly 0), so the shard router and format migrations use this
+// path to move records between galleries while preserving the
+// bit-identical-scores contract. IDs must be unique and the vector must
+// have exactly Features() entries.
+func (g *Gallery) EnrollNormalized(id string, z []float64) error {
+	if _, dup := g.byID[id]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	if len(id) > maxIDLen {
+		return fmt.Errorf("gallery: subject id is %d bytes (max %d)", len(id), maxIDLen)
+	}
+	if len(z) != g.features {
+		return fmt.Errorf("%w: got %d features, gallery has %d", ErrDimMismatch, len(z), g.features)
+	}
+	g.byID[id] = len(g.ids)
+	g.ids = append(g.ids, id)
+	g.vecs = append(g.vecs, z...)
+	return nil
 }
 
 // Enroll adds one subject. The fingerprint may be given in gallery space

@@ -209,12 +209,29 @@ func (g *Gallery) prepProbes(probes *linalg.Matrix, parallelism int) ([][]float6
 	return cols, nil
 }
 
-// insertRanked inserts c into a descending-ranked list bounded at k.
+// insertRanked inserts c into a descending-ranked list bounded at k,
+// under this gallery's index-tiebreak order.
 func insertRanked(list []Candidate, c Candidate, k int) []Candidate {
+	return RankInsert(list, c, k, better)
+}
+
+// mergeRanked merges two descending-ranked lists, keeping at most k.
+// Equal-score ties resolve by index through better, so the merge is
+// order-deterministic.
+func mergeRanked(a, b []Candidate, k int) []Candidate {
+	return RankMerge(a, b, k, better)
+}
+
+// RankInsert inserts c into a descending-ranked list bounded at k
+// under the strict total order outranks (true when a outranks b). It
+// is the single implementation of bounded ranked insertion shared by
+// this package (index tiebreak) and the sharded store (subject-ID
+// tiebreak); the list is mutated and returned.
+func RankInsert(list []Candidate, c Candidate, k int, outranks func(a, b Candidate) bool) []Candidate {
 	lo, hi := 0, len(list)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if better(c, list[mid]) {
+		if outranks(c, list[mid]) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -231,10 +248,10 @@ func insertRanked(list []Candidate, c Candidate, k int) []Candidate {
 	return list
 }
 
-// mergeRanked merges two descending-ranked lists, keeping at most k.
-// Equal-score ties resolve by index through better, so the merge is
-// order-deterministic.
-func mergeRanked(a, b []Candidate, k int) []Candidate {
+// RankMerge merges two lists descending-ranked under outranks, keeping
+// at most k. A strict total order makes the merge deterministic
+// regardless of how candidates were partitioned into a and b.
+func RankMerge(a, b []Candidate, k int, outranks func(a, b Candidate) bool) []Candidate {
 	if len(a) == 0 {
 		return b
 	}
@@ -244,7 +261,7 @@ func mergeRanked(a, b []Candidate, k int) []Candidate {
 	out := make([]Candidate, 0, min(len(a)+len(b), k))
 	i, j := 0, 0
 	for len(out) < k && (i < len(a) || j < len(b)) {
-		if j >= len(b) || (i < len(a) && better(a[i], b[j])) {
+		if j >= len(b) || (i < len(a) && outranks(a[i], b[j])) {
 			out = append(out, a[i])
 			i++
 		} else {

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/match"
+)
+
+// BenchmarkShardTopK pins the four ways to attack a probe batch against
+// galleries of 1k, 10k, and 100k synthetic subjects:
+//
+//	dense      match.SimilarityMatrix over the raw groups (recomputes
+//	           normalization every run — what the experiment drivers do)
+//	single     single-file gallery top-k (the PR 2 engine)
+//	sharded    8-shard store, exact fan-out scan
+//	quantized  8-shard store, int8 approximate scan + exact rescore
+//
+// All four return identical top-1 subjects; sharded and quantized
+// additionally return bit-identical scores to single (the equivalence
+// tests pin this). The JSON benchmark artifact (BENCH_pr4.json) records
+// the trajectory.
+func BenchmarkShardTopK(b *testing.B) {
+	const features, probes, k = 100, 16, 5
+	for _, subjects := range []int{1_000, 10_000, 100_000} {
+		known := randomGroup(int64(subjects), features, subjects)
+		anon := randomGroup(int64(subjects)+1, features, probes)
+		ids := make([]string, subjects)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("s%06d", i)
+		}
+		g := gallery.New(features)
+		if err := g.EnrollMatrix(ids, known); err != nil {
+			b.Fatalf("EnrollMatrix: %v", err)
+		}
+		s, err := FromGallery(g, 8, true)
+		if err != nil {
+			b.Fatalf("FromGallery: %v", err)
+		}
+
+		scale := fmt.Sprintf("%dk", subjects/1000)
+		if subjects <= 10_000 { // dense is O(n·m) memory; skip at 100k
+			b.Run("dense/"+scale, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sim, err := match.SimilarityMatrix(known, anon)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if pred := match.Predict(sim); len(pred) != probes {
+						b.Fatal("short result")
+					}
+				}
+			})
+		}
+		b.Run("single/"+scale, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranked, err := g.QueryAll(anon, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranked) != probes {
+					b.Fatal("short result")
+				}
+			}
+		})
+		b.Run("sharded/"+scale, func(b *testing.B) {
+			if err := s.SetQuantized(false); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranked, err := s.QueryAll(anon, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranked) != probes {
+					b.Fatal("short result")
+				}
+			}
+		})
+		b.Run("quantized/"+scale, func(b *testing.B) {
+			if err := s.SetQuantized(true); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranked, err := s.QueryAll(anon, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranked) != probes {
+					b.Fatal("short result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardOpen measures cold-start deserialization of a sharded
+// store — manifest decode, per-shard gallery load, whole-file CRC
+// verification, and int8 quantization table construction.
+func BenchmarkShardOpen(b *testing.B) {
+	const features, subjects = 100, 10_000
+	ids := make([]string, subjects)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%06d", i)
+	}
+	g := gallery.New(features)
+	if err := g.EnrollMatrix(ids, randomGroup(7, features, subjects)); err != nil {
+		b.Fatalf("EnrollMatrix: %v", err)
+	}
+	s, err := FromGallery(g, 8, true)
+	if err != nil {
+		b.Fatalf("FromGallery: %v", err)
+	}
+	manifest := b.TempDir() + "/g.bpm"
+	if err := s.WriteFiles(manifest); err != nil {
+		b.Fatalf("WriteFiles: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(manifest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Len() != subjects {
+			b.Fatal("short store")
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"math"
+
+	"brainprint/internal/gallery"
+)
+
+// The int8 scalar-quantized scan path. Stored fingerprints are z-scored
+// float64 vectors; the quantized representation keeps one int8 per
+// feature (8× less scan memory traffic) plus per-subject cached norms,
+// and is used only to SELECT candidates — every returned score is
+// recomputed from the full-precision vectors, so the quantized path's
+// output scores are bit-identical to the exact path's.
+//
+// Scheme (per feature f, parameters shared store-wide and persisted in
+// the manifest):
+//
+//	scale[f]  = (max_f - min_f) / 254        (1.0 when the range is 0)
+//	offset[f] = (max_f + min_f) / 2
+//	q         = round((x - offset[f]) / scale[f])  ∈ [-127, 127]
+//	x̂         = q·scale[f] + offset[f]
+//
+// min_f/max_f range over every enrolled fingerprint, so the full
+// spread maps onto the 254 representable steps and dequantization
+// error is at most scale[f]/2 per feature.
+//
+// Approximate score: the exact score of subject i against a z-scored
+// probe zp is Dot(v_i, zp)/F, which (both vectors z-scored, ‖·‖ = √F)
+// equals their cosine. The scan approximates it with the cosine of the
+// dequantized vector — computed without materializing x̂:
+//
+//	Dot(x̂_i, zp) = Σ_f q_if·(scale[f]·zp[f]) + Σ_f offset[f]·zp[f]
+//
+// where the scaled probe and the offset term are computed once per
+// probe, and ‖x̂_i‖ is cached per subject at load time (the "cached
+// norms"): normalizing by the true dequantized norm rather than √F
+// removes the systematic magnitude error quantization introduces, so
+// the approximate ranking tracks the exact one closely and a shallow
+// exact rescore (rescoreDepth) recovers the true top-k.
+const (
+	// quantSteps is the number of representable steps between the
+	// per-feature minimum and maximum (int8 range [-127, 127]; -128 is
+	// unused to keep the code symmetric around the offset).
+	quantSteps = 254
+
+	// rescoreMinDepth floors the exact-rescore candidate pool so small
+	// k still rescans a meaningful margin.
+	rescoreMinDepth = 32
+
+	// rescoreFactor scales the exact-rescore pool with k.
+	rescoreFactor = 4
+)
+
+// rescoreDepth returns how many approximate-scan candidates are
+// rescored exactly for a top-k query.
+func rescoreDepth(k, total int) int {
+	r := rescoreFactor * k
+	if r < rescoreMinDepth {
+		r = rescoreMinDepth
+	}
+	if r > total {
+		r = total
+	}
+	return r
+}
+
+// deriveQuant computes store-wide per-feature quantization parameters
+// from every enrolled fingerprint across the shards.
+func deriveQuant(parts []*gallery.Gallery, features int) *Quant {
+	lo := make([]float64, features)
+	hi := make([]float64, features)
+	for f := range lo {
+		lo[f] = math.Inf(1)
+		hi[f] = math.Inf(-1)
+	}
+	for _, g := range parts {
+		if g == nil {
+			continue
+		}
+		for i := 0; i < g.Len(); i++ {
+			v := g.Fingerprint(i)
+			for f, x := range v {
+				if x < lo[f] {
+					lo[f] = x
+				}
+				if x > hi[f] {
+					hi[f] = x
+				}
+			}
+		}
+	}
+	q := &Quant{Scale: make([]float64, features), Offset: make([]float64, features)}
+	for f := range q.Scale {
+		if math.IsInf(lo[f], 1) { // no records saw this feature
+			lo[f], hi[f] = 0, 0
+		}
+		q.Offset[f] = (hi[f] + lo[f]) / 2
+		if s := (hi[f] - lo[f]) / quantSteps; s > 0 {
+			q.Scale[f] = s
+		} else {
+			// Constant feature: any scale works (q is always 0 and x̂
+			// is exactly the offset); 1 keeps the manifest valid.
+			q.Scale[f] = 1
+		}
+	}
+	return q
+}
+
+// quantize encodes one fingerprint with the store's parameters.
+func (q *Quant) quantize(v []float64, dst []int8) {
+	for f, x := range v {
+		s := math.Round((x - q.Offset[f]) / q.Scale[f])
+		if s > 127 {
+			s = 127
+		} else if s < -127 {
+			s = -127
+		}
+		dst[f] = int8(s)
+	}
+}
+
+// dequantNorm returns ‖x̂‖ of a quantized fingerprint — the cached
+// per-subject norm the approximate cosine divides by.
+func (q *Quant) dequantNorm(qv []int8) float64 {
+	var sum float64
+	for f, s := range qv {
+		x := float64(s)*q.Scale[f] + q.Offset[f]
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// buildQuantized materializes the int8 vectors and cached norms for
+// every loaded shard.
+func (s *Store) buildQuantized() {
+	s.qvecs = make([][]int8, len(s.galleries))
+	s.qnorms = make([][]float64, len(s.galleries))
+	for si, g := range s.galleries {
+		if g == nil {
+			continue
+		}
+		n := g.Len()
+		vecs := make([]int8, n*s.features)
+		norms := make([]float64, n)
+		for i := 0; i < n; i++ {
+			qv := vecs[i*s.features : (i+1)*s.features]
+			s.quant.quantize(g.Fingerprint(i), qv)
+			norms[i] = s.quant.dequantNorm(qv)
+		}
+		s.qvecs[si] = vecs
+		s.qnorms[si] = norms
+	}
+}
+
+// probeQuantTerms precomputes the probe-side constants of the
+// approximate score: the per-feature scaled probe scale[f]·zp[f], the
+// offset term Σ offset[f]·zp[f], and the probe norm ‖zp‖.
+func (q *Quant) probeQuantTerms(zp []float64) (scaled []float64, offsetDot, norm float64) {
+	scaled = make([]float64, len(zp))
+	var od, nn float64
+	for f, x := range zp {
+		scaled[f] = q.Scale[f] * x
+		od += q.Offset[f] * x
+		nn += x * x
+	}
+	return scaled, od, math.Sqrt(nn)
+}
+
+// approxScore computes the approximate cosine of one quantized subject
+// against the precomputed probe terms. A degenerate norm (all-zero
+// vector or probe) scores 0.
+func approxScore(qv []int8, scaled []float64, offsetDot, qnorm, pnorm float64) float64 {
+	var dot float64
+	for f, s := range qv {
+		dot += float64(s) * scaled[f]
+	}
+	den := qnorm * pnorm
+	if den == 0 {
+		return 0
+	}
+	return (dot + offsetDot) / den
+}

@@ -1,0 +1,321 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+	"brainprint/internal/parallel"
+	"brainprint/internal/stats"
+)
+
+// The fan-out query planner. Queries sweep the GLOBAL index space
+// [0, Len()) via parallel.ReduceCtx — a chunk that crosses a shard
+// boundary simply scores records from both shards — so parallelism is
+// independent of the shard count and a 2-shard store uses the machine
+// as fully as a 64-shard one. Per-chunk partial rankings merge in
+// ascending chunk order under a strict total order (score descending,
+// subject ID ascending), which makes the result independent of
+// chunking, worker count, and shard placement; see the package comment
+// for the full determinism argument.
+
+// better reports whether a outranks b: higher score first, ties broken
+// by the lexicographically smaller subject ID. Unlike the single-file
+// gallery's index tiebreak, the ID tiebreak is invariant under
+// resharding — enrollment indices change when records move between
+// shards, IDs never do.
+func better(a, b gallery.Candidate) bool {
+	return a.Score > b.Score || (a.Score == b.Score && a.ID < b.ID)
+}
+
+// TopK ranks the k enrolled subjects most correlated with the probe,
+// best first, using the default worker count. The probe may be a
+// gallery-space vector (len == Features()) or a raw vector when the
+// store carries a feature index; it is projected and z-scored once,
+// never mutated. k larger than the store is clamped.
+func (s *Store) TopK(probe []float64, k int) ([]gallery.Candidate, error) {
+	return s.TopKP(probe, k, 0)
+}
+
+// TopKP is TopK with an explicit parallelism knob (0 = all cores,
+// 1 = serial, n = n workers). Results are identical at any setting and
+// any shard count.
+func (s *Store) TopKP(probe []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	return s.TopKCtx(context.Background(), probe, k, parallelism)
+}
+
+// TopKCtx is TopKP under a context: the sweep aborts between chunks
+// once ctx is cancelled and returns ctx.Err(). Scores are bit-identical
+// to the single-file gallery's TopK (and hence match.SimilarityMatrix)
+// whether or not the quantized scan path is active; the ranking itself
+// matches the single-file gallery's whenever scores are tie-free (on
+// an exact score tie the store orders by subject ID where the
+// single-file gallery orders by enrollment index — see better).
+func (s *Store) TopKCtx(ctx context.Context, probe []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	k, err := s.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	zp, err := s.project(probe)
+	if err != nil {
+		return nil, err
+	}
+	stats.ZScore(zp)
+	return s.topK(ctx, zp, k, parallelism)
+}
+
+// QueryAll answers a batch of probes — the columns of a features×probes
+// matrix — returning one ranked top-k list per probe.
+func (s *Store) QueryAll(probes *linalg.Matrix, k int) ([][]gallery.Candidate, error) {
+	return s.QueryAllP(probes, k, 0)
+}
+
+// QueryAllP is QueryAll with an explicit parallelism knob. Probes are
+// z-scored once up front (the same match.ZScoreColumns path the dense
+// attack uses), then the batch fans out one probe per worker with a
+// serial inner sweep.
+func (s *Store) QueryAllP(probes *linalg.Matrix, k, parallelism int) ([][]gallery.Candidate, error) {
+	return s.QueryAllCtx(context.Background(), probes, k, parallelism)
+}
+
+// QueryAllCtx is QueryAllP under a context: the batch aborts between
+// probes once ctx is cancelled. Rankings are identical at any setting.
+func (s *Store) QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, parallelism int) ([][]gallery.Candidate, error) {
+	k, err := s.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	zcols, err := s.prepProbes(probes, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]gallery.Candidate, len(zcols))
+	err = parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			top, err := s.topK(ctx, zcols[j], k, 1)
+			if err != nil {
+				return err
+			}
+			out[j] = top
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DenseSimilarity materializes the full store×probes similarity matrix,
+// rows in global index order — the exact fallback the Hungarian
+// assignment path consumes. Entries are bit-identical to the
+// single-file gallery's DenseSimilarity over the same subjects.
+func (s *Store) DenseSimilarity(probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	return s.DenseSimilarityCtx(context.Background(), probes, parallelism)
+}
+
+// DenseSimilarityCtx is DenseSimilarity under a context: the row sweep
+// aborts between chunks once ctx is cancelled. The dense path never
+// uses the quantized scan — it exists precisely to materialize exact
+// scores for every pair.
+func (s *Store) DenseSimilarityCtx(ctx context.Context, probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	if s.total == 0 {
+		return nil, fmt.Errorf("shard: empty store")
+	}
+	zcols, err := s.prepProbes(probes, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	n, m := s.total, len(zcols)
+	out := linalg.NewMatrix(n, m)
+	inv := 1 / float64(s.features)
+	err = parallel.ForCtx(ctx, parallelism, n, 1+4096/(s.features*m+1), func(lo, hi int) error {
+		si, li := s.locate(lo)
+		for gi := lo; gi < hi; gi++ {
+			for li >= s.galleries[si].Len() {
+				si, li = si+1, 0
+				for s.galleries[si] == nil {
+					si++
+				}
+			}
+			fp := s.galleries[si].Fingerprint(li)
+			orow := out.RowView(gi)
+			for j, zc := range zcols {
+				orow[j] = linalg.Dot(fp, zc) * inv
+			}
+			li++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// topK dispatches a z-scored, gallery-space probe to the exact or
+// quantized sweep.
+func (s *Store) topK(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	if s.useQuant {
+		return s.topKQuant(ctx, zp, k, parallelism)
+	}
+	return s.topKExact(ctx, zp, k, parallelism)
+}
+
+// topKExact is the full-precision sweep: every loaded record is scored
+// with the identical linalg.Dot(fp, zp)/features expression the
+// single-file gallery and match.SimilarityMatrix use.
+func (s *Store) topKExact(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	inv := 1 / float64(s.features)
+	grain := 1 + (1<<15)/s.features // ≈32k multiplies per chunk
+	return parallel.ReduceCtx(ctx, parallelism, s.total, grain, nil,
+		func(lo, hi int) []gallery.Candidate {
+			local := make([]gallery.Candidate, 0, min(k, hi-lo))
+			si, li := s.locate(lo)
+			for gi := lo; gi < hi; gi++ {
+				for li >= s.galleries[si].Len() {
+					si, li = si+1, 0
+					for s.galleries[si] == nil {
+						si++
+					}
+				}
+				g := s.galleries[si]
+				c := gallery.Candidate{Index: gi, ID: g.ID(li), Score: linalg.Dot(g.Fingerprint(li), zp) * inv}
+				local = insertRanked(local, c, k)
+				li++
+			}
+			return local
+		},
+		func(acc, part []gallery.Candidate) []gallery.Candidate { return mergeRanked(acc, part, k) },
+	)
+}
+
+// topKQuant is the two-phase quantized sweep: an int8 approximate scan
+// selects rescoreDepth(k) candidates, which are then rescored with the
+// exact float64 expression and re-ranked. Because the exact top-k
+// candidates' approximate scores can only trail their exact scores by
+// the quantization error margin, a depth of 4k comfortably covers the
+// reshuffling, and the returned scores are exact by construction.
+func (s *Store) topKQuant(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	scaled, offsetDot, pnorm := s.quant.probeQuantTerms(zp)
+	depth := rescoreDepth(k, s.total)
+	grain := 1 + (1<<18)/s.features // int8 chunks are cheap; sweep bigger blocks
+	pool, err := parallel.ReduceCtx(ctx, parallelism, s.total, grain, nil,
+		func(lo, hi int) []gallery.Candidate {
+			local := make([]gallery.Candidate, 0, min(depth, hi-lo))
+			si, li := s.locate(lo)
+			for gi := lo; gi < hi; gi++ {
+				for li >= s.galleries[si].Len() {
+					si, li = si+1, 0
+					for s.galleries[si] == nil {
+						si++
+					}
+				}
+				qv := s.qvecs[si][li*s.features : (li+1)*s.features]
+				c := gallery.Candidate{
+					Index: gi,
+					ID:    s.galleries[si].ID(li),
+					Score: approxScore(qv, scaled, offsetDot, s.qnorms[si][li], pnorm),
+				}
+				local = insertRanked(local, c, depth)
+				li++
+			}
+			return local
+		},
+		func(acc, part []gallery.Candidate) []gallery.Candidate { return mergeRanked(acc, part, depth) },
+	)
+	if err != nil {
+		return nil, err
+	}
+	// Exact rescore: replace approximate scores with the bit-exact
+	// expression, then re-rank the pool and keep k.
+	inv := 1 / float64(s.features)
+	top := make([]gallery.Candidate, 0, k)
+	for _, c := range pool {
+		si, li := s.locate(c.Index)
+		c.Score = linalg.Dot(s.galleries[si].Fingerprint(li), zp) * inv
+		top = insertRanked(top, c, k)
+	}
+	return top, nil
+}
+
+// clampK validates the store and k, clamping k to the store size.
+func (s *Store) clampK(k int) (int, error) {
+	if s.total == 0 {
+		return 0, fmt.Errorf("shard: empty store")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("shard: k=%d must be positive", k)
+	}
+	return min(k, s.total), nil
+}
+
+// project copies a probe into gallery space: identity when it is
+// already gallery-sized, a gather through the feature index when the
+// store has one and the probe is a longer raw vector.
+func (s *Store) project(v []float64) ([]float64, error) {
+	if len(v) == s.features {
+		out := make([]float64, s.features)
+		copy(out, v)
+		return out, nil
+	}
+	if s.featureIndex == nil {
+		return nil, fmt.Errorf("%w: got %d features, store has %d", gallery.ErrDimMismatch, len(v), s.features)
+	}
+	out := make([]float64, s.features)
+	for k, idx := range s.featureIndex {
+		if idx < 0 || idx >= len(v) {
+			return nil, fmt.Errorf("%w: feature index %d outside raw vector of length %d", gallery.ErrDimMismatch, idx, len(v))
+		}
+		out[k] = v[idx]
+	}
+	return out, nil
+}
+
+// prepProbes converts a features×probes matrix into z-scored
+// gallery-space probe vectors, projecting through the feature index
+// when the probes are raw-space — the same normalization pipeline the
+// single-file gallery and the dense attack use, so batch scores stay
+// bit-identical.
+func (s *Store) prepProbes(probes *linalg.Matrix, parallelism int) ([][]float64, error) {
+	f, m := probes.Dims()
+	if m == 0 {
+		return nil, fmt.Errorf("shard: no probe columns")
+	}
+	gal := probes
+	if f != s.features {
+		if s.featureIndex == nil {
+			return nil, fmt.Errorf("%w: probes have %d features, store has %d", gallery.ErrDimMismatch, f, s.features)
+		}
+		for _, idx := range s.featureIndex {
+			if idx < 0 || idx >= f {
+				return nil, fmt.Errorf("%w: feature index %d outside raw probes with %d features", gallery.ErrDimMismatch, idx, f)
+			}
+		}
+		gal = probes.SelectRows(s.featureIndex)
+	}
+	z := match.ZScoreColumns(gal, parallelism)
+	cols := make([][]float64, m)
+	parallel.ForWith(parallelism, m, 1+1024/s.features, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			cols[j] = z.Col(j)
+		}
+	})
+	return cols, nil
+}
+
+// insertRanked inserts c into a descending-ranked list bounded at k,
+// under the ID-tiebreak total order. The machinery is shared with the
+// single-file gallery (gallery.RankInsert); only the comparator
+// differs.
+func insertRanked(list []gallery.Candidate, c gallery.Candidate, k int) []gallery.Candidate {
+	return gallery.RankInsert(list, c, k, better)
+}
+
+// mergeRanked merges two descending-ranked lists, keeping at most k.
+// The ID tiebreak makes the merge order-deterministic.
+func mergeRanked(a, b []gallery.Candidate, k int) []gallery.Candidate {
+	return gallery.RankMerge(a, b, k, better)
+}

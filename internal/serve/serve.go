@@ -345,17 +345,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// shardedEngine is the optional topology surface a sharded store
+// (internal/gallery/shard.Store) adds on top of gallery.Engine; the
+// service reports it when present without depending on the concrete
+// type.
+type shardedEngine interface {
+	Shards() int
+	LoadedShards() int
+	Quantized() bool
+}
+
 func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.mGallery.observe(start, false) }()
 	g := s.atk.Gallery()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"subjects":       g.Len(),
 		"features":       g.Features(),
 		"format_version": gallery.FormatVersion,
 		"feature_index":  g.FeatureIndex() != nil,
 		"ids":            g.IDs(),
-	})
+	}
+	if sh, ok := g.(shardedEngine); ok {
+		resp["shards"] = sh.Shards()
+		resp["loaded_shards"] = sh.LoadedShards()
+		resp["quantized"] = sh.Quantized()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -375,12 +391,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.mHealth.observe(start, false) }()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"subjects":       s.atk.Gallery().Len(),
 		"features":       s.atk.Gallery().Features(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
-	})
+	}
+	if sh, ok := s.atk.Gallery().(shardedEngine); ok {
+		resp["shards"] = sh.Shards()
+		if sh.LoadedShards() < sh.Shards() {
+			// Degraded, not down: surviving shards still serve, but
+			// operators monitoring /healthz see the partial failure.
+			resp["status"] = "degraded"
+			resp["loaded_shards"] = sh.LoadedShards()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- helpers ----

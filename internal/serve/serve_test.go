@@ -15,6 +15,7 @@ import (
 	"brainprint/internal/attacker"
 	"brainprint/internal/core"
 	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/shard"
 	"brainprint/internal/linalg"
 )
 
@@ -184,6 +185,68 @@ func TestGalleryEndpoint(t *testing.T) {
 	}
 	if ids := resp["ids"].([]any); len(ids) != 16 || ids[0] != "subj-00" {
 		t.Errorf("gallery ids = %v", ids)
+	}
+}
+
+// TestShardedStoreService runs the full service over a sharded,
+// quantized store: /v1/gallery and /healthz must report the topology,
+// and identification answers must be bit-identical to the single-file
+// session the rest of this file exercises.
+func TestShardedStoreService(t *testing.T) {
+	single, atk, probes := testService(t, Config{})
+	store, err := shard.FromGallery(atk.Gallery().(*gallery.Gallery), 4, true)
+	if err != nil {
+		t.Fatalf("FromGallery: %v", err)
+	}
+	satk, err := attacker.New(store, attacker.WithTopK(3))
+	if err != nil {
+		t.Fatalf("attacker.New: %v", err)
+	}
+	s, err := New(satk, Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	h := s.Handler()
+
+	w := get(t, h, "/v1/gallery")
+	var meta map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &meta); err != nil {
+		t.Fatalf("gallery body: %v", err)
+	}
+	if meta["shards"].(float64) != 4 || meta["loaded_shards"].(float64) != 4 || meta["quantized"] != true {
+		t.Errorf("sharded gallery metadata = %v", meta)
+	}
+	w = get(t, h, "/healthz")
+	var health map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if health["status"] != "ok" || health["shards"].(float64) != 4 {
+		t.Errorf("sharded healthz = %v", health)
+	}
+
+	for j := 0; j < 4; j++ {
+		ws := postJSON(t, h, "/v1/identify", identifyRequest{Probe: probes.Col(j)})
+		wg := postJSON(t, single.Handler(), "/v1/identify", identifyRequest{Probe: probes.Col(j)})
+		if ws.Code != http.StatusOK || wg.Code != http.StatusOK {
+			t.Fatalf("probe %d: sharded %d, single %d", j, ws.Code, wg.Code)
+		}
+		var rs, rg identifyResponse
+		if err := json.Unmarshal(ws.Body.Bytes(), &rs); err != nil {
+			t.Fatalf("sharded body: %v", err)
+		}
+		if err := json.Unmarshal(wg.Body.Bytes(), &rg); err != nil {
+			t.Fatalf("single body: %v", err)
+		}
+		if len(rs.Candidates) != len(rg.Candidates) {
+			t.Fatalf("probe %d: %d vs %d candidates", j, len(rs.Candidates), len(rg.Candidates))
+		}
+		for r := range rs.Candidates {
+			if rs.Candidates[r].ID != rg.Candidates[r].ID || rs.Candidates[r].Score != rg.Candidates[r].Score {
+				t.Errorf("probe %d rank %d: sharded (%s, %v) != single (%s, %v)", j, r,
+					rs.Candidates[r].ID, rs.Candidates[r].Score, rg.Candidates[r].ID, rg.Candidates[r].Score)
+			}
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"brainprint/internal/attacker"
 	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/shard"
 )
 
 // Attacker is a long-lived identification session: it owns an enrolled
@@ -56,9 +57,10 @@ type ExperimentSpec = attacker.Experiment
 var ErrNoGallery = attacker.ErrNoGallery
 
 // NewAttacker builds an identification session over an enrolled
-// gallery. Pass nil for an experiment-only session (RunExperiment and
+// gallery engine — a single-file *Gallery or a sharded *GalleryStore.
+// Pass nil for an experiment-only session (RunExperiment and
 // TaskPredict work; identification methods return ErrNoGallery).
-func NewAttacker(g *Gallery, opts ...AttackerOption) (*Attacker, error) {
+func NewAttacker(g GalleryEngine, opts ...AttackerOption) (*Attacker, error) {
 	return attacker.New(g, opts...)
 }
 
@@ -111,6 +113,80 @@ var (
 	// ErrGalleryDuplicateID: a subject ID is already enrolled.
 	ErrGalleryDuplicateID = gallery.ErrDuplicateID
 )
+
+// ---- Sharded gallery store ----
+
+// GalleryEngine is the query surface shared by the single-file Gallery
+// and the sharded GalleryStore; NewAttacker and the HTTP service accept
+// either. All implementations keep scores bit-identical to
+// SimilarityMatrix at any parallelism setting.
+type GalleryEngine = gallery.Engine
+
+// GalleryStore is a horizontally sharded gallery: N shard files (each a
+// standard gallery file) described by a checksummed manifest, queried
+// with a deterministic fan-out planner and an optional int8 quantized
+// scan that rescores its top candidates exactly. See DESIGN.md §6.
+type GalleryStore = shard.Store
+
+// GalleryShardStat is one shard's health report (records, bytes,
+// checksum/dims status), as printed by the `gallery info` subcommand.
+type GalleryShardStat = shard.Stat
+
+// GalleryShardMeta is one shard's manifest entry.
+type GalleryShardMeta = shard.Meta
+
+// GalleryShardFault identifies a shard that failed to load and why.
+type GalleryShardFault = shard.Fault
+
+// GalleryPartialError reports that some shards of a store failed to
+// load while the rest remain queryable; errors.Is(err,
+// ErrGalleryPartial) matches it.
+type GalleryPartialError = shard.PartialError
+
+// GalleryManifestVersion is the shard manifest format version this
+// build reads and writes.
+const GalleryManifestVersion = shard.ManifestVersion
+
+// Typed sharded-store errors, matched with errors.Is. Truncation,
+// checksum, and dimension failures inside manifests and shard files
+// reuse the ErrGallery* sentinels above.
+var (
+	// ErrGalleryPartial: some shards are unavailable, the rest serve.
+	ErrGalleryPartial = shard.ErrPartial
+	// ErrGalleryShardMissing: a shard file named by the manifest does
+	// not exist.
+	ErrGalleryShardMissing = shard.ErrShardMissing
+	// ErrGalleryShardCorrupt: a shard file disagrees with its manifest
+	// entry or fails to decode.
+	ErrGalleryShardCorrupt = shard.ErrShardCorrupt
+	// ErrGalleryManifestMagic: the file is not a shard manifest.
+	ErrGalleryManifestMagic = shard.ErrManifestMagic
+	// ErrGalleryManifestVersion: unsupported manifest format version.
+	ErrGalleryManifestVersion = shard.ErrManifestVersion
+	// ErrGalleryNoQuantization: SetQuantized(true) on a store without
+	// quantization parameters.
+	ErrGalleryNoQuantization = shard.ErrNoQuantization
+)
+
+// NewGalleryStore splits an in-memory gallery into a sharded store,
+// routing each subject by the stable RouteGalleryID hash. With quantize
+// set, int8 scalar-quantization parameters are derived from the
+// enrolled population and the quantized scan path is enabled. Persist
+// with (*GalleryStore).WriteFiles; reopen with OpenGalleryStore.
+func NewGalleryStore(g *Gallery, shards int, quantize bool) (*GalleryStore, error) {
+	return shard.FromGallery(g, shards, quantize)
+}
+
+// OpenGalleryStore loads a sharded store from a manifest path — or
+// transparently wraps a plain single-file gallery as a one-shard store,
+// so callers can pass either format. When some shards fail to load the
+// surviving shards are returned together with a *GalleryPartialError;
+// the caller chooses between degraded service and refusal.
+func OpenGalleryStore(path string) (*GalleryStore, error) { return shard.Open(path) }
+
+// RouteGalleryID returns the shard a subject ID routes to — part of
+// the on-disk contract, stable across versions and platforms.
+func RouteGalleryID(id string, shards int) int { return shard.RouteID(id, shards) }
 
 // runExperimentCompat backs the deprecated RunFigureX/RunTableX/
 // RunDefense wrappers: a throwaway session around the legacy positional
