@@ -3,14 +3,17 @@
 // convert between layouts, and attack anonymous probe sessions against
 // it with ranked top-k queries.
 //
-//	brainprint gallery enroll -db hcp.bpg -task REST1 -encoding LR
-//	brainprint gallery shard  -db hcp.bpg -out hcp.bpm -shards 4 -quantize
-//	brainprint gallery info   -db hcp.bpm
-//	brainprint gallery query  -db hcp.bpm -task REST2 -encoding RL -k 5
-//	brainprint gallery probe  -task REST2 -encoding RL -subject 3
+//	brainprint gallery enroll  -db hcp.bpg -task REST1 -encoding LR
+//	brainprint gallery shard   -db hcp.bpg -out hcp.bpm -shards 4 -quantize
+//	brainprint gallery live    -from hcp.bpg -db hcp.live
+//	brainprint gallery compact -db hcp.live
+//	brainprint gallery info    -db hcp.bpm
+//	brainprint gallery query   -db hcp.bpm -task REST2 -encoding RL -k 5
+//	brainprint gallery probe   -task REST2 -encoding RL -subject 3
 //
-// query, info, and serve accept either a single-file gallery (.bpg) or
-// a shard manifest (.bpm) — the store layer auto-detects the format.
+// query, info, and serve accept a single-file gallery (.bpg), a shard
+// manifest (.bpm), or a live writable directory (gallery live) — the
+// store layer auto-detects the format.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"brainprint"
@@ -28,13 +32,17 @@ import (
 // runGallery dispatches the gallery subcommands.
 func runGallery(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, query, info, or probe)")
+		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, live, compact, query, info, or probe)")
 	}
 	switch args[0] {
 	case "enroll":
 		return galleryEnroll(args[1:], out)
 	case "shard":
 		return galleryShard(args[1:], out)
+	case "live":
+		return galleryLive(args[1:], out)
+	case "compact":
+		return galleryCompact(args[1:], out)
 	case "query":
 		return galleryQuery(args[1:], out)
 	case "info":
@@ -42,8 +50,95 @@ func runGallery(args []string, out io.Writer) error {
 	case "probe":
 		return galleryProbe(args[1:], out)
 	default:
-		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, query, info, or probe)", args[0])
+		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, live, compact, query, info, or probe)", args[0])
 	}
+}
+
+// isLiveDir reports whether path is a live gallery directory (holds a
+// CURRENT generation pointer).
+func isLiveDir(path string) bool {
+	st, err := os.Stat(path)
+	if err != nil || !st.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, "CURRENT"))
+	return err == nil
+}
+
+// galleryLive converts a read-only gallery database (single-file or
+// sharded) into a live, writable gallery directory — or, with
+// -features, creates an empty one. The live directory accepts online
+// enrollment via `serve -writable` and answers queries bit-identically
+// to the source it was seeded from.
+func galleryLive(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery live", flag.ContinueOnError)
+	from := fs.String("from", "", "gallery file or shard manifest to seed from (omit with -features for an empty live gallery)")
+	db := fs.String("db", "", "live gallery directory to create (required)")
+	features := fs.Int("features", 0, "create an empty live gallery with this dimensionality instead of seeding from -from")
+	shards := fs.Int("shards", 0, "shard count compaction writes (0 = inherit from -from, or 1 when empty)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("gallery live: -db is required")
+	}
+	if (*from == "") == (*features == 0) {
+		return fmt.Errorf("gallery live: exactly one of -from and -features is required")
+	}
+	opts := brainprint.LiveGalleryOptions{Shards: *shards}
+	if *from == "" {
+		e, err := brainprint.CreateLiveGallery(*db, *features, opts)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		fmt.Fprintf(out, "created empty live gallery %s (%d features)\n", *db, *features)
+		return nil
+	}
+	src, err := openStore(*from, out)
+	if err != nil {
+		return err
+	}
+	e, err := brainprint.CreateLiveGalleryFrom(*db, src, opts)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	st := e.Stats()
+	fmt.Fprintf(out, "created live gallery %s from %s (%d subjects, %d features, generation %d)\n",
+		*db, *from, e.Len(), e.Features(), st.Generation)
+	return nil
+}
+
+// galleryCompact folds a live gallery's write-ahead log and in-memory
+// overlay into a fresh immutable base under a generation switch —
+// bounding the next open's replay time and the query overlay size.
+func galleryCompact(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery compact", flag.ContinueOnError)
+	db := fs.String("db", "", "live gallery directory to compact (required)")
+	shards := fs.Int("shards", 0, "shard count for the new base (0 = keep the engine default)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("gallery compact: -db is required")
+	}
+	e, err := brainprint.OpenLiveGallery(*db, brainprint.LiveGalleryOptions{Shards: *shards})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	before := e.Stats()
+	if err := e.Compact(); err != nil {
+		return err
+	}
+	after := e.Stats()
+	fmt.Fprintf(out, "compacted %s: generation %d -> %d, folded %d log records (%d overlay, %d tombstones) into %d base records\n",
+		*db, before.Generation, after.Generation, before.WALRecords, before.MemRecords, before.Tombstones, after.BaseRecords)
+	if before.RecoveredTornBytes > 0 {
+		fmt.Fprintf(out, "recovered a torn write-ahead log tail (%d bytes truncated)\n", before.RecoveredTornBytes)
+	}
+	return nil
 }
 
 // openStore opens a gallery database of either layout, downgrading a
@@ -297,13 +392,38 @@ func galleryShard(args []string, out io.Writer) error {
 	return nil
 }
 
-// galleryQuery attacks a probe session against an enrolled gallery or
-// sharded store.
+// queryEngine is the slice of the gallery surface the query subcommand
+// needs — satisfied by the read-only store and the live engine alike.
+type queryEngine interface {
+	Len() int
+	Index(id string) int
+	QueryAllP(probes *brainprint.Matrix, k, parallelism int) ([][]brainprint.GalleryCandidate, error)
+}
+
+// openQueryEngine opens any gallery database — single file, shard
+// manifest, or live directory — for querying.
+func openQueryEngine(path string, out io.Writer) (queryEngine, func(), error) {
+	if isLiveDir(path) {
+		e, err := brainprint.OpenLiveGallery(path, brainprint.LiveGalleryOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, func() { e.Close() }, nil
+	}
+	g, err := openStore(path, out)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, func() {}, nil
+}
+
+// galleryQuery attacks a probe session against an enrolled gallery,
+// sharded store, or live directory.
 func galleryQuery(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("brainprint gallery query", flag.ContinueOnError)
 	var cf cohortFlags
 	cf.register(fs)
-	db := fs.String("db", "", "gallery file or shard manifest to query (required)")
+	db := fs.String("db", "", "gallery file, shard manifest, or live directory to query (required)")
 	k := fs.Int("k", 5, "candidates to report per probe")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -311,10 +431,11 @@ func galleryQuery(args []string, out io.Writer) error {
 	if *db == "" {
 		return fmt.Errorf("gallery query: -db is required")
 	}
-	g, err := openStore(*db, out)
+	g, done, err := openQueryEngine(*db, out)
 	if err != nil {
 		return err
 	}
+	defer done()
 	ids, probes, err := cf.buildGroup()
 	if err != nil {
 		return err
@@ -408,6 +529,9 @@ func galleryInfo(args []string, out io.Writer) error {
 	if *db == "" {
 		return fmt.Errorf("gallery info: -db is required")
 	}
+	if isLiveDir(*db) {
+		return liveInfo(*db, out)
+	}
 	g, err := brainprint.OpenGalleryStore(*db)
 	if err != nil && !errors.Is(err, brainprint.ErrGalleryPartial) {
 		return err
@@ -460,6 +584,42 @@ func galleryInfo(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  first subjects: %s", strings.Join(g.IDs()[:n], ", "))
 		if g.Len() > n {
 			fmt.Fprintf(out, ", … (%d more)", g.Len()-n)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// liveInfo prints the metadata and mutation/compaction counters of a
+// live gallery directory.
+func liveInfo(dir string, out io.Writer) error {
+	e, err := brainprint.OpenLiveGallery(dir, brainprint.LiveGalleryOptions{})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	st := e.Stats()
+	fmt.Fprintf(out, "gallery %s\n", dir)
+	fmt.Fprintf(out, "  layout:         live directory (generation %d, WAL version %d)\n",
+		st.Generation, brainprint.GalleryWALVersion)
+	fmt.Fprintf(out, "  subjects:       %d (%d base, %d overlay, %d tombstones pending)\n",
+		e.Len(), st.BaseRecords, st.MemRecords, st.Tombstones)
+	fmt.Fprintf(out, "  features:       %d\n", e.Features())
+	if idx := e.FeatureIndex(); idx != nil {
+		fmt.Fprintf(out, "  feature index:  %d raw-space rows (probes may be full connectome vectors)\n", len(idx))
+	} else {
+		fmt.Fprintf(out, "  feature index:  none (probes must be gallery-space vectors)\n")
+	}
+	fmt.Fprintf(out, "  write-ahead log: %d records, %d bytes\n", st.WALRecords, st.WALBytes)
+	if st.RecoveredTornBytes > 0 {
+		fmt.Fprintf(out, "  recovery:       truncated a torn log tail (%d bytes) at open\n", st.RecoveredTornBytes)
+	}
+	if e.Len() > 0 {
+		ids := e.IDs()
+		n := min(len(ids), 5)
+		fmt.Fprintf(out, "  first subjects: %s", strings.Join(ids[:n], ", "))
+		if len(ids) > n {
+			fmt.Fprintf(out, ", … (%d more)", len(ids)-n)
 		}
 		fmt.Fprintln(out)
 	}

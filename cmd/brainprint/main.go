@@ -10,8 +10,8 @@
 // Usage:
 //
 //	brainprint [-experiment <name>|all] [flags]
-//	brainprint gallery enroll|shard|query|info|probe [flags]
-//	brainprint serve -db gallery.bpg|store.bpm [flags]
+//	brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
+//	brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [flags]
 //
 // The experiment list (fig1 … defense) is generated from the library's
 // experiment registry — run 'brainprint -help' for the current set.
@@ -41,8 +41,8 @@ import (
 // from what run dispatches.
 var usageText = fmt.Sprintf(`usage:
   brainprint [-experiment %s|all] [flags]
-  brainprint gallery enroll|shard|query|info|probe [flags]
-  brainprint serve -db gallery.bpg|store.bpm [flags]
+  brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
+  brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [flags]
 
 run 'brainprint -help', 'brainprint gallery <subcommand> -help' or
 'brainprint serve -help' for the flags of each form`,

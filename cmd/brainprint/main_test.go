@@ -104,7 +104,7 @@ func TestUsageFromRegistry(t *testing.T) {
 			t.Errorf("usage text is missing experiment %q:\n%s", name, usageText)
 		}
 	}
-	for _, want := range []string{"defense", "gallery enroll|shard|query|info|probe", "serve -db"} {
+	for _, want := range []string{"defense", "gallery enroll|shard|live|compact|query|info|probe", "serve -db", "-writable"} {
 		if !strings.Contains(usageText, want) {
 			t.Errorf("usage text is missing %q", want)
 		}
@@ -305,5 +305,81 @@ func TestGallerySubcommandErrors(t *testing.T) {
 	// -help must return flag.ErrHelp, not terminate the process.
 	if err := runGallery([]string{"query", "-help"}, &out); !errors.Is(err, flag.ErrHelp) {
 		t.Errorf("runGallery(-help) = %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestGalleryLiveSubcommands drives the live-gallery lifecycle from the
+// CLI: enroll a single-file gallery, convert it with `gallery live`,
+// query the live directory (answers must match the source store, since
+// live scores are bit-identical), compact it, and inspect it.
+func TestGalleryLiveSubcommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	db := filepath.Join(dir, "hcp.bpg")
+	liveDir := filepath.Join(dir, "hcp.live")
+	var out bytes.Buffer
+	size := []string{"-scale", "small", "-subjects", "6", "-regions", "30"}
+
+	enroll := append([]string{"enroll", "-db", db, "-task", "REST1", "-encoding", "LR", "-features", "40"}, size...)
+	if err := runGallery(enroll, &out); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+
+	out.Reset()
+	if err := runGallery([]string{"live", "-from", db, "-db", liveDir, "-shards", "2"}, &out); err != nil {
+		t.Fatalf("live: %v", err)
+	}
+	if !strings.Contains(out.String(), "6 subjects") || !strings.Contains(out.String(), "generation 0") {
+		t.Errorf("live output: %q", out.String())
+	}
+
+	// Converting again must refuse to clobber the live directory.
+	if err := runGallery([]string{"live", "-from", db, "-db", liveDir}, &out); err == nil ||
+		!strings.Contains(err.Error(), "already holds a live gallery") {
+		t.Errorf("expected live-overwrite refusal, got %v", err)
+	}
+
+	out.Reset()
+	query := append([]string{"query", "-db", db, "-task", "REST2", "-encoding", "RL", "-k", "3"}, size...)
+	if err := runGallery(query, &out); err != nil {
+		t.Fatalf("query source: %v", err)
+	}
+	srcAccuracy := out.String()[strings.Index(out.String(), "top-1:"):]
+
+	out.Reset()
+	liveQuery := append([]string{"query", "-db", liveDir, "-task", "REST2", "-encoding", "RL", "-k", "3"}, size...)
+	if err := runGallery(liveQuery, &out); err != nil {
+		t.Fatalf("query live: %v", err)
+	}
+	if !strings.Contains(out.String(), srcAccuracy) {
+		t.Errorf("live query accuracy diverged from source:\nlive:\n%s\nwant tail: %q", out.String(), srcAccuracy)
+	}
+
+	out.Reset()
+	if err := runGallery([]string{"compact", "-db", liveDir}, &out); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if !strings.Contains(out.String(), "generation 0 -> 1") {
+		t.Errorf("compact output: %q", out.String())
+	}
+
+	out.Reset()
+	if err := runGallery([]string{"info", "-db", liveDir}, &out); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	for _, want := range []string{"live directory (generation 1", "subjects:       6 (6 base, 0 overlay", "features:       40"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("live info output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Flag validation: exactly one of -from / -features.
+	if err := runGallery([]string{"live", "-db", filepath.Join(dir, "x.live")}, &out); err == nil {
+		t.Error("gallery live without -from or -features should fail")
+	}
+	if err := runGallery([]string{"compact", "-db", db}, &out); err == nil {
+		t.Error("gallery compact on a non-live path should fail")
 	}
 }

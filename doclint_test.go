@@ -30,6 +30,7 @@ var docAuditedPackages = []string{
 	".",
 	"internal/gallery",
 	"internal/gallery/shard",
+	"internal/gallery/live",
 	"internal/attacker",
 	"internal/serve",
 	"internal/parallel",

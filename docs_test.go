@@ -155,3 +155,42 @@ func ExampleNewAttacker_errNoGallery() {
 	fmt.Println(errors.Is(err, brainprint.ErrNoGallery))
 	// Output: true
 }
+
+// ExampleCreateLiveGallery drives the live mutable gallery end to end:
+// create, enroll online, crash-recover by reopening, delete, compact.
+func ExampleCreateLiveGallery() {
+	dir, _ := os.MkdirTemp("", "live")
+	defer os.RemoveAll(dir)
+
+	e, err := brainprint.CreateLiveGallery(filepath.Join(dir, "cohort.live"), 4,
+		brainprint.LiveGalleryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	_ = e.Enroll("alice", []float64{5, 1, 1, 1})
+	_ = e.Enroll("bob", []float64{1, 5, 1, 1})
+	_ = e.Close() // or kill -9: every committed mutation is in the log
+
+	reopened, err := brainprint.OpenLiveGallery(filepath.Join(dir, "cohort.live"),
+		brainprint.LiveGalleryOptions{})
+	if err != nil {
+		panic(err)
+	}
+	defer reopened.Close()
+	top, err := reopened.TopK([]float64{1.2, 4.8, 0.9, 1.1}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered and identified:", top[0].ID)
+
+	_ = reopened.Delete("bob")
+	if err := reopened.Compact(); err != nil {
+		panic(err)
+	}
+	st := reopened.Stats()
+	fmt.Printf("generation %d: %d base records, %d log records\n",
+		st.Generation, st.BaseRecords, st.WALRecords)
+	// Output:
+	// recovered and identified: bob
+	// generation 1: 1 base records, 0 log records
+}

@@ -50,6 +50,7 @@ var ErrNoGallery = errors.New("attacker: session has no enrolled gallery")
 // constructed — all state is read-only after New.
 type Attacker struct {
 	gallery    gallery.Engine
+	mutable    gallery.Mutable // non-nil only when built WithMutableGallery
 	cfg        core.AttackConfig
 	topK       int
 	assignment bool
@@ -108,6 +109,27 @@ func WithAssignment(on bool) Option {
 	}
 }
 
+// WithMutableGallery enrolls a live, writable gallery engine
+// (internal/gallery/live) as the session's gallery: every
+// identification method queries it, and Mutable exposes its write
+// surface so serving layers can accept online enrollment and deletion.
+// The engine's own synchronization makes the session safe for
+// concurrent use even while the gallery mutates underneath —
+// identification sweeps snapshot the gallery for their duration, so
+// each answer is consistent, and answers reflect every mutation
+// committed before the sweep began. Overrides any engine passed to
+// New.
+func WithMutableGallery(m gallery.Mutable) Option {
+	return func(a *Attacker) error {
+		if isNilEngine(m) {
+			return fmt.Errorf("attacker: WithMutableGallery(nil)")
+		}
+		a.gallery = m
+		a.mutable = m
+		return nil
+	}
+}
+
 // WithTimeout sets a default per-call deadline applied to every
 // Identify/IdentifyBatch/TaskPredict/RunExperiment invocation (0, the
 // default, means none). An explicit earlier deadline on the caller's
@@ -153,6 +175,11 @@ func isNilEngine(g gallery.Engine) bool {
 // Gallery returns the enrolled gallery engine (nil for experiment-only
 // sessions).
 func (a *Attacker) Gallery() gallery.Engine { return a.gallery }
+
+// Mutable returns the session's writable gallery engine, or nil when
+// the session was built over a read-only engine — the switch serving
+// layers use to decide whether write endpoints exist.
+func (a *Attacker) Mutable() gallery.Mutable { return a.mutable }
 
 // Config returns the session's attack configuration.
 func (a *Attacker) Config() core.AttackConfig { return a.cfg }

@@ -46,6 +46,11 @@ const (
 	// maxIDLen bounds subject ID length on enrollment; the wire format
 	// caps it at 65535 anyway (uint16).
 	maxIDLen = 1 << 12
+
+	// MaxIDLen is the longest subject ID (in bytes) any gallery layer
+	// accepts on enrollment — exported so the live engine and serving
+	// layer can validate IDs before touching a write-ahead log.
+	MaxIDLen = maxIDLen
 )
 
 // Typed codec and enrollment errors, matched with errors.Is.
@@ -63,6 +68,9 @@ var (
 	ErrDimMismatch = errors.New("gallery: fingerprint dimension mismatch")
 	// ErrDuplicateID means a subject ID is already enrolled.
 	ErrDuplicateID = errors.New("gallery: duplicate subject id")
+	// ErrUnknownID means a subject ID is not enrolled (returned by
+	// deletion on a live engine).
+	ErrUnknownID = errors.New("gallery: unknown subject id")
 )
 
 // Save writes the gallery in the binary format above: header first,
@@ -108,8 +116,8 @@ func Load(r io.Reader) (*Gallery, error) {
 	if indexLen != 0 && indexLen != features {
 		return nil, fmt.Errorf("%w: feature index length %d != %d features", ErrDimMismatch, indexLen, features)
 	}
-	rest := make([]byte, 4*indexLen+4)
-	if err := readFull(br, rest, "header feature index"); err != nil {
+	rest, err := readN(br, int(4*indexLen+4), "header feature index")
+	if err != nil {
 		return nil, err
 	}
 	stored := binary.LittleEndian.Uint32(rest[4*indexLen:])
@@ -136,8 +144,8 @@ func Load(r io.Reader) (*Gallery, error) {
 			return nil, readErr(err, fmt.Sprintf("record %d length", rec))
 		}
 		idLen := int(binary.LittleEndian.Uint16(lenBuf))
-		body := make([]byte, idLen+8*g.features+4)
-		if err := readFull(br, body, fmt.Sprintf("record %d", rec)); err != nil {
+		body, err := readN(br, idLen+8*g.features+4, fmt.Sprintf("record %d", rec))
+		if err != nil {
 			return nil, err
 		}
 		crc := crc32.NewIEEE()
@@ -266,6 +274,31 @@ func readFull(r io.Reader, buf []byte, what string) error {
 		return readErr(err, what)
 	}
 	return nil
+}
+
+// readN is ReadN; kept as the package-local name the decoder uses.
+func readN(r io.Reader, n int, what string) ([]byte, error) {
+	return ReadN(r, n, what)
+}
+
+// ReadN reads exactly n bytes, growing the buffer in bounded chunks so
+// a forged length field in a corrupt or adversarial file cannot drive a
+// huge up-front allocation: memory use is bounded by the bytes actually
+// present in the stream plus one chunk, and a short stream fails with
+// ErrTruncated (with what as context) before the claimed size is ever
+// committed. It is the single bounded-allocation reader shared by the
+// gallery, shard-manifest, and write-ahead-log codecs.
+func ReadN(r io.Reader, n int, what string) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		start := len(buf)
+		buf = append(buf, make([]byte, min(n-start, chunk))...)
+		if err := readFull(r, buf[start:], what); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // readErr maps an io error to the typed truncation error when the

@@ -1,0 +1,73 @@
+package gallery
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedGallery renders a small valid gallery file to seed the
+// corpus: the fuzzer mutates outward from well-formed inputs, which
+// reaches far deeper into the decoder than random bytes would.
+func fuzzSeedGallery(tb testing.TB, features int, index []int, subjects int) []byte {
+	tb.Helper()
+	var g *Gallery
+	if index != nil {
+		g = WithFeatureIndex(index)
+	} else {
+		g = New(features)
+	}
+	vec := make([]float64, features)
+	for s := 0; s < subjects; s++ {
+		for i := range vec {
+			vec[i] = float64(i*subjects+s) - float64(features)/2
+		}
+		if err := g.Enroll(string(rune('a'+s))+"-subject", vec); err != nil {
+			tb.Fatalf("seed enroll: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		tb.Fatalf("seed save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeGallery throws adversarial bytes at the gallery file
+// decoder. The decoder must never panic, never over-allocate beyond the
+// data actually present (readN bounds growth), and on success must
+// return a self-consistent gallery; round-tripping a successfully
+// decoded input must also succeed.
+func FuzzDecodeGallery(f *testing.F) {
+	valid := fuzzSeedGallery(f, 6, nil, 3)
+	f.Add(valid)
+	f.Add(fuzzSeedGallery(f, 4, []int{7, 1, 3, 5}, 2))
+	f.Add(valid[:len(valid)-5])      // torn record
+	f.Add(valid[:20])                // torn header
+	f.Add([]byte("BPGALRY\x00junk")) // corrupt after magic
+	f.Add([]byte{})                  // empty
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)-3] ^= 0x55 // record CRC flip
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.Len() < 0 || g.Features() <= 0 {
+			t.Fatalf("decoded inconsistent gallery: len=%d features=%d", g.Len(), g.Features())
+		}
+		for i, id := range g.IDs() {
+			if g.Index(id) != i {
+				t.Fatalf("index map inconsistent at %d (%q)", i, id)
+			}
+			if len(g.Fingerprint(i)) != g.Features() {
+				t.Fatalf("record %d has %d features, want %d", i, len(g.Fingerprint(i)), g.Features())
+			}
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("re-encoding a decoded gallery failed: %v", err)
+		}
+	})
+}

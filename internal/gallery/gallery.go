@@ -21,6 +21,7 @@ package gallery
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"brainprint/internal/linalg"
 	"brainprint/internal/stats"
@@ -61,6 +62,66 @@ type Engine interface {
 }
 
 var _ Engine = (*Gallery)(nil)
+
+// Mutable is the write surface of a live gallery engine
+// (internal/gallery/live): online enrollment and deletion on top of the
+// full Engine query contract, plus compaction control and the
+// observability snapshot the serving layer reports. Implementations
+// must be safe for concurrent use — enrolls may race queries — and must
+// keep every committed mutation durable (write-ahead logged) before it
+// becomes visible to queries.
+type Mutable interface {
+	Engine
+	// Enroll adds one subject online. The fingerprint may be
+	// gallery-space or raw-space (projected through the feature index);
+	// it is normalized exactly like offline enrollment, logged, and then
+	// made visible to queries. Duplicate IDs fail with ErrDuplicateID.
+	Enroll(id string, fingerprint []float64) error
+	// Delete removes one enrolled subject. Unknown IDs fail with
+	// ErrUnknownID. The ID may be re-enrolled afterwards.
+	Delete(id string) error
+	// Compact folds the write-ahead log and in-memory overlay into a
+	// fresh immutable base, bounding recovery time and query overlay
+	// size. Safe to call while queries and mutations are in flight.
+	Compact() error
+	// Stats returns the engine's current mutation/compaction counters.
+	Stats() MutableStats
+}
+
+// MutableStats is the observability snapshot of a live gallery engine,
+// surfaced by /healthz and /v1/metrics on a writable server and by the
+// gallery info subcommand.
+type MutableStats struct {
+	// Generation is the current on-disk generation number, incremented
+	// by every compaction.
+	Generation int
+	// BaseRecords is the number of records in the immutable base store
+	// (tombstoned records included until the next compaction).
+	BaseRecords int
+	// MemRecords is the number of records in the in-memory overlay not
+	// yet folded into the base.
+	MemRecords int
+	// Tombstones is the number of deleted base records awaiting
+	// compaction.
+	Tombstones int
+	// WALRecords is the number of records in the current write-ahead
+	// log segment.
+	WALRecords int
+	// WALBytes is the current write-ahead log segment size in bytes.
+	WALBytes int64
+	// Compactions counts completed compactions over the engine's
+	// lifetime (this process, not the directory's history).
+	Compactions int64
+	// Compacting reports whether a compaction is running right now.
+	Compacting bool
+	// LastCompactDuration is the wall time of the most recent completed
+	// compaction (0 before the first one).
+	LastCompactDuration time.Duration
+	// RecoveredTornBytes is the number of torn trailing write-ahead-log
+	// bytes truncated during crash recovery at Open (0 after a clean
+	// shutdown).
+	RecoveredTornBytes int64
+}
 
 // Gallery is an in-memory set of enrolled fingerprints, loaded from or
 // saved to the binary gallery format. Fingerprints are stored z-scored
@@ -196,6 +257,22 @@ func (g *Gallery) EnrollMatrix(ids []string, group *linalg.Matrix) error {
 		}
 	}
 	return nil
+}
+
+// Normalize projects a fingerprint into gallery space and z-scores it —
+// exactly the transformation Enroll applies before storing — without
+// enrolling anything. The live engine uses it to materialize the
+// canonical stored bits of a record before committing them to the
+// write-ahead log, so replayed records are bit-identical to what
+// offline enrollment of the same raw vector would have stored. The
+// argument is never mutated.
+func (g *Gallery) Normalize(fingerprint []float64) ([]float64, error) {
+	z, err := g.project(fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	stats.ZScore(z)
+	return z, nil
 }
 
 // project copies v into gallery space: identity when v is already

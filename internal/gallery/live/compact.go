@@ -1,0 +1,273 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/shard"
+)
+
+// Snapshot compaction. A compaction folds everything the engine holds —
+// base survivors plus the memtable, minus tombstones — into a fresh
+// sharded base store for generation g+1, then switches CURRENT to it.
+// The expensive parts (copying records into the snapshot is a straight
+// memcpy; writing and checksumming the shard files dominates) run off
+// the engine lock; the lock is held only to freeze the memtable at the
+// start and to swap generations at the end, so queries and mutations
+// keep flowing throughout.
+//
+// Correctness across the concurrent window: at freeze time the active
+// memtable becomes the frozen memtable (still queryable, now immutable)
+// and tombstones accrued so far move to deadBase (already folded into
+// the snapshot, still filtering the OLD base until the swap). Mutations
+// during the compaction land in a fresh memtable and the current dead
+// set, and keep appending to the OLD generation's log — so a crash at
+// any point before the switch recovers the old generation with nothing
+// lost. At swap time the new generation's log is seeded with exactly
+// the post-freeze state (tombstone deletes in sorted order, then
+// memtable enrolls in enrollment order), synced, and only then does
+// CURRENT flip.
+
+// maybeKickCompaction schedules a background compaction when the log
+// has grown past the configured threshold. Called with the write lock
+// held.
+func (e *Engine) maybeKickCompaction() {
+	if e.opts.CompactAfter <= 0 || e.walRecords < e.opts.CompactAfter || e.closed {
+		return
+	}
+	if !e.compactKick.CompareAndSwap(false, true) {
+		return // one already scheduled or running
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.compactKick.Store(false)
+		// A mutation racing Close can win the kick; Compact re-checks
+		// closed under the lock and refuses, so the error is dropped
+		// deliberately here — there is no caller to report it to.
+		_ = e.Compact()
+	}()
+}
+
+// Compact folds the write-ahead log and memtable overlay into a fresh
+// immutable base store under a generation switch, then removes the
+// previous generation's files. Concurrent queries and mutations
+// proceed throughout; concurrent Compact calls serialize. Compacting an
+// empty engine (everything deleted) leaves a baseless generation.
+func (e *Engine) Compact() error {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.compactingNow.Store(true)
+	defer e.compactingNow.Store(false)
+
+	start := time.Now()
+
+	// Phase 1 (write lock): freeze the memtable and fold a snapshot.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.frozen != nil {
+		e.mu.Unlock()
+		return fmt.Errorf("live: internal error: frozen memtable outside a compaction")
+	}
+	newGen := e.gen + 1
+	snap, err := snapshotGallery(e.mem.Features(), e.featureIndexCopy(), func(yield func(string, []float64) error) error {
+		for i, id := range e.ids {
+			if err := yield(id, e.fingerprint(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.frozen = e.mem
+	if idx := e.featureIndexCopy(); idx != nil {
+		e.mem = gallery.WithFeatureIndex(idx)
+	} else {
+		e.mem = gallery.New(e.frozen.Features())
+	}
+	e.deadBase, e.dead = e.dead, map[string]bool{}
+	e.rebuild()
+	e.mu.Unlock()
+
+	// Phase 2 (no lock): build and persist the new generation's base.
+	var newBase *shard.Store
+	if snap.Len() > 0 {
+		newBase, err = shard.FromGallery(snap, e.opts.Shards, false)
+		if err != nil {
+			e.abortFreeze()
+			return err
+		}
+		if err := newBase.WriteFiles(filepath.Join(e.dir, genName(newGen, "bpm"))); err != nil {
+			e.abortFreeze()
+			return err
+		}
+	}
+
+	// Phase 3 (write lock): seed the new log with the post-freeze
+	// mutations, flip CURRENT, and swap the in-memory state.
+	e.mu.Lock()
+	if e.closed {
+		// Close won the race during the unlocked build: the old log is
+		// already released, so unwind in memory and leave generation
+		// newGen's files as orphans for the next Open to sweep.
+		e.mu.Unlock()
+		e.abortFreeze()
+		return ErrClosed
+	}
+	newWAL, walBytes, walRecords, err := e.seedWAL(newGen)
+	if err != nil {
+		e.mu.Unlock()
+		e.abortFreeze()
+		return err
+	}
+	if err := writeCurrent(e.dir, newGen); err != nil {
+		newWAL.close()
+		e.mu.Unlock()
+		e.abortFreeze()
+		return err
+	}
+	oldGen := e.gen
+	oldWAL := e.wal
+	e.gen = newGen
+	e.base = newBase
+	e.frozen = nil
+	e.deadBase = map[string]bool{}
+	e.wal = newWAL
+	e.walRecords = walRecords
+	e.walBytes = walBytes
+	e.rebuild()
+	e.mu.Unlock()
+
+	oldWAL.close()
+	removeGeneration(e.dir, oldGen)
+	e.compactions.Add(1)
+	e.lastCompact.Store(time.Since(start).Microseconds())
+	return nil
+}
+
+// abortFreeze unwinds a failed compaction, restoring exactly the state
+// a crash-and-replay of the old generation's log would produce: frozen
+// records not deleted during the window fold back in front of the
+// active memtable (a frozen record deleted — and possibly re-enrolled —
+// during the window must NOT resurrect), the already-folded tombstones
+// rejoin the live set, and the tombstone set is pruned back to its
+// invariant (only IDs present in the base — entries for dropped frozen
+// records would otherwise poison the next compaction's seeded log with
+// deletes of never-enrolled subjects).
+func (e *Engine) abortFreeze() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var merged *gallery.Gallery
+	if e.fidx != nil {
+		merged = gallery.WithFeatureIndex(e.fidx)
+	} else {
+		merged = gallery.New(e.features)
+	}
+	for i, id := range e.frozen.IDs() {
+		if e.dead[id] {
+			continue
+		}
+		if err := merged.EnrollNormalized(id, e.frozen.Fingerprint(i)); err != nil {
+			panic(fmt.Sprintf("live: unwinding failed compaction: %v", err))
+		}
+	}
+	for i, id := range e.mem.IDs() {
+		if err := merged.EnrollNormalized(id, e.mem.Fingerprint(i)); err != nil {
+			panic(fmt.Sprintf("live: unwinding failed compaction: %v", err))
+		}
+	}
+	e.mem = merged
+	e.frozen = nil
+	for id := range e.deadBase {
+		e.dead[id] = true
+	}
+	e.deadBase = map[string]bool{}
+	if e.base != nil {
+		for id := range e.dead {
+			if e.base.Index(id) < 0 {
+				delete(e.dead, id)
+			}
+		}
+	} else {
+		e.dead = map[string]bool{}
+	}
+	e.rebuild()
+}
+
+// seedWAL writes generation gen's log segment containing the current
+// post-freeze overlay — tombstone deletes in sorted order, then
+// memtable enrolls in enrollment order — and syncs it, so the segment
+// replays to exactly the state the swap leaves in memory. Called with
+// the write lock held.
+func (e *Engine) seedWAL(gen int) (*walWriter, int64, int, error) {
+	w, n, err := createWAL(filepath.Join(e.dir, genName(gen, "bpw")),
+		walHeader{features: e.mem.Features(), featureIndex: e.featureIndexCopy()}, !e.opts.NoSync)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	records := 0
+	var batch []byte
+	for _, id := range sortedKeys(e.dead) {
+		batch = append(batch, encodeWALRecord(walKindDelete, id, nil)...)
+		records++
+	}
+	for i, id := range e.mem.IDs() {
+		batch = append(batch, encodeWALRecord(walKindEnroll, id, e.mem.Fingerprint(i))...)
+		records++
+	}
+	if len(batch) > 0 {
+		if _, err := w.f.Write(batch); err != nil {
+			w.close()
+			return nil, 0, 0, err
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		w.close()
+		return nil, 0, 0, err
+	}
+	return w, n + int64(len(batch)), records, nil
+}
+
+// removeGeneration deletes a superseded generation's manifest, shard
+// files, and log. Best-effort: a leftover is swept at the next Open.
+func removeGeneration(dir string, gen int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	prefix := fmt.Sprintf("live.g%04d.", gen)
+	for _, ent := range entries {
+		if len(ent.Name()) >= len(prefix) && ent.Name()[:len(prefix)] == prefix {
+			_ = os.Remove(filepath.Join(dir, ent.Name()))
+		}
+	}
+}
+
+// snapshotGallery copies an iteration of (id, normalized vector) pairs
+// into a fresh gallery — the verbatim record move (EnrollNormalized, no
+// renormalization) that keeps every stored bit across compactions and
+// migrations.
+func snapshotGallery(features int, featureIndex []int, iterate func(yield func(string, []float64) error) error) (*gallery.Gallery, error) {
+	var snap *gallery.Gallery
+	if featureIndex != nil {
+		snap = gallery.WithFeatureIndex(featureIndex)
+	} else {
+		snap = gallery.New(features)
+	}
+	err := iterate(func(id string, vec []float64) error {
+		return snap.EnrollNormalized(id, vec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

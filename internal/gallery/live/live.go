@@ -1,0 +1,720 @@
+// Package live is the writable gallery engine: a crash-safe,
+// concurrently mutable store that keeps the immutable sharded engine's
+// query contract while accepting online enrollment and deletion. The
+// source paper's linkage setting — like every population-scale
+// record-linkage attack — has an auxiliary database that grows over
+// time: the adversary (or the data steward auditing re-identification
+// risk) keeps acquiring identified records and must fold them in
+// without rebuilding or restarting the service. This package makes the
+// gallery a live store:
+//
+//   - Mutations commit to a CRC-framed write-ahead log (wal.go) with an
+//     fsync before they become visible to queries, then apply to an
+//     in-memory memtable overlay.
+//   - Queries sweep the immutable base store and the overlay in one
+//     pass under the same (score descending, subject ID ascending)
+//     strict total order as the sharded engine, with bit-identical
+//     scores: a live gallery answers exactly like a cold gallery
+//     offline-enrolled with the same records.
+//   - Snapshot compaction (compact.go) folds the log into fresh shard
+//     files under a generation switch (an atomic CURRENT rename), off
+//     the query path: only the memtable freeze and the final swap take
+//     the engine lock.
+//   - Open replays the log, truncating a torn tail (a crash mid-append)
+//     and failing hard on interior corruption — see wal.go for the
+//     recovery rule and DESIGN.md §7 for why the distinction matters.
+//
+// The on-disk layout of a live directory is
+//
+//	CURRENT                  the current generation number, text
+//	live.g0000.bpw           generation 0 write-ahead log
+//	live.g0001.bpm           generation 1 base manifest (after compaction)
+//	live.g0001.s000.bpg ...  generation 1 shard files
+//	live.g0001.bpw           generation 1 write-ahead log
+//
+// where every generation's manifest + shards + log are written and
+// synced in full before CURRENT is atomically renamed to point at them,
+// so a crash at any instant leaves a consistent generation to recover.
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/shard"
+)
+
+// source identifies which store a live enumeration entry lives in.
+type source uint8
+
+const (
+	srcBase   source = iota // immutable base store (current generation)
+	srcFrozen               // memtable frozen by an in-flight compaction
+	srcMem                  // active memtable
+)
+
+// loc maps one live enumeration index to its backing record.
+type loc struct {
+	src source
+	idx int // base: global store index; frozen/mem: gallery enrollment index
+}
+
+// Options tunes a live engine at Create/Open time.
+type Options struct {
+	// Shards is the shard count compaction writes the base store with
+	// (default 1; CreateFromStore inherits the source store's count).
+	Shards int
+	// CompactAfter triggers a background compaction once the
+	// write-ahead log holds at least this many records (0, the default,
+	// means compaction is manual-only via Compact).
+	CompactAfter int
+	// NoSync disables the per-commit fsync — throughput for crash
+	// safety, the classic trade. Only for bulk loads and tests; the
+	// default (false) syncs every commit.
+	NoSync bool
+}
+
+// withDefaults resolves zero values.
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	return o
+}
+
+// Engine is a live, mutable gallery over a directory: an immutable
+// sharded base store plus a write-ahead-logged memtable overlay. It
+// implements gallery.Mutable (and therefore gallery.Engine), so it
+// drops in wherever a read-only gallery serves today. All methods are
+// safe for concurrent use: queries share a read lock and run in
+// parallel, mutations serialize, and compaction runs in the background
+// touching the lock only to freeze the memtable and swap generations.
+type Engine struct {
+	dir  string
+	opts Options
+
+	// features/fidx are the immutable geometry, fixed at construction —
+	// readable without the lock (the memtable pointer itself is not:
+	// deletes and compactions replace it under the write lock).
+	features int
+	fidx     []int
+
+	mu     sync.RWMutex
+	closed bool
+	gen    int
+	base   *shard.Store     // nil before the first compaction of an empty-created directory
+	frozen *gallery.Gallery // memtable frozen by the in-flight compaction, nil otherwise
+	mem    *gallery.Gallery // active memtable; never nil, carries the geometry
+	// dead holds tombstones not yet folded into a base: a query skips
+	// these base/frozen records, and the swap replays them into the
+	// fresh log. deadBase holds tombstones already folded into the
+	// in-flight compaction's snapshot — still needed to filter the OLD
+	// base until the swap, then dropped.
+	dead     map[string]bool
+	deadBase map[string]bool
+
+	// The live enumeration: ids/locs/byID cover exactly the visible
+	// records, in base, frozen, mem order. Maintained incrementally on
+	// enroll, rebuilt on delete and swap.
+	ids  []string
+	locs []loc
+	byID map[string]int
+
+	wal        *walWriter
+	walRecords int
+	walBytes   int64
+	tornBytes  int64
+
+	compactMu     sync.Mutex  // serializes compactions
+	compactKick   atomic.Bool // a background compaction is scheduled or running
+	compactingNow atomic.Bool // a compaction is running right now
+	wg            sync.WaitGroup
+
+	compactions atomic.Int64
+	lastCompact atomic.Int64 // microseconds
+}
+
+var _ gallery.Mutable = (*Engine)(nil)
+
+// currentFile is the name of the generation pointer file.
+const currentFile = "CURRENT"
+
+// genName renders a generation-scoped filename: live.g0004.bpw,
+// live.g0004.bpm, and (via the shard package's manifest-derived naming)
+// live.g0004.s000.bpg.
+func genName(gen int, ext string) string {
+	return fmt.Sprintf("live.g%04d.%s", gen, ext)
+}
+
+// Create initializes an empty live gallery directory for fingerprints
+// with the given geometry (featureIndex nil for gallery-space
+// enrollment) and returns the open engine. The directory is created if
+// missing and must not already hold a live gallery.
+func Create(dir string, features int, featureIndex []int, opts Options) (*Engine, error) {
+	if features <= 0 {
+		return nil, fmt.Errorf("live: non-positive feature count %d", features)
+	}
+	if featureIndex != nil && len(featureIndex) != features {
+		return nil, fmt.Errorf("%w: feature index length %d != %d features", gallery.ErrDimMismatch, len(featureIndex), features)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, currentFile)); err == nil {
+		return nil, fmt.Errorf("live: %s already holds a live gallery", dir)
+	}
+	e := newEngine(dir, features, featureIndex, opts)
+	w, n, err := createWAL(filepath.Join(dir, genName(0, "bpw")), walHeader{features: features, featureIndex: e.featureIndexCopy()}, !e.opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	e.wal, e.walBytes = w, n
+	if err := writeCurrent(dir, 0); err != nil {
+		w.close()
+		return nil, err
+	}
+	e.rebuild()
+	return e, nil
+}
+
+// CreateFromStore initializes a live gallery directory seeded with the
+// records of an existing read-only store — the migration path from an
+// offline-enrolled gallery or sharded store to a writable one. The
+// seed records become generation 0's base (written as shard files plus
+// a manifest, verbatim record moves preserving every bit) and the log
+// starts empty. A partially loaded store is refused: migrating a
+// degraded store would silently drop its faulted shards' records.
+func CreateFromStore(dir string, src *shard.Store, opts Options) (*Engine, error) {
+	if src.LoadedShards() != src.Shards() {
+		return nil, fmt.Errorf("live: refusing to seed from a degraded store (%d of %d shards loaded)", src.LoadedShards(), src.Shards())
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = src.Shards()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, currentFile)); err == nil {
+		return nil, fmt.Errorf("live: %s already holds a live gallery", dir)
+	}
+	e := newEngine(dir, src.Features(), src.FeatureIndex(), opts)
+	snap, err := snapshotGallery(src.Features(), src.FeatureIndex(), func(yield func(string, []float64) error) error {
+		for gi, id := range src.IDs() {
+			if err := yield(id, src.Fingerprint(gi)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base, err := shard.FromGallery(snap, e.opts.Shards, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := base.WriteFiles(filepath.Join(dir, genName(0, "bpm"))); err != nil {
+		return nil, err
+	}
+	e.base = base
+	w, n, err := createWAL(filepath.Join(dir, genName(0, "bpw")), walHeader{features: e.mem.Features(), featureIndex: e.featureIndexCopy()}, !e.opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	e.wal, e.walBytes = w, n
+	if err := writeCurrent(dir, 0); err != nil {
+		w.close()
+		return nil, err
+	}
+	e.rebuild()
+	return e, nil
+}
+
+// Open recovers a live gallery directory: CURRENT names the generation,
+// its manifest (when present) loads as the immutable base, and its
+// write-ahead log replays into the memtable overlay — truncating a torn
+// tail from a crash mid-append (Stats reports the recovered byte count)
+// and failing hard with ErrWALCorrupt on interior corruption. Orphaned
+// files from a compaction that crashed before its generation switch are
+// swept away.
+func Open(dir string, opts Options) (*Engine, error) {
+	gen, err := readCurrent(dir)
+	if err != nil {
+		return nil, err
+	}
+	var base *shard.Store
+	manifestPath := filepath.Join(dir, genName(gen, "bpm"))
+	if _, err := os.Stat(manifestPath); err == nil {
+		base, err = shard.Open(manifestPath)
+		if err != nil {
+			// A live base must be fully healthy: compacting a degraded
+			// base would fold the faulted shards' records out of
+			// existence. Serving degraded read-only data is the
+			// immutable store's job.
+			return nil, fmt.Errorf("live: generation %d base: %w", gen, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	features, featureIndex := 0, []int(nil)
+	if base != nil {
+		features, featureIndex = base.Features(), base.FeatureIndex()
+		if opts.Shards <= 0 {
+			// Inherit the persisted layout: without this, reopening a
+			// 4-shard live gallery and compacting would silently fold
+			// the base into a single shard.
+			opts.Shards = base.Shards()
+		}
+	}
+	var e *Engine
+	apply := func(rec walRecord) error {
+		switch rec.kind {
+		case walKindEnroll:
+			return e.applyEnroll(rec.id, rec.vec)
+		default:
+			return e.applyDelete(rec.id)
+		}
+	}
+	walPath := filepath.Join(dir, genName(gen, "bpw"))
+	if base == nil {
+		// An empty-created directory: the log header is the only place
+		// the geometry lives, so peek it before building the engine.
+		h, err := peekWALHeader(walPath)
+		if err != nil {
+			return nil, err
+		}
+		features, featureIndex = h.features, h.featureIndex
+	}
+	e = newEngine(dir, features, featureIndex, opts)
+	e.gen = gen
+	e.base = base
+	e.rebuild() // enumerate the base before replay: deletes resolve against it
+	w, tail, err := openWAL(walPath, walHeader{features: features, featureIndex: e.featureIndexCopy()}, !e.opts.NoSync, apply)
+	if err != nil {
+		return nil, err
+	}
+	e.wal = w
+	e.walRecords = tail.records
+	e.walBytes = tail.goodEnd
+	e.tornBytes = tail.tornBytes
+	e.sweepOrphans()
+	return e, nil
+}
+
+// peekWALHeader reads just the geometry header of a segment.
+func peekWALHeader(path string) (walHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return walHeader{}, fmt.Errorf("%w: %s", ErrWALMissing, path)
+		}
+		return walHeader{}, err
+	}
+	defer f.Close()
+	h, _, err := decodeWALHeader(bufio.NewReader(f))
+	if err != nil {
+		return walHeader{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return h, nil
+}
+
+// newEngine assembles the in-memory shell shared by Create and Open.
+func newEngine(dir string, features int, featureIndex []int, opts Options) *Engine {
+	var mem *gallery.Gallery
+	if featureIndex != nil {
+		mem = gallery.WithFeatureIndex(featureIndex)
+	} else {
+		mem = gallery.New(features)
+	}
+	return &Engine{
+		dir:      dir,
+		opts:     opts.withDefaults(),
+		features: features,
+		fidx:     mem.FeatureIndex(),
+		mem:      mem,
+		dead:     map[string]bool{},
+		deadBase: map[string]bool{},
+	}
+}
+
+// featureIndexCopy returns the geometry's feature index (nil when the
+// engine stores gallery-space fingerprints).
+func (e *Engine) featureIndexCopy() []int { return e.fidx }
+
+// Dir returns the live gallery's directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// Close waits for any in-flight background compaction and releases the
+// write-ahead log. Further mutations and compactions fail with
+// ErrClosed; in-flight queries finish normally.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.wg.Wait()
+	return e.wal.close()
+}
+
+// ---- mutations ----
+
+// Enroll adds one subject online: the fingerprint is normalized exactly
+// like offline enrollment (projection through the feature index when
+// raw-space, then z-scoring), committed to the write-ahead log with an
+// fsync, and only then made visible to queries. Duplicate IDs fail with
+// gallery.ErrDuplicateID; a deleted ID may be re-enrolled.
+func (e *Engine) Enroll(id string, fingerprint []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, dup := e.byID[id]; dup {
+		return fmt.Errorf("%w: %q", gallery.ErrDuplicateID, id)
+	}
+	if id == "" || len(id) > gallery.MaxIDLen {
+		return fmt.Errorf("live: subject id is %d bytes (want 1..%d)", len(id), gallery.MaxIDLen)
+	}
+	z, err := e.mem.Normalize(fingerprint)
+	if err != nil {
+		return err
+	}
+	if err := e.commit(encodeWALRecord(walKindEnroll, id, z)); err != nil {
+		return err
+	}
+	if err := e.applyEnroll(id, z); err != nil {
+		return err
+	}
+	e.maybeKickCompaction()
+	return nil
+}
+
+// Delete removes one enrolled subject: the tombstone is committed to
+// the write-ahead log with an fsync, then the record disappears from
+// queries — physically from the memtable, logically (until the next
+// compaction) from the immutable base. Unknown IDs fail with
+// gallery.ErrUnknownID.
+func (e *Engine) Delete(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, ok := e.byID[id]; !ok {
+		return fmt.Errorf("%w: %q", gallery.ErrUnknownID, id)
+	}
+	if err := e.commit(encodeWALRecord(walKindDelete, id, nil)); err != nil {
+		return err
+	}
+	if err := e.applyDelete(id); err != nil {
+		return err
+	}
+	e.maybeKickCompaction()
+	return nil
+}
+
+// commit appends one framed record to the log, updating the counters.
+// Called with the write lock held.
+func (e *Engine) commit(frame []byte) error {
+	if err := e.wal.append(frame); err != nil {
+		return fmt.Errorf("live: committing to write-ahead log: %w", err)
+	}
+	e.walRecords++
+	e.walBytes += int64(len(frame))
+	return nil
+}
+
+// applyEnroll makes a committed (or replayed) enrollment visible:
+// the normalized vector lands in the memtable and the enumeration
+// grows by one. Called with the write lock held (or during Open,
+// before the engine is shared).
+func (e *Engine) applyEnroll(id string, z []float64) error {
+	if _, dup := e.byID[id]; dup {
+		return fmt.Errorf("%w: %q", gallery.ErrDuplicateID, id)
+	}
+	if err := e.mem.EnrollNormalized(id, z); err != nil {
+		return err
+	}
+	e.ids = append(e.ids, id)
+	e.locs = append(e.locs, loc{src: srcMem, idx: e.mem.Len() - 1})
+	e.byID[id] = len(e.ids) - 1
+	return nil
+}
+
+// applyDelete makes a committed (or replayed) deletion visible. A
+// memtable record is physically rebuilt away; a base or frozen record
+// is tombstoned until the next compaction folds it out. Called with the
+// write lock held (or during Open).
+func (e *Engine) applyDelete(id string) error {
+	li, ok := e.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", gallery.ErrUnknownID, id)
+	}
+	if e.locs[li].src == srcMem {
+		e.mem = rebuildWithout(e.mem, id)
+	} else {
+		e.dead[id] = true
+	}
+	e.rebuild()
+	return nil
+}
+
+// rebuildWithout copies a memtable minus one subject, preserving
+// enrollment order and every stored bit.
+func rebuildWithout(g *gallery.Gallery, drop string) *gallery.Gallery {
+	var out *gallery.Gallery
+	if idx := g.FeatureIndex(); idx != nil {
+		out = gallery.WithFeatureIndex(idx)
+	} else {
+		out = gallery.New(g.Features())
+	}
+	for i, id := range g.IDs() {
+		if id == drop {
+			continue
+		}
+		// Enrolling a copy of already-normalized bits cannot fail: the
+		// source gallery enforced uniqueness and dimensions.
+		if err := out.EnrollNormalized(id, g.Fingerprint(i)); err != nil {
+			panic(fmt.Sprintf("live: rebuilding memtable: %v", err))
+		}
+	}
+	return out
+}
+
+// rebuild recomputes the live enumeration from the current sources:
+// base survivors in global order, then frozen survivors, then the
+// memtable. Called with the write lock held.
+func (e *Engine) rebuild() {
+	n := e.mem.Len()
+	if e.base != nil {
+		n += e.base.Len()
+	}
+	if e.frozen != nil {
+		n += e.frozen.Len()
+	}
+	e.ids = make([]string, 0, n)
+	e.locs = make([]loc, 0, n)
+	e.byID = make(map[string]int, n)
+	add := func(id string, l loc) {
+		e.byID[id] = len(e.ids)
+		e.ids = append(e.ids, id)
+		e.locs = append(e.locs, l)
+	}
+	if e.base != nil {
+		for gi, id := range e.base.IDs() {
+			if e.dead[id] || e.deadBase[id] {
+				continue
+			}
+			add(id, loc{src: srcBase, idx: gi})
+		}
+	}
+	if e.frozen != nil {
+		for i, id := range e.frozen.IDs() {
+			if e.dead[id] {
+				continue
+			}
+			add(id, loc{src: srcFrozen, idx: i})
+		}
+	}
+	for i, id := range e.mem.IDs() {
+		add(id, loc{src: srcMem, idx: i})
+	}
+}
+
+// fingerprint returns the stored vector behind live enumeration index
+// i. Called with (at least) the read lock held.
+func (e *Engine) fingerprint(i int) []float64 {
+	l := e.locs[i]
+	switch l.src {
+	case srcBase:
+		return e.base.Fingerprint(l.idx)
+	case srcFrozen:
+		return e.frozen.Fingerprint(l.idx)
+	default:
+		return e.mem.Fingerprint(l.idx)
+	}
+}
+
+// ---- Engine surface: enumeration ----
+
+// Len returns the number of visible enrolled subjects.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.ids)
+}
+
+// Features returns the fingerprint dimensionality.
+func (e *Engine) Features() int { return e.features }
+
+// FeatureIndex returns the raw-space feature indices the engine was
+// built over, or nil. The caller must not mutate the result.
+func (e *Engine) FeatureIndex() []int { return e.fidx }
+
+// IDs returns the visible subject IDs in canonical (base, then
+// overlay) order. Unlike the immutable engines it returns a copy: the
+// live enumeration changes under mutation, and handing out the
+// internal slice would race with it.
+func (e *Engine) IDs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(e.ids))
+	copy(out, e.ids)
+	return out
+}
+
+// ID returns the subject ID at canonical index i, as of the call; a
+// concurrent mutation may renumber indices, so pair ID with Index
+// inside one logical operation only.
+func (e *Engine) ID(i int) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ids[i]
+}
+
+// Index returns the canonical index of a subject ID, or -1.
+func (e *Engine) Index(id string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if li, ok := e.byID[id]; ok {
+		return li
+	}
+	return -1
+}
+
+// ---- stats ----
+
+// Generation returns the current on-disk generation number.
+func (e *Engine) Generation() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
+}
+
+// Stats returns the engine's current mutation and compaction counters.
+func (e *Engine) Stats() gallery.MutableStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := gallery.MutableStats{
+		Generation:          e.gen,
+		MemRecords:          e.mem.Len(),
+		Tombstones:          len(e.dead) + len(e.deadBase),
+		WALRecords:          e.walRecords,
+		WALBytes:            e.walBytes,
+		Compactions:         e.compactions.Load(),
+		Compacting:          e.compactingNow.Load(),
+		LastCompactDuration: time.Duration(e.lastCompact.Load()) * time.Microsecond,
+		RecoveredTornBytes:  e.tornBytes,
+	}
+	if e.base != nil {
+		st.BaseRecords = e.base.Len()
+	}
+	if e.frozen != nil {
+		st.MemRecords += e.frozen.Len()
+	}
+	return st
+}
+
+// ---- CURRENT handling ----
+
+// writeCurrent atomically points the directory at a generation: the
+// pointer is written to a temporary file, synced, and renamed over
+// CURRENT, so a crash leaves either the old or the new generation —
+// never a half-written pointer.
+func writeCurrent(dir string, gen int) error {
+	tmp := filepath.Join(dir, currentFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", gen); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCurrent parses the generation pointer.
+func readCurrent(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNotLive, dir)
+		}
+		return 0, err
+	}
+	gen, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || gen < 0 {
+		return 0, fmt.Errorf("live: corrupt CURRENT file in %s: %q", dir, strings.TrimSpace(string(b)))
+	}
+	return gen, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// sweepOrphans removes generation files other than the current
+// generation's — leftovers of a compaction that crashed before (its
+// files are unreferenced) or completed (its predecessors are folded)
+// a generation switch. Best-effort.
+func (e *Engine) sweepOrphans() {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return
+	}
+	keep := map[string]bool{
+		currentFile:           true,
+		genName(e.gen, "bpw"): true,
+		genName(e.gen, "bpm"): true,
+	}
+	prefix := fmt.Sprintf("live.g%04d.", e.gen)
+	for _, ent := range entries {
+		name := ent.Name()
+		if keep[name] || strings.HasPrefix(name, prefix) || !strings.HasPrefix(name, "live.g") {
+			continue
+		}
+		_ = os.Remove(filepath.Join(e.dir, name))
+	}
+}
+
+// sortedKeys returns a map's keys in ascending order, for deterministic
+// tombstone replay into a fresh log segment.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

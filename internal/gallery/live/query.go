@@ -1,0 +1,220 @@
+package live
+
+import (
+	"context"
+	"fmt"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/linalg"
+	"brainprint/internal/match"
+	"brainprint/internal/parallel"
+)
+
+// The merged query sweep. A live engine's visible records live in up to
+// three places — the immutable base store, a memtable frozen by an
+// in-flight compaction, and the active memtable — but queries see one
+// flat enumeration: the sweep walks the live index space exactly like
+// the sharded store walks its global index space, scoring every record
+// with the identical linalg.Dot(fp, zp)/features expression and ranking
+// under the same (score descending, subject ID ascending) strict total
+// order. Determinism therefore holds by the same argument (DESIGN.md
+// §6–7): per-record scores never depend on which source holds the
+// record, and the total order makes the merged top-k unique regardless
+// of chunking, parallelism, or how many records have been compacted —
+// which is what pins a live gallery's answers bit-identical to a cold
+// offline-enrolled gallery of the same records.
+//
+// Every query holds the engine's read lock for its duration: queries
+// run concurrently with each other, while mutations and the compaction
+// swap wait for in-flight sweeps to drain. Under the write lock an
+// enroll is cheap (one log fsync plus a memtable append), but a delete
+// is O(overlay): a memtable delete physically rebuilds the memtable
+// and any delete rebuilds the flat enumeration. Compaction is what
+// bounds that cost — it empties the overlay and folds the tombstones,
+// so delete-heavy workloads should compact (or set Options.
+// CompactAfter) rather than accumulate an unbounded overlay.
+
+// better reports whether a outranks b: higher score first, ties broken
+// by the lexicographically smaller subject ID — the sharded store's
+// layout-invariant total order.
+func better(a, b gallery.Candidate) bool {
+	return a.Score > b.Score || (a.Score == b.Score && a.ID < b.ID)
+}
+
+// TopK ranks the k enrolled subjects most correlated with the probe,
+// best first, using the default worker count.
+func (e *Engine) TopK(probe []float64, k int) ([]gallery.Candidate, error) {
+	return e.TopKP(probe, k, 0)
+}
+
+// TopKP is TopK with an explicit parallelism knob (0 = all cores,
+// 1 = serial, n = n workers). Results are identical at any setting.
+func (e *Engine) TopKP(probe []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	return e.TopKCtx(context.Background(), probe, k, parallelism)
+}
+
+// TopKCtx is TopKP under a context: the sweep aborts between chunks
+// once ctx is cancelled and returns ctx.Err(). The probe may be a
+// gallery-space vector or a raw vector when the engine carries a
+// feature index; k larger than the engine is clamped.
+func (e *Engine) TopKCtx(ctx context.Context, probe []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	k, err := e.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	zp, err := e.mem.Normalize(probe)
+	if err != nil {
+		return nil, err
+	}
+	return e.topK(ctx, zp, k, parallelism)
+}
+
+// QueryAll answers a batch of probes — the columns of a features×probes
+// matrix — returning one ranked top-k list per probe.
+func (e *Engine) QueryAll(probes *linalg.Matrix, k int) ([][]gallery.Candidate, error) {
+	return e.QueryAllP(probes, k, 0)
+}
+
+// QueryAllP is QueryAll with an explicit parallelism knob. Probes
+// normalize through the same match.ZScoreColumns path every other
+// engine uses, so batch scores stay bit-identical.
+func (e *Engine) QueryAllP(probes *linalg.Matrix, k, parallelism int) ([][]gallery.Candidate, error) {
+	return e.QueryAllCtx(context.Background(), probes, k, parallelism)
+}
+
+// QueryAllCtx is QueryAllP under a context: the batch aborts between
+// probes once ctx is cancelled. Rankings are identical at any setting.
+func (e *Engine) QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, parallelism int) ([][]gallery.Candidate, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	k, err := e.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	zcols, err := e.prepProbes(probes, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]gallery.Candidate, len(zcols))
+	err = parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			top, err := e.topK(ctx, zcols[j], k, 1)
+			if err != nil {
+				return err
+			}
+			out[j] = top
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DenseSimilarity materializes the full engine×probes similarity
+// matrix, rows in live enumeration order — the exact fallback the
+// Hungarian assignment path consumes.
+func (e *Engine) DenseSimilarity(probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	return e.DenseSimilarityCtx(context.Background(), probes, parallelism)
+}
+
+// DenseSimilarityCtx is DenseSimilarity under a context: the row sweep
+// aborts between chunks once ctx is cancelled.
+func (e *Engine) DenseSimilarityCtx(ctx context.Context, probes *linalg.Matrix, parallelism int) (*linalg.Matrix, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := len(e.ids)
+	if n == 0 {
+		return nil, fmt.Errorf("live: empty gallery")
+	}
+	zcols, err := e.prepProbes(probes, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	m := len(zcols)
+	features := e.mem.Features()
+	out := linalg.NewMatrix(n, m)
+	inv := 1 / float64(features)
+	err = parallel.ForCtx(ctx, parallelism, n, 1+4096/(features*m+1), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			fp := e.fingerprint(i)
+			orow := out.RowView(i)
+			for j, zc := range zcols {
+				orow[j] = linalg.Dot(fp, zc) * inv
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// topK is the blocked sweep over the live enumeration with a z-scored,
+// gallery-space probe. Called with the read lock held.
+func (e *Engine) topK(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
+	features := e.mem.Features()
+	inv := 1 / float64(features)
+	grain := 1 + (1<<15)/features // ≈32k multiplies per chunk
+	return parallel.ReduceCtx(ctx, parallelism, len(e.ids), grain, nil,
+		func(lo, hi int) []gallery.Candidate {
+			local := make([]gallery.Candidate, 0, min(k, hi-lo))
+			for i := lo; i < hi; i++ {
+				c := gallery.Candidate{Index: i, ID: e.ids[i], Score: linalg.Dot(e.fingerprint(i), zp) * inv}
+				local = gallery.RankInsert(local, c, k, better)
+			}
+			return local
+		},
+		func(acc, part []gallery.Candidate) []gallery.Candidate {
+			return gallery.RankMerge(acc, part, k, better)
+		},
+	)
+}
+
+// clampK validates the engine and k, clamping k to the visible record
+// count. Called with the read lock held.
+func (e *Engine) clampK(k int) (int, error) {
+	if len(e.ids) == 0 {
+		return 0, fmt.Errorf("live: empty gallery")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("live: k=%d must be positive", k)
+	}
+	return min(k, len(e.ids)), nil
+}
+
+// prepProbes converts a features×probes matrix into z-scored
+// gallery-space probe vectors — the same normalization pipeline every
+// other engine uses. Called with the read lock held.
+func (e *Engine) prepProbes(probes *linalg.Matrix, parallelism int) ([][]float64, error) {
+	features := e.mem.Features()
+	f, m := probes.Dims()
+	if m == 0 {
+		return nil, fmt.Errorf("live: no probe columns")
+	}
+	gal := probes
+	if f != features {
+		index := e.mem.FeatureIndex()
+		if index == nil {
+			return nil, fmt.Errorf("%w: probes have %d features, gallery has %d", gallery.ErrDimMismatch, f, features)
+		}
+		for _, idx := range index {
+			if idx < 0 || idx >= f {
+				return nil, fmt.Errorf("%w: feature index %d outside raw probes with %d features", gallery.ErrDimMismatch, idx, f)
+			}
+		}
+		gal = probes.SelectRows(index)
+	}
+	z := match.ZScoreColumns(gal, parallelism)
+	cols := make([][]float64, m)
+	parallel.ForWith(parallelism, m, 1+1024/features, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			cols[j] = z.Col(j)
+		}
+	})
+	return cols, nil
+}

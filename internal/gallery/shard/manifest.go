@@ -214,8 +214,8 @@ func decodeManifest(r io.Reader) (*Manifest, error) {
 	if flags&flagQuantized != 0 {
 		quantLen = 16 * int(features)
 	}
-	rest := make([]byte, 4*int(indexLen)+quantLen+4)
-	if err := readFull(br, rest, "manifest header body"); err != nil {
+	rest, err := readN(br, 4*int(indexLen)+quantLen+4, "manifest header body")
+	if err != nil {
 		return nil, err
 	}
 	stored := binary.LittleEndian.Uint32(rest[len(rest)-4:])
@@ -293,6 +293,13 @@ func readFull(r io.Reader, buf []byte, what string) error {
 		return fmt.Errorf("shard: reading %s: %w", what, err)
 	}
 	return nil
+}
+
+// readN is gallery.ReadN — the shared bounded-allocation reader, so a
+// forged length field in a corrupt manifest cannot drive a huge
+// up-front allocation.
+func readN(r io.Reader, n int, what string) ([]byte, error) {
+	return gallery.ReadN(r, n, what)
 }
 
 // writeManifestFile renders the manifest to path, replacing any

@@ -405,6 +405,15 @@ func (s *Store) Index(id string) int {
 	return -1
 }
 
+// Fingerprint returns the stored z-scored fingerprint at global index
+// gi, aliased into the owning shard's backing array — the caller must
+// not mutate it. It is the record accessor the live engine's merged
+// sweep reads, mirroring (*gallery.Gallery).Fingerprint.
+func (s *Store) Fingerprint(gi int) []float64 {
+	si, li := s.locate(gi)
+	return s.galleries[si].Fingerprint(li)
+}
+
 // ---- shard bookkeeping ----
 
 // Shards returns the manifest shard count (faulted shards included).

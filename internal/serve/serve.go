@@ -31,6 +31,7 @@ import (
 
 	"brainprint/internal/attacker"
 	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/live"
 	"brainprint/internal/linalg"
 	"brainprint/internal/parallel"
 )
@@ -107,6 +108,7 @@ func (m *endpointMetrics) snapshot() map[string]any {
 // Server is the HTTP identification service over one attacker session.
 type Server struct {
 	atk     *attacker.Attacker
+	mutable gallery.Mutable // non-nil only for a writable server
 	cfg     Config
 	started time.Time
 
@@ -116,25 +118,35 @@ type Server struct {
 	mBatch    endpointMetrics
 	mGallery  endpointMetrics
 	mHealth   endpointMetrics
+	mEnroll   endpointMetrics
+	mDelete   endpointMetrics
 }
 
-// New builds a service over a session with a non-empty gallery.
+// New builds a service over a session with a non-empty gallery. A
+// session built WithMutableGallery additionally serves the write
+// endpoints (POST /v1/enroll, DELETE /v1/subjects/{id}) — and may
+// start empty, since records can arrive online; on a read-only session
+// those endpoints answer 405.
 func New(atk *attacker.Attacker, cfg Config) (*Server, error) {
 	if atk == nil {
 		return nil, fmt.Errorf("serve: nil attacker session")
 	}
 	g := atk.Gallery()
-	if g == nil || g.Len() == 0 {
+	if g == nil || (g.Len() == 0 && atk.Mutable() == nil) {
 		return nil, fmt.Errorf("serve: session has no enrolled gallery")
 	}
 	cfg = cfg.withDefaults(atk.Parallelism())
 	return &Server{
 		atk:      atk,
+		mutable:  atk.Mutable(),
 		cfg:      cfg,
 		started:  time.Now(),
 		inflight: make(chan struct{}, cfg.MaxInflight),
 	}, nil
 }
+
+// Writable reports whether the server accepts online mutations.
+func (s *Server) Writable() bool { return s.mutable != nil }
 
 // Addr returns the configured listen address.
 func (s *Server) Addr() string { return s.cfg.Addr }
@@ -148,6 +160,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/gallery", s.handleGallery)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The write endpoints are always routed; on a read-only server they
+	// answer 405 so clients can tell "wrong server mode" (405) apart
+	// from "no such route" (404).
+	mux.HandleFunc("POST /v1/enroll", s.handleEnroll)
+	mux.HandleFunc("DELETE /v1/subjects/{id}", s.handleDelete)
 	return mux
 }
 
@@ -345,6 +362,119 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ---- write endpoints ----
+
+// enrollRequest is the POST /v1/enroll body.
+type enrollRequest struct {
+	// ID is the subject ID to enroll under (required, unique).
+	ID string `json:"id"`
+	// Fingerprint is the subject's fingerprint vector (gallery-space,
+	// or raw when the gallery carries a feature index).
+	Fingerprint []float64 `json:"fingerprint"`
+}
+
+// enrollResponse confirms one online enrollment.
+type enrollResponse struct {
+	ID        string  `json:"id"`
+	Subjects  int     `json:"subjects"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// deleteResponse confirms one online deletion.
+type deleteResponse struct {
+	ID       string `json:"id"`
+	Subjects int    `json:"subjects"`
+}
+
+// requireWritable answers 405 on a read-only server.
+func (s *Server) requireWritable(w http.ResponseWriter) bool {
+	if s.mutable == nil {
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorResponse{Error: "server is read-only (start with -writable over a live gallery)"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mEnroll.observe(start, failed) }()
+
+	if !s.requireWritable(w) {
+		return
+	}
+	var req enrollRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.ID == "" || len(req.ID) > gallery.MaxIDLen {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("subject id must be 1..%d bytes", gallery.MaxIDLen)})
+		return
+	}
+	if len(req.Fingerprint) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing fingerprint vector"})
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	if err := s.mutable.Enroll(req.ID, req.Fingerprint); err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusCreated, enrollResponse{
+		ID:        req.ID,
+		Subjects:  s.mutable.Len(),
+		ElapsedMS: msSince(start),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mDelete.observe(start, failed) }()
+
+	if !s.requireWritable(w) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	if err := s.mutable.Delete(id); err != nil {
+		writeMutationError(w, err)
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, deleteResponse{ID: id, Subjects: s.mutable.Len()})
+}
+
+// writeMutationError maps write-path failures to HTTP statuses:
+// duplicate enrollment → 409, unknown subject → 404, dimension and
+// validation problems → 400 — and anything else (a write-ahead-log
+// I/O failure, a closed engine) → 500/503: those are server faults,
+// and labelling them 400 would tell clients and retry middleware the
+// request itself was permanently bad.
+func writeMutationError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, gallery.ErrDuplicateID):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case errors.Is(err, gallery.ErrUnknownID):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, gallery.ErrDimMismatch):
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	case errors.Is(err, live.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
 // shardedEngine is the optional topology surface a sharded store
 // (internal/gallery/shard.Store) adds on top of gallery.Engine; the
 // service reports it when present without depending on the concrete
@@ -375,17 +505,42 @@ func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	endpoints := map[string]any{
+		"identify": s.mIdentify.snapshot(),
+		"batch":    s.mBatch.snapshot(),
+		"gallery":  s.mGallery.snapshot(),
+		"healthz":  s.mHealth.snapshot(),
+	}
+	resp := map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"inflight":       len(s.inflight),
 		"max_inflight":   s.cfg.MaxInflight,
-		"endpoints": map[string]any{
-			"identify": s.mIdentify.snapshot(),
-			"batch":    s.mBatch.snapshot(),
-			"gallery":  s.mGallery.snapshot(),
-			"healthz":  s.mHealth.snapshot(),
-		},
-	})
+		"writable":       s.mutable != nil,
+		"endpoints":      endpoints,
+	}
+	if s.mutable != nil {
+		endpoints["enroll"] = s.mEnroll.snapshot()
+		endpoints["delete"] = s.mDelete.snapshot()
+		resp["live"] = liveJSON(s.mutable.Stats())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// liveJSON renders a live engine's compaction/log counters for the
+// metrics and health endpoints.
+func liveJSON(st gallery.MutableStats) map[string]any {
+	return map[string]any{
+		"generation":           st.Generation,
+		"base_records":         st.BaseRecords,
+		"mem_records":          st.MemRecords,
+		"tombstones":           st.Tombstones,
+		"wal_records":          st.WALRecords,
+		"wal_bytes":            st.WALBytes,
+		"compactions":          st.Compactions,
+		"compacting":           st.Compacting,
+		"last_compact_ms":      float64(st.LastCompactDuration.Microseconds()) / 1000,
+		"recovered_torn_bytes": st.RecoveredTornBytes,
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -396,6 +551,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"subjects":       s.atk.Gallery().Len(),
 		"features":       s.atk.Gallery().Features(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
+		"writable":       s.mutable != nil,
+	}
+	if s.mutable != nil {
+		// Compaction visibility for operators: a writable server's
+		// health report carries the live engine's generation, overlay
+		// size, and whether a fold is running right now.
+		resp["live"] = liveJSON(s.mutable.Stats())
 	}
 	if sh, ok := s.atk.Gallery().(shardedEngine); ok {
 		resp["shards"] = sh.Shards()
@@ -443,11 +605,19 @@ func probesMatrix(rows [][]float64) (*linalg.Matrix, error) {
 	return m, nil
 }
 
-// decodeBody parses a bounded JSON body, writing 400 on failure.
+// decodeBody parses a bounded JSON body: an oversized body gets 413,
+// any other decode failure (malformed JSON, unknown fields, trailing
+// data) gets 400.
 func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return false
 	}

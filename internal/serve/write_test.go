@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"brainprint/internal/attacker"
+	"brainprint/internal/gallery/live"
+	"brainprint/internal/linalg"
+)
+
+// writableService builds a service over a live gallery created in a
+// temp directory, pre-enrolled with `seeded` subjects ("subj-00"…).
+func writableService(t *testing.T, features, seeded int) (*Server, *live.Engine, *linalg.Matrix) {
+	t.Helper()
+	e, err := live.Create(filepath.Join(t.TempDir(), "live"), features, nil, live.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("live.Create: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	rng := rand.New(rand.NewSource(9))
+	group := linalg.NewMatrix(features, seeded+4)
+	data := group.RawData()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	for j := 0; j < seeded; j++ {
+		if err := e.Enroll(fmt.Sprintf("subj-%02d", j), group.Col(j)); err != nil {
+			t.Fatalf("seed Enroll: %v", err)
+		}
+	}
+	atk, err := attacker.New(nil, attacker.WithMutableGallery(e), attacker.WithTopK(3))
+	if err != nil {
+		t.Fatalf("attacker.New: %v", err)
+	}
+	s, err := New(atk, Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	return s, e, group
+}
+
+func doDelete(t *testing.T, h http.Handler, id string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodDelete, "/v1/subjects/"+id, nil))
+	return w
+}
+
+func TestEnrollEndpoint(t *testing.T) {
+	s, e, group := writableService(t, 40, 3)
+	h := s.Handler()
+
+	w := postJSON(t, h, "/v1/enroll", map[string]any{"id": "newcomer", "fingerprint": group.Col(3)})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("enroll status = %d, body %s", w.Code, w.Body)
+	}
+	var resp struct {
+		ID       string `json:"id"`
+		Subjects int    `json:"subjects"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if resp.ID != "newcomer" || resp.Subjects != 4 {
+		t.Fatalf("response %+v", resp)
+	}
+	if e.Index("newcomer") < 0 {
+		t.Fatal("subject not visible in the engine")
+	}
+
+	// The enrolled subject is immediately identifiable: probing with
+	// its own vector must put it at rank 1.
+	w = postJSON(t, h, "/v1/identify", map[string]any{"probe": group.Col(3)})
+	if w.Code != http.StatusOK {
+		t.Fatalf("identify status = %d", w.Code)
+	}
+	var idResp struct {
+		Candidates []struct {
+			ID string `json:"id"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &idResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(idResp.Candidates) == 0 || idResp.Candidates[0].ID != "newcomer" {
+		t.Fatalf("top-1 after online enrollment: %+v", idResp.Candidates)
+	}
+}
+
+func TestDeleteEndpoint(t *testing.T) {
+	s, e, _ := writableService(t, 40, 3)
+	h := s.Handler()
+
+	w := doDelete(t, h, "subj-01")
+	if w.Code != http.StatusOK {
+		t.Fatalf("delete status = %d, body %s", w.Code, w.Body)
+	}
+	if e.Index("subj-01") >= 0 || e.Len() != 2 {
+		t.Fatalf("subject still visible: len=%d", e.Len())
+	}
+	// Deleting it again is 404.
+	if w := doDelete(t, h, "subj-01"); w.Code != http.StatusNotFound {
+		t.Fatalf("second delete status = %d, want 404", w.Code)
+	}
+}
+
+func TestWriteErrorCodes(t *testing.T) {
+	s, _, group := writableService(t, 40, 3)
+	h := s.Handler()
+
+	t.Run("405 on read-only server", func(t *testing.T) {
+		ro, _, _ := testService(t, Config{})
+		roh := ro.Handler()
+		if w := postJSON(t, roh, "/v1/enroll", map[string]any{"id": "x", "fingerprint": group.Col(0)}); w.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("read-only enroll status = %d, want 405", w.Code)
+		}
+		if w := doDelete(t, roh, "subj-00"); w.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("read-only delete status = %d, want 405", w.Code)
+		}
+	})
+
+	t.Run("409 duplicate subject", func(t *testing.T) {
+		if w := postJSON(t, h, "/v1/enroll", map[string]any{"id": "subj-00", "fingerprint": group.Col(0)}); w.Code != http.StatusConflict {
+			t.Fatalf("duplicate enroll status = %d, want 409", w.Code)
+		}
+	})
+
+	t.Run("413 oversized body", func(t *testing.T) {
+		small, err := New(mustAttacker(t), Config{MaxBodyBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := strings.NewReader(`{"id":"big","fingerprint":[` + strings.Repeat("1.0,", 200) + `1.0]}`)
+		req := httptest.NewRequest(http.MethodPost, "/v1/enroll", body)
+		w := httptest.NewRecorder()
+		small.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized enroll status = %d, want 413", w.Code)
+		}
+	})
+
+	t.Run("400 malformed JSON", func(t *testing.T) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/enroll", strings.NewReader(`{"id": "x", "fingerprint": [1.0,`))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("malformed enroll status = %d, want 400", w.Code)
+		}
+	})
+
+	t.Run("400 missing fields", func(t *testing.T) {
+		if w := postJSON(t, h, "/v1/enroll", map[string]any{"fingerprint": group.Col(0)}); w.Code != http.StatusBadRequest {
+			t.Fatalf("missing id status = %d, want 400", w.Code)
+		}
+		if w := postJSON(t, h, "/v1/enroll", map[string]any{"id": "x"}); w.Code != http.StatusBadRequest {
+			t.Fatalf("missing fingerprint status = %d, want 400", w.Code)
+		}
+	})
+
+	t.Run("400 dimension mismatch", func(t *testing.T) {
+		if w := postJSON(t, h, "/v1/enroll", map[string]any{"id": "short", "fingerprint": []float64{1, 2, 3}}); w.Code != http.StatusBadRequest {
+			t.Fatalf("dim mismatch status = %d, want 400", w.Code)
+		}
+	})
+}
+
+// mustAttacker builds a writable session over a throwaway live engine.
+func mustAttacker(t *testing.T) *attacker.Attacker {
+	t.Helper()
+	e, err := live.Create(filepath.Join(t.TempDir(), "live"), 8, nil, live.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	atk, err := attacker.New(nil, attacker.WithMutableGallery(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return atk
+}
+
+func TestWritableHealthAndMetrics(t *testing.T) {
+	s, e, group := writableService(t, 40, 3)
+	h := s.Handler()
+
+	var health map[string]any
+	if err := json.Unmarshal(get(t, h, "/healthz").Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["writable"] != true {
+		t.Fatalf("healthz writable = %v", health["writable"])
+	}
+	liveBlock, ok := health["live"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz live block missing: %v", health)
+	}
+	if liveBlock["wal_records"].(float64) != 3 || liveBlock["generation"].(float64) != 0 {
+		t.Fatalf("live block: %v", liveBlock)
+	}
+
+	// Mutate, compact, and watch the counters move.
+	if w := postJSON(t, h, "/v1/enroll", map[string]any{"id": "extra", "fingerprint": group.Col(3)}); w.Code != http.StatusCreated {
+		t.Fatalf("enroll: %d", w.Code)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(get(t, h, "/v1/metrics").Body.Bytes(), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics["writable"] != true {
+		t.Fatalf("metrics writable = %v", metrics["writable"])
+	}
+	lb := metrics["live"].(map[string]any)
+	if lb["generation"].(float64) != 1 || lb["wal_records"].(float64) != 0 || lb["base_records"].(float64) != 4 {
+		t.Fatalf("post-compaction live metrics: %v", lb)
+	}
+	eps := metrics["endpoints"].(map[string]any)
+	if _, ok := eps["enroll"]; !ok {
+		t.Fatalf("enroll endpoint metrics missing: %v", eps)
+	}
+
+	// A read-only server reports writable=false and no live block.
+	ro, _, _ := testService(t, Config{})
+	var roHealth map[string]any
+	if err := json.Unmarshal(get(t, ro.Handler(), "/healthz").Body.Bytes(), &roHealth); err != nil {
+		t.Fatal(err)
+	}
+	if roHealth["writable"] != false {
+		t.Fatalf("read-only healthz writable = %v", roHealth["writable"])
+	}
+	if _, ok := roHealth["live"]; ok {
+		t.Fatal("read-only healthz carries a live block")
+	}
+}
+
+func TestWritableServerMayStartEmpty(t *testing.T) {
+	e, err := live.Create(filepath.Join(t.TempDir(), "live"), 8, nil, live.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	atk, err := attacker.New(nil, attacker.WithMutableGallery(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(atk, Config{})
+	if err != nil {
+		t.Fatalf("New over an empty writable gallery: %v", err)
+	}
+	// Identify on the empty gallery is a 400, not a crash.
+	if w := postJSON(t, s.Handler(), "/v1/identify", map[string]any{"probe": []float64{1, 2, 3, 4, 5, 6, 7, 8}}); w.Code != http.StatusBadRequest {
+		t.Fatalf("identify on empty writable gallery = %d, want 400", w.Code)
+	}
+}

@@ -1,0 +1,95 @@
+package brainprint
+
+// The live, writable gallery facade: a crash-safe directory-backed
+// engine accepting online enrollment and deletion while serving the
+// same bit-identical queries as the immutable stores. See
+// internal/gallery/live for the engine and DESIGN.md §7 for the
+// write-ahead log format and recovery rule.
+
+import (
+	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/live"
+)
+
+// LiveGallery is a writable, crash-safe gallery over a directory: an
+// immutable sharded base store plus a write-ahead-logged in-memory
+// overlay, queried together under the sharded engine's deterministic
+// (score desc, ID asc) ranking with bit-identical scores. It implements
+// GalleryMutable (and GalleryEngine), so it drops into NewAttacker and
+// the HTTP service wherever a read-only gallery works. Safe for
+// concurrent use: enrolls may race queries.
+type LiveGallery = live.Engine
+
+// LiveGalleryOptions tunes a live gallery at creation/open time:
+// compaction shard count, the auto-compaction threshold, and the
+// fsync-per-commit switch.
+type LiveGalleryOptions = live.Options
+
+// GalleryMutable is the write surface of a live gallery engine —
+// Enroll/Delete/Compact/Stats on top of the full GalleryEngine query
+// contract. The HTTP service serves its write endpoints against this
+// interface.
+type GalleryMutable = gallery.Mutable
+
+// GalleryMutableStats is the observability snapshot of a live gallery:
+// generation, overlay and write-ahead-log sizes, and compaction
+// counters, as reported by /healthz and /v1/metrics on a writable
+// server.
+type GalleryMutableStats = gallery.MutableStats
+
+// GalleryWALVersion is the write-ahead log format version this build
+// reads and writes.
+const GalleryWALVersion = live.WALVersion
+
+// Typed live-gallery errors, matched with errors.Is. Torn log tails are
+// NOT errors — they are recovered by truncation at open, reported via
+// (GalleryMutableStats).RecoveredTornBytes.
+var (
+	// ErrGalleryWALCorrupt: a log record in the interior of the segment
+	// failed validation; unrecoverable by truncation.
+	ErrGalleryWALCorrupt = live.ErrWALCorrupt
+	// ErrGalleryWALMissing: the generation's log segment is gone.
+	ErrGalleryWALMissing = live.ErrWALMissing
+	// ErrGalleryWALMagic: the file is not a write-ahead log.
+	ErrGalleryWALMagic = live.ErrWALMagic
+	// ErrGalleryWALVersion: unsupported write-ahead log version.
+	ErrGalleryWALVersion = live.ErrWALVersion
+	// ErrGalleryNotLive: the directory is not a live gallery.
+	ErrGalleryNotLive = live.ErrNotLive
+	// ErrGalleryClosed: the live engine has been closed.
+	ErrGalleryClosed = live.ErrClosed
+	// ErrGalleryUnknownID: deleting a subject that is not enrolled.
+	ErrGalleryUnknownID = gallery.ErrUnknownID
+)
+
+// CreateLiveGallery initializes an empty live gallery directory for
+// fingerprints with the given dimensionality and returns the open
+// engine. Close it when done; reopen with OpenLiveGallery.
+func CreateLiveGallery(dir string, features int, opts LiveGalleryOptions) (*LiveGallery, error) {
+	return live.Create(dir, features, nil, opts)
+}
+
+// CreateLiveGalleryIndexed initializes an empty live gallery directory
+// over the given raw-space feature indices, so online enrollments and
+// probes may be full connectome vectors.
+func CreateLiveGalleryIndexed(dir string, featureIndex []int, opts LiveGalleryOptions) (*LiveGallery, error) {
+	return live.Create(dir, len(featureIndex), featureIndex, opts)
+}
+
+// CreateLiveGalleryFrom initializes a live gallery directory seeded
+// with the records of an existing read-only store — the migration path
+// from an offline-enrolled gallery (or sharded store) to a writable
+// one. Records move verbatim; queries answer bit-identically to the
+// source.
+func CreateLiveGalleryFrom(dir string, src *GalleryStore, opts LiveGalleryOptions) (*LiveGallery, error) {
+	return live.CreateFromStore(dir, src, opts)
+}
+
+// OpenLiveGallery recovers a live gallery directory: the current
+// generation's base store loads, its write-ahead log replays, a torn
+// tail from a crash mid-append is truncated away (see
+// GalleryMutableStats.RecoveredTornBytes), and interior log corruption
+// fails with ErrGalleryWALCorrupt.
+func OpenLiveGallery(dir string, opts LiveGalleryOptions) (*LiveGallery, error) {
+	return live.Open(dir, opts)
+}

@@ -79,6 +79,13 @@ func WithTopK(k int) AttackerOption { return attacker.WithTopK(k) }
 // identifications.
 func WithAssignment(on bool) AttackerOption { return attacker.WithAssignment(on) }
 
+// WithMutableGallery enrolls a live, writable gallery (OpenLiveGallery)
+// as the session's engine and exposes its write surface through
+// (*Attacker).Mutable, enabling the HTTP service's online enrollment
+// endpoints. Identification answers reflect every mutation committed
+// before the sweep began.
+func WithMutableGallery(m GalleryMutable) AttackerOption { return attacker.WithMutableGallery(m) }
+
 // WithTimeout sets a default per-call deadline for every session
 // method (0 = none).
 func WithTimeout(d time.Duration) AttackerOption { return attacker.WithTimeout(d) }
