@@ -425,17 +425,33 @@ func galleryQuery(args []string, out io.Writer) error {
 	cf.register(fs)
 	db := fs.String("db", "", "gallery file, shard manifest, or live directory to query (required)")
 	k := fs.Int("k", 5, "candidates to report per probe")
+	scan := fs.String("scan", "", "candidate-scan precision: float64 (default), float32, or int8; reduced precisions rescore exactly, so reported scores are identical")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *db == "" {
 		return fmt.Errorf("gallery query: -db is required")
 	}
+	prec, err := brainprint.ParseScanPrecision(*scan)
+	if err != nil {
+		return fmt.Errorf("gallery query: %w", err)
+	}
 	g, done, err := openQueryEngine(*db, out)
 	if err != nil {
 		return err
 	}
 	defer done()
+	if *scan != "" {
+		ps, ok := g.(brainprint.PrecisionSetter)
+		switch {
+		case ok:
+			if err := ps.SetPrecision(prec); err != nil {
+				return fmt.Errorf("gallery query: -scan %s: %w", prec, err)
+			}
+		case prec != brainprint.ScanFloat64:
+			return fmt.Errorf("gallery query: -scan %s: %s is a single-file gallery without the precision knob", prec, *db)
+		}
+	}
 	ids, probes, err := cf.buildGroup()
 	if err != nil {
 		return err

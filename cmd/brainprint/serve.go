@@ -47,6 +47,7 @@ func runServe(args []string, out io.Writer) error {
 		maxInflight  = fs.Int("max-inflight", 0, "bound on concurrently served requests (0 = 4x workers)")
 		writable     = fs.Bool("writable", false, "accept online enrollment/deletion (requires a live gallery directory; see gallery live)")
 		compactAfter = fs.Int("compact-after", 0, "auto-compact the live gallery once its write-ahead log holds this many records (0 = manual gallery compact only)")
+		scan         = fs.String("scan", "", "candidate-scan precision: float64 (default), float32, or int8; reduced precisions rescore exactly, so served scores are identical")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -54,10 +55,19 @@ func runServe(args []string, out io.Writer) error {
 	if *db == "" {
 		return fmt.Errorf("serve: -db is required")
 	}
+	prec, err := brainprint.ParseScanPrecision(*scan)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 
 	sessionOpts := []brainprint.AttackerOption{
 		brainprint.WithParallelism(*parallelism),
 		brainprint.WithTopK(*k),
+	}
+	if *scan != "" {
+		// Explicit -scan wins even when it names the default: float64
+		// on a quantized store switches the scan back to exact.
+		sessionOpts = append(sessionOpts, brainprint.WithScanPrecision(prec))
 	}
 	var layout string
 	if isLiveDir(*db) {
@@ -93,7 +103,12 @@ func runServe(args []string, out io.Writer) error {
 	if g.Shards() > 1 {
 		layout = fmt.Sprintf("%d/%d shards loaded", g.LoadedShards(), g.Shards())
 	}
-	if g.Quantized() {
+	// An explicit -scan overrides whatever the store opened with, so the
+	// banner must reflect the flag, not the pre-session state.
+	switch {
+	case *scan != "":
+		layout += ", " + prec.String() + " scan"
+	case g.Quantized():
 		layout += ", quantized scan"
 	}
 	return serveEngine(out, *db, g, layout, false, sessionOpts, serve.Config{

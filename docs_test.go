@@ -136,6 +136,32 @@ func ExampleOpenGalleryStore_partial() {
 	// still identified: alice
 }
 
+// ExampleWithScanPrecision runs an identification session over a
+// sharded store with the float32 scan: candidates are selected at
+// reduced precision and rescored exactly, so the returned scores are
+// bit-identical to the default scan.
+func ExampleWithScanPrecision() {
+	g := brainprint.NewGallery(4)
+	_ = g.Enroll("alice", []float64{5, 1, 1, 1})
+	_ = g.Enroll("bob", []float64{1, 5, 1, 1})
+	store, err := brainprint.NewGalleryStore(g, 2, false)
+	if err != nil {
+		panic(err)
+	}
+
+	atk, err := brainprint.NewAttacker(store,
+		brainprint.WithScanPrecision(brainprint.ScanFloat32))
+	if err != nil {
+		panic(err)
+	}
+	top, err := atk.Identify(context.Background(), []float64{1.2, 4.8, 0.9, 1.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scan %s identified %s\n", store.Precision(), top[0].ID)
+	// Output: scan float32 identified bob
+}
+
 // ExampleExperiments lists the experiment registry — the single source
 // of the CLI's experiment names and dispatch.
 func ExampleExperiments() {

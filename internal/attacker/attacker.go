@@ -55,6 +55,8 @@ type Attacker struct {
 	topK       int
 	assignment bool
 	timeout    time.Duration
+	prec       gallery.ScanPrecision
+	precSet    bool
 }
 
 // Option configures an Attacker during New. Options are applied in
@@ -144,6 +146,44 @@ func WithTimeout(d time.Duration) Option {
 	}
 }
 
+// WithScanPrecision selects the engine's candidate-scan precision
+// (gallery.ScanFloat64, ScanFloat32, or ScanInt8). Reduced precisions
+// only steer candidate SELECTION — every returned score is the exact
+// float64 expression, bit-identical to the default scan (see DESIGN.md
+// §8). The precision is applied once, after all options, to whichever
+// engine the session ends up with; engines without the knob (the
+// single-file gallery) accept only the default ScanFloat64.
+func WithScanPrecision(p gallery.ScanPrecision) Option {
+	return func(a *Attacker) error {
+		switch p {
+		case gallery.ScanFloat64, gallery.ScanFloat32, gallery.ScanInt8:
+		default:
+			return fmt.Errorf("attacker: WithScanPrecision(%d): unknown precision", uint8(p))
+		}
+		a.prec, a.precSet = p, true
+		return nil
+	}
+}
+
+// applyPrecision pushes a requested scan precision to the session's
+// engine after every option has applied.
+func (a *Attacker) applyPrecision() error {
+	if !a.precSet {
+		return nil
+	}
+	if a.gallery == nil {
+		return fmt.Errorf("attacker: WithScanPrecision(%v): session has no gallery", a.prec)
+	}
+	ps, ok := a.gallery.(gallery.PrecisionSetter)
+	if !ok {
+		if a.prec == gallery.ScanFloat64 {
+			return nil // every engine scans exact by default
+		}
+		return fmt.Errorf("attacker: WithScanPrecision(%v): %T does not support scan precision selection", a.prec, a.gallery)
+	}
+	return ps.SetPrecision(a.prec)
+}
+
 // New builds a session over an enrolled gallery engine — a single-file
 // *gallery.Gallery or a sharded *shard.Store. g may be nil for an
 // experiment-only session (RunExperiment and TaskPredict work;
@@ -157,6 +197,9 @@ func New(g gallery.Engine, opts ...Option) (*Attacker, error) {
 		if err := opt(a); err != nil {
 			return nil, err
 		}
+	}
+	if err := a.applyPrecision(); err != nil {
+		return nil, err
 	}
 	return a, nil
 }

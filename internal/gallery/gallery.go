@@ -21,6 +21,7 @@ package gallery
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"brainprint/internal/linalg"
@@ -136,6 +137,10 @@ type Gallery struct {
 	ids          []string
 	byID         map[string]int
 	vecs         []float64 // len = len(ids)*features, subject-major, z-scored
+
+	// scan caches the blocked scan layout over the current records;
+	// Blocked rebuilds it whenever the record count has moved on.
+	scan atomic.Pointer[Blocked]
 }
 
 // New returns an empty gallery whose fingerprints have the given number
@@ -196,6 +201,24 @@ func (g *Gallery) fingerprint(i int) []float64 {
 // paths read, exported so the shard engine can score records without
 // copying the gallery.
 func (g *Gallery) Fingerprint(i int) []float64 { return g.fingerprint(i) }
+
+// Blocked returns the scan-optimized blocked layout over the gallery's
+// current records, building and caching it on first use. The cache is
+// keyed on the record count, so a gallery that has enrolled more
+// subjects since the last call rebuilds transparently; engines that
+// want the build paid at load/compaction time (the sharded store, the
+// live engine) call Blocked eagerly at construction. Concurrent callers
+// may race to build the first layout — every result is valid and one
+// winner is cached — but Blocked must not race a concurrent Enroll
+// (the Gallery's existing no-concurrent-mutation rule).
+func (g *Gallery) Blocked() *Blocked {
+	if bk := g.scan.Load(); bk != nil && bk.Len() == len(g.ids) {
+		return bk
+	}
+	bk := NewBlocked(len(g.ids), g.features, g.fingerprint)
+	g.scan.Store(bk)
+	return bk
+}
 
 // EnrollNormalized adds one subject whose fingerprint is already in
 // gallery space and already z-scored, storing it verbatim without

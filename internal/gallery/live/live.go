@@ -124,10 +124,20 @@ type Engine struct {
 
 	// The live enumeration: ids/locs/byID cover exactly the visible
 	// records, in base, frozen, mem order. Maintained incrementally on
-	// enroll, rebuilt on delete and swap.
-	ids  []string
-	locs []loc
-	byID map[string]int
+	// enroll, rebuilt on delete and swap. baseSkip is the dead-mask the
+	// masked base scan consumes (nil when every base record is visible);
+	// baseVisible counts base survivors — the live index where the
+	// overlay's records start.
+	ids         []string
+	locs        []loc
+	byID        map[string]int
+	baseSkip    []bool
+	baseVisible int
+
+	// prec is the scan precision applied to the base store — carried
+	// across compactions so a generation swap re-applies it to the
+	// fresh base. The overlay always scans exact (see query.go).
+	prec gallery.ScanPrecision
 
 	wal        *walWriter
 	walRecords int
@@ -512,13 +522,19 @@ func (e *Engine) rebuild() {
 		e.ids = append(e.ids, id)
 		e.locs = append(e.locs, l)
 	}
+	e.baseSkip, e.baseVisible = nil, 0
 	if e.base != nil {
 		for gi, id := range e.base.IDs() {
 			if e.dead[id] || e.deadBase[id] {
+				if e.baseSkip == nil {
+					e.baseSkip = make([]bool, e.base.Len())
+				}
+				e.baseSkip[gi] = true
 				continue
 			}
 			add(id, loc{src: srcBase, idx: gi})
 		}
+		e.baseVisible = len(e.ids)
 	}
 	if e.frozen != nil {
 		for i, id := range e.frozen.IDs() {
@@ -593,6 +609,42 @@ func (e *Engine) Index(id string) int {
 	}
 	return -1
 }
+
+// ---- scan precision ----
+
+// SetPrecision selects the precision of the base store's candidate
+// scan (gallery.ScanFloat64 or gallery.ScanFloat32; see the shard
+// package for the float32 selection + exact rescore contract — scores
+// stay bit-identical either way). The overlay always scans exact. The
+// setting survives compactions: each fresh base is built at the
+// engine's precision. ScanInt8 is rejected: live bases carry no
+// quantized sidecar.
+func (e *Engine) SetPrecision(p gallery.ScanPrecision) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if p == gallery.ScanInt8 {
+		return fmt.Errorf("live: %v scans need a quantized sidecar, which live bases do not carry", p)
+	}
+	if e.base != nil {
+		if err := e.base.SetPrecision(p); err != nil {
+			return err
+		}
+	}
+	e.prec = p
+	return nil
+}
+
+// Precision reports the engine's base-scan precision.
+func (e *Engine) Precision() gallery.ScanPrecision {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.prec
+}
+
+var _ gallery.PrecisionSetter = (*Engine)(nil)
 
 // ---- stats ----
 

@@ -13,15 +13,18 @@ import (
 // The merged query sweep. A live engine's visible records live in up to
 // three places — the immutable base store, a memtable frozen by an
 // in-flight compaction, and the active memtable — but queries see one
-// flat enumeration: the sweep walks the live index space exactly like
-// the sharded store walks its global index space, scoring every record
-// with the identical linalg.Dot(fp, zp)/features expression and ranking
-// under the same (score descending, subject ID ascending) strict total
-// order. Determinism therefore holds by the same argument (DESIGN.md
-// §6–7): per-record scores never depend on which source holds the
-// record, and the total order makes the merged top-k unique regardless
-// of chunking, parallelism, or how many records have been compacted —
-// which is what pins a live gallery's answers bit-identical to a cold
+// flat enumeration. The base (usually the overwhelming share of the
+// records) is scanned through the sharded store's blocked kernels via
+// TopKZMasked/QueryAllZMasked, masking tombstoned records with the
+// dead-mask rebuild() maintains; the overlay is swept with the scalar
+// exact expression; and the two rankings merge by tournament under the
+// same (score descending, subject ID ascending) strict total order the
+// sharded engine uses. Every record is scored with the identical
+// linalg.Dot(fp, zp)/features expression whichever source holds it, so
+// determinism holds by the same argument (DESIGN.md §6–8): the total
+// order makes the merged top-k unique regardless of chunking,
+// parallelism, or how many records have been compacted — which is what
+// pins a live gallery's answers bit-identical to a cold
 // offline-enrolled gallery of the same records.
 //
 // Every query holds the engine's read lock for its duration: queries
@@ -97,14 +100,26 @@ func (e *Engine) QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, para
 	if err != nil {
 		return nil, err
 	}
+	var baseLists [][]gallery.Candidate
+	if e.base != nil && e.baseVisible > 0 {
+		baseLists, err = e.base.QueryAllZMasked(ctx, zcols, min(k, e.baseVisible), parallelism, e.baseSkip)
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := make([][]gallery.Candidate, len(zcols))
 	err = parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
 		for j := lo; j < hi; j++ {
-			top, err := e.topK(ctx, zcols[j], k, 1)
-			if err != nil {
-				return err
+			overlay := e.overlayTopK(zcols[j], k)
+			if baseLists == nil {
+				out[j] = overlay
+				continue
 			}
-			out[j] = top
+			bl := baseLists[j]
+			for i := range bl {
+				bl[i].Index = e.byID[bl[i].ID]
+			}
+			out[j] = gallery.RankMergeLists([][]gallery.Candidate{bl, overlay}, k, better)
 		}
 		return nil
 	})
@@ -154,25 +169,53 @@ func (e *Engine) DenseSimilarityCtx(ctx context.Context, probes *linalg.Matrix, 
 	return out, nil
 }
 
-// topK is the blocked sweep over the live enumeration with a z-scored,
-// gallery-space probe. Called with the read lock held.
+// topK is the merged sweep with a z-scored, gallery-space probe: the
+// masked base scan (blocked kernels, at the engine's precision) plus
+// the scalar overlay sweep, tournament-merged. Base candidates come
+// back carrying base-store indices; they are remapped to live
+// enumeration indices before the merge. Called with the read lock held.
 func (e *Engine) topK(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
-	features := e.mem.Features()
-	inv := 1 / float64(features)
-	grain := 1 + (1<<15)/features // ≈32k multiplies per chunk
-	return parallel.ReduceCtx(ctx, parallelism, len(e.ids), grain, nil,
-		func(lo, hi int) []gallery.Candidate {
-			local := make([]gallery.Candidate, 0, min(k, hi-lo))
-			for i := lo; i < hi; i++ {
-				c := gallery.Candidate{Index: i, ID: e.ids[i], Score: linalg.Dot(e.fingerprint(i), zp) * inv}
-				local = gallery.RankInsert(local, c, k, better)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	overlay := e.overlayTopK(zp, k)
+	if e.base == nil || e.baseVisible == 0 {
+		return overlay, nil
+	}
+	base, err := e.base.TopKZMasked(ctx, zp, min(k, e.baseVisible), parallelism, e.baseSkip)
+	if err != nil {
+		return nil, err
+	}
+	for i := range base {
+		base[i].Index = e.byID[base[i].ID]
+	}
+	return gallery.RankMergeLists([][]gallery.Candidate{base, overlay}, k, better), nil
+}
+
+// overlayTopK ranks the overlay — the frozen memtable's survivors and
+// the active memtable — against a z-scored probe with the scalar exact
+// expression, each candidate carrying its live enumeration index. The
+// overlay is bounded by compaction, so the scalar sweep stays cheap.
+// Called with the read lock held.
+func (e *Engine) overlayTopK(zp []float64, k int) []gallery.Candidate {
+	inv := 1 / float64(e.features)
+	r := gallery.NewRanker(k, better)
+	li := e.baseVisible
+	if e.frozen != nil {
+		for i, n := 0, e.frozen.Len(); i < n; i++ {
+			id := e.frozen.ID(i)
+			if e.dead[id] {
+				continue
 			}
-			return local
-		},
-		func(acc, part []gallery.Candidate) []gallery.Candidate {
-			return gallery.RankMerge(acc, part, k, better)
-		},
-	)
+			r.Offer(gallery.Candidate{Index: li, ID: id, Score: linalg.Dot(e.frozen.Fingerprint(i), zp) * inv})
+			li++
+		}
+	}
+	for i, n := 0, e.mem.Len(); i < n; i++ {
+		r.Offer(gallery.Candidate{Index: li, ID: e.mem.ID(i), Score: linalg.Dot(e.mem.Fingerprint(i), zp) * inv})
+		li++
+	}
+	return r.Ranked()
 }
 
 // clampK validates the engine and k, clamping k to the visible record

@@ -91,21 +91,102 @@ func (g *Gallery) QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, par
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]Candidate, len(zcols))
-	err = parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
-		for j := lo; j < hi; j++ {
-			top, err := g.topK(ctx, zcols[j], k, 1)
-			if err != nil {
-				return err
-			}
-			out[j] = top
+	return g.queryAllZ(ctx, zcols, k, parallelism)
+}
+
+// queryAllZ is the batched multi-probe sweep over z-scored gallery-space
+// probes: workers claim record ranges (not probes), and each range is
+// scanned once through the probe-tiled batch kernel for every probe —
+// one pass over the records per four probes instead of one pass per
+// probe. Per-probe partial lists merge across ranges by tournament.
+// Record ranges shrink when more workers are available; the result is
+// unaffected because per-(record, probe) scores do not depend on
+// chunking and the selection order is a strict total order.
+func (g *Gallery) queryAllZ(ctx context.Context, zcols [][]float64, k, parallelism int) ([][]Candidate, error) {
+	bk := g.Blocked()
+	inv := 1 / float64(g.features)
+	n := g.Len()
+	grain := 1 + (1<<18)/g.features
+	if w := parallel.Workers(parallelism); w > 1 {
+		if per := 1 + n/(4*w); per < grain {
+			grain = per
+		}
+	}
+	grain = alignLanes(grain)
+	units := (n + grain - 1) / grain
+	partials := make([][][]Candidate, units) // [unit][probe]
+	err := parallel.ForCtx(ctx, parallelism, units, 1, func(ulo, uhi int) error {
+		for u := ulo; u < uhi; u++ {
+			lo := u * grain
+			partials[u] = g.scanSelectBatch(bk, lo, min(lo+grain, n), zcols, inv, k)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	out := make([][]Candidate, len(zcols))
+	lists := make([][]Candidate, units)
+	for p := range out {
+		for u := range partials {
+			lists[u] = partials[u][p]
+		}
+		top := RankMergeLists(lists, k, better)
+		for i := range top {
+			top[i].ID = g.ids[top[i].Index]
+		}
+		out[p] = top
+	}
 	return out, nil
+}
+
+// scanBatchStripe is the record width of one batched kernel pass: small
+// enough that the per-probe dot buffers of a large probe batch stay
+// cache-resident alongside the streamed records.
+const scanBatchStripe = 256
+
+// scanSelectBatch scores records [lo, hi) against every probe through
+// the probe-tiled blocked kernel and selects, per probe, the top k
+// under the index-tiebreak order. lo must sit on a lane-block boundary.
+// Candidate IDs are left unset for the caller to fill after the final
+// merge.
+func (g *Gallery) scanSelectBatch(bk *Blocked, lo, hi int, zps [][]float64, inv float64, k int) [][]Candidate {
+	rankers := make([]Ranker, len(zps))
+	for p := range rankers {
+		rankers[p] = *NewRanker(k, better)
+	}
+	stripe := min(scanBatchStripe, alignLanes(hi-lo))
+	buf := make([]float64, len(zps)*stripe)
+	outs := make([][]float64, len(zps))
+	for p := range outs {
+		outs[p] = buf[p*stripe : (p+1)*stripe]
+	}
+	for slo := lo; slo < hi; slo += stripe {
+		shi := min(slo+stripe, hi)
+		nd := alignLanes(shi - slo)
+		for p := range outs {
+			clear(outs[p][:nd])
+		}
+		bk.DotsF64Batch(slo, shi, zps, outs)
+		for p := range rankers {
+			r := &rankers[p]
+			d := outs[p]
+			thr, full := r.Threshold()
+			for i := slo; i < shi; i++ {
+				sc := d[i-slo] * inv
+				if full && (sc < thr.Score || (sc == thr.Score && i > thr.Index)) {
+					continue
+				}
+				r.Offer(Candidate{Index: i, Score: sc})
+				thr, full = r.Threshold()
+			}
+		}
+	}
+	lists := make([][]Candidate, len(zps))
+	for p := range rankers {
+		lists[p] = rankers[p].Ranked()
+	}
+	return lists
 }
 
 // DenseSimilarity materializes the full gallery×probes similarity
@@ -158,25 +239,63 @@ func (g *Gallery) clampK(k int) (int, error) {
 	return min(k, g.Len()), nil
 }
 
+// scanStripe is the record width of one kernel pass in the top-k scan:
+// the dot-product buffer it implies (8 KiB of float64) stays cache-hot
+// between the kernel and the selection loop that consumes it.
+const scanStripe = 1024
+
 // topK is the blocked sweep over a z-scored, gallery-space probe: score
-// every enrolled subject, keep the best k. Chunks produce local ranked
-// lists; parallel.ReduceCtx folds them in chunk order, so the ranking
-// is identical at any parallelism and a cancelled ctx aborts between
-// chunks.
+// every enrolled subject through the blocked 4-lane kernel, keep the
+// best k with a bounded heap. Chunks produce local ranked lists;
+// parallel.ReduceCtx folds them in chunk order, so the ranking is
+// identical at any parallelism and a cancelled ctx aborts between
+// chunks. Each score is still the linalg.Dot(fingerprint, zp)·(1/F)
+// expression bit for bit (the blocked kernel preserves per-record
+// accumulation order), so results stay bit-identical to the pre-blocked
+// sweep and to DenseSimilarity.
 func (g *Gallery) topK(ctx context.Context, zp []float64, k, parallelism int) ([]Candidate, error) {
+	bk := g.Blocked()
 	inv := 1 / float64(g.features)
-	grain := 1 + (1<<15)/g.features // ≈32k multiplies per chunk
-	return parallel.ReduceCtx(ctx, parallelism, g.Len(), grain, nil,
+	grain := alignLanes(1 + (1<<18)/g.features) // ≈256k multiplies per chunk, whole lane blocks
+	lists, err := parallel.ReduceCtx(ctx, parallelism, g.Len(), grain, nil,
 		func(lo, hi int) []Candidate {
-			local := make([]Candidate, 0, min(k, hi-lo))
-			for i := lo; i < hi; i++ {
-				c := Candidate{Index: i, ID: g.ids[i], Score: linalg.Dot(g.fingerprint(i), zp) * inv}
-				local = insertRanked(local, c, k)
-			}
-			return local
+			return g.scanSelect(bk, lo, hi, zp, inv, k)
 		},
 		func(acc, part []Candidate) []Candidate { return mergeRanked(acc, part, k) },
 	)
+	if err != nil {
+		return nil, err
+	}
+	for i := range lists {
+		lists[i].ID = g.ids[lists[i].Index]
+	}
+	return lists, nil
+}
+
+// scanSelect scores records [lo, hi) through the blocked kernel in
+// stripes and selects the top k under the index-tiebreak order. lo must
+// sit on a lane-block boundary. Candidate IDs are left unset — the
+// caller fills them for the k survivors only, keeping ID bookkeeping
+// off the hot loop.
+func (g *Gallery) scanSelect(bk *Blocked, lo, hi int, zp []float64, inv float64, k int) []Candidate {
+	r := NewRanker(k, better)
+	dots := make([]float64, scanStripe)
+	for slo := lo; slo < hi; slo += scanStripe {
+		shi := min(slo+scanStripe, hi)
+		d := dots[:alignLanes(shi-slo)]
+		clear(d)
+		bk.DotsF64(slo, shi, zp, d)
+		thr, full := r.Threshold()
+		for i := slo; i < shi; i++ {
+			sc := d[i-slo] * inv
+			if full && (sc < thr.Score || (sc == thr.Score && i > thr.Index)) {
+				continue
+			}
+			r.Offer(Candidate{Index: i, Score: sc})
+			thr, full = r.Threshold()
+		}
+	}
+	return r.Ranked()
 }
 
 // prepProbes converts a features×probes matrix into z-scored
@@ -207,12 +326,6 @@ func (g *Gallery) prepProbes(probes *linalg.Matrix, parallelism int) ([][]float6
 		}
 	})
 	return cols, nil
-}
-
-// insertRanked inserts c into a descending-ranked list bounded at k,
-// under this gallery's index-tiebreak order.
-func insertRanked(list []Candidate, c Candidate, k int) []Candidate {
-	return RankInsert(list, c, k, better)
 }
 
 // mergeRanked merges two descending-ranked lists, keeping at most k.

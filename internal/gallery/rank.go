@@ -1,0 +1,163 @@
+package gallery
+
+import "sort"
+
+// Ranker is a bounded top-k selector over a streamed candidate
+// sequence: it holds at most k candidates and, once full, keeps the
+// current worst at the root of a binary heap so each further candidate
+// is admitted or rejected against a single threshold. Offer is O(log k)
+// on admission and O(1) on rejection, replacing the O(k) shifting of
+// binary-search insertion on the scan hot path. The outranks comparator
+// must be a strict total order (as gallery index-tiebreak and shard
+// ID-tiebreak orders are), which makes the selected set — and the final
+// ranking — independent of the offer order.
+type Ranker struct {
+	k        int
+	outranks func(a, b Candidate) bool
+	h        []Candidate // worst-at-root heap once len == k
+}
+
+// NewRanker returns a selector keeping the top k candidates under the
+// strict total order outranks (true when a outranks b). k must be
+// positive.
+func NewRanker(k int, outranks func(a, b Candidate) bool) *Ranker {
+	return &Ranker{k: k, outranks: outranks, h: make([]Candidate, 0, k)}
+}
+
+// Full reports whether the selector holds k candidates — only then does
+// Threshold return a meaningful cutoff.
+func (r *Ranker) Full() bool { return len(r.h) == r.k }
+
+// Threshold returns the worst candidate currently held and whether the
+// selector is full. While full, a candidate that does not outrank the
+// threshold cannot be admitted — scan loops use this to reject
+// candidates inline without an Offer call.
+func (r *Ranker) Threshold() (Candidate, bool) {
+	if len(r.h) < r.k {
+		return Candidate{}, false
+	}
+	return r.h[0], true
+}
+
+// worse reports whether r.h[i] is outranked by r.h[j] — the heap order,
+// with the worst candidate at the root.
+func (r *Ranker) worse(i, j int) bool { return r.outranks(r.h[j], r.h[i]) }
+
+// siftDown restores the worst-at-root invariant below node i.
+func (r *Ranker) siftDown(i int) {
+	n := len(r.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if rt := l + 1; rt < n && r.worse(rt, l) {
+			m = rt
+		}
+		if !r.worse(m, i) {
+			return
+		}
+		r.h[i], r.h[m] = r.h[m], r.h[i]
+		i = m
+	}
+}
+
+// Offer considers one candidate: admitted while the selector is not yet
+// full, otherwise admitted only if it outranks the current threshold
+// (which it then evicts).
+func (r *Ranker) Offer(c Candidate) {
+	if len(r.h) < r.k {
+		r.h = append(r.h, c)
+		if len(r.h) == r.k {
+			for i := r.k/2 - 1; i >= 0; i-- {
+				r.siftDown(i)
+			}
+		}
+		return
+	}
+	if !r.outranks(c, r.h[0]) {
+		return
+	}
+	r.h[0] = c
+	r.siftDown(0)
+}
+
+// Ranked returns the held candidates best-first. It sorts the internal
+// buffer in place; the Ranker must not be offered further candidates
+// afterwards.
+func (r *Ranker) Ranked() []Candidate {
+	sort.Slice(r.h, func(i, j int) bool { return r.outranks(r.h[i], r.h[j]) })
+	return r.h
+}
+
+// RankMergeLists merges any number of best-first ranked lists into one
+// best-first list of at most k candidates via a tournament: a small
+// heap over the list heads pops the global best and advances that list,
+// so the merge is O(total·log lists) instead of the O(total·k) of
+// folding pairwise bounded merges. Because outranks is a strict total
+// order and (in every caller) no candidate appears in two lists, the
+// result is independent of the order and grouping of the input lists —
+// the determinism the sharded engine's equivalence tests pin. Exact
+// duplicates, if a caller ever produced them, break ties by input list
+// position, which keeps even that case deterministic. Input lists are
+// not mutated.
+func RankMergeLists(lists [][]Candidate, k int, outranks func(a, b Candidate) bool) []Candidate {
+	type head struct {
+		list []Candidate
+		li   int // original list position, tiebreak of last resort
+		pos  int
+	}
+	heads := make([]head, 0, len(lists))
+	total := 0
+	for li, l := range lists {
+		if len(l) > 0 {
+			heads = append(heads, head{list: l, li: li})
+			total += len(l)
+		}
+	}
+	ahead := func(a, b head) bool {
+		ca, cb := a.list[a.pos], b.list[b.pos]
+		if outranks(ca, cb) {
+			return true
+		}
+		if outranks(cb, ca) {
+			return false
+		}
+		return a.li < b.li
+	}
+	siftDown := func(i int) {
+		n := len(heads)
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			m := l
+			if rt := l + 1; rt < n && ahead(heads[rt], heads[l]) {
+				m = rt
+			}
+			if !ahead(heads[m], heads[i]) {
+				return
+			}
+			heads[i], heads[m] = heads[m], heads[i]
+			i = m
+		}
+	}
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	out := make([]Candidate, 0, min(k, total))
+	for len(heads) > 0 && len(out) < k {
+		out = append(out, heads[0].list[heads[0].pos])
+		heads[0].pos++
+		if heads[0].pos == len(heads[0].list) {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		if len(heads) > 1 {
+			siftDown(0)
+		}
+	}
+	return out
+}

@@ -8,22 +8,24 @@ import (
 	"brainprint/internal/match"
 )
 
-// BenchmarkShardTopK pins the four ways to attack a probe batch against
-// galleries of 1k, 10k, and 100k synthetic subjects:
+// BenchmarkShardTopK pins the five ways to attack a probe batch against
+// galleries of 1k, 10k, 100k, and 500k synthetic subjects:
 //
 //	dense      match.SimilarityMatrix over the raw groups (recomputes
 //	           normalization every run — what the experiment drivers do)
 //	single     single-file gallery top-k (the PR 2 engine)
-//	sharded    8-shard store, exact fan-out scan
+//	sharded    8-shard store, exact blocked scan
+//	f32        8-shard store, float32 blocked scan + exact rescore
 //	quantized  8-shard store, int8 approximate scan + exact rescore
 //
-// All four return identical top-1 subjects; sharded and quantized
+// All five return identical top-1 subjects; sharded, f32, and quantized
 // additionally return bit-identical scores to single (the equivalence
-// tests pin this). The JSON benchmark artifact (BENCH_pr4.json) records
-// the trajectory.
+// tests pin this). The JSON benchmark artifact (BENCH_pr6.json) records
+// the trajectory, and the CI dominance gate requires sharded to stay at
+// or below single at every cohort size.
 func BenchmarkShardTopK(b *testing.B) {
 	const features, probes, k = 100, 16, 5
-	for _, subjects := range []int{1_000, 10_000, 100_000} {
+	for _, subjects := range []int{1_000, 10_000, 100_000, 500_000} {
 		known := randomGroup(int64(subjects), features, subjects)
 		anon := randomGroup(int64(subjects)+1, features, probes)
 		ids := make([]string, subjects)
@@ -71,6 +73,22 @@ func BenchmarkShardTopK(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ranked, err := s.QueryAll(anon, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ranked) != probes {
+					b.Fatal("short result")
+				}
+			}
+		})
+		b.Run("f32/"+scale, func(b *testing.B) {
+			if err := s.SetPrecision(gallery.ScanFloat32); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer() // first call builds the float32 layout image
 			for i := 0; i < b.N; i++ {
 				ranked, err := s.QueryAll(anon, k)
 				if err != nil {

@@ -11,15 +11,14 @@ import (
 	"brainprint/internal/stats"
 )
 
-// The fan-out query planner. Queries sweep the GLOBAL index space
-// [0, Len()) via parallel.ReduceCtx — a chunk that crosses a shard
-// boundary simply scores records from both shards — so parallelism is
-// independent of the shard count and a 2-shard store uses the machine
-// as fully as a 64-shard one. Per-chunk partial rankings merge in
-// ascending chunk order under a strict total order (score descending,
-// subject ID ascending), which makes the result independent of
-// chunking, worker count, and shard placement; see the package comment
-// for the full determinism argument.
+// The public query surface. Probes are validated, projected, and
+// z-scored here; the scan itself — per-shard unit planning, blocked
+// kernels, precision dispatch, bounded-heap selection, and the
+// tournament merge — lives in scan.go. Per-unit partial rankings merge
+// under a strict total order (score descending, subject ID ascending),
+// which makes the result independent of chunking, worker count, and
+// shard placement; see the package comment for the full determinism
+// argument.
 
 // better reports whether a outranks b: higher score first, ties broken
 // by the lexicographically smaller subject ID. Unlike the single-file
@@ -91,21 +90,7 @@ func (s *Store) QueryAllCtx(ctx context.Context, probes *linalg.Matrix, k, paral
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]gallery.Candidate, len(zcols))
-	err = parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
-		for j := lo; j < hi; j++ {
-			top, err := s.topK(ctx, zcols[j], k, 1)
-			if err != nil {
-				return err
-			}
-			out[j] = top
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return s.queryAllZMasked(ctx, zcols, k, parallelism, nil)
 }
 
 // DenseSimilarity materializes the full store×probes similarity matrix,
@@ -155,90 +140,10 @@ func (s *Store) DenseSimilarityCtx(ctx context.Context, probes *linalg.Matrix, p
 	return out, nil
 }
 
-// topK dispatches a z-scored, gallery-space probe to the exact or
-// quantized sweep.
+// topK dispatches a z-scored, gallery-space probe to the active scan
+// path (scan.go) with no record mask.
 func (s *Store) topK(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
-	if s.useQuant {
-		return s.topKQuant(ctx, zp, k, parallelism)
-	}
-	return s.topKExact(ctx, zp, k, parallelism)
-}
-
-// topKExact is the full-precision sweep: every loaded record is scored
-// with the identical linalg.Dot(fp, zp)/features expression the
-// single-file gallery and match.SimilarityMatrix use.
-func (s *Store) topKExact(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
-	inv := 1 / float64(s.features)
-	grain := 1 + (1<<15)/s.features // ≈32k multiplies per chunk
-	return parallel.ReduceCtx(ctx, parallelism, s.total, grain, nil,
-		func(lo, hi int) []gallery.Candidate {
-			local := make([]gallery.Candidate, 0, min(k, hi-lo))
-			si, li := s.locate(lo)
-			for gi := lo; gi < hi; gi++ {
-				for li >= s.galleries[si].Len() {
-					si, li = si+1, 0
-					for s.galleries[si] == nil {
-						si++
-					}
-				}
-				g := s.galleries[si]
-				c := gallery.Candidate{Index: gi, ID: g.ID(li), Score: linalg.Dot(g.Fingerprint(li), zp) * inv}
-				local = insertRanked(local, c, k)
-				li++
-			}
-			return local
-		},
-		func(acc, part []gallery.Candidate) []gallery.Candidate { return mergeRanked(acc, part, k) },
-	)
-}
-
-// topKQuant is the two-phase quantized sweep: an int8 approximate scan
-// selects rescoreDepth(k) candidates, which are then rescored with the
-// exact float64 expression and re-ranked. Because the exact top-k
-// candidates' approximate scores can only trail their exact scores by
-// the quantization error margin, a depth of 4k comfortably covers the
-// reshuffling, and the returned scores are exact by construction.
-func (s *Store) topKQuant(ctx context.Context, zp []float64, k, parallelism int) ([]gallery.Candidate, error) {
-	scaled, offsetDot, pnorm := s.quant.probeQuantTerms(zp)
-	depth := rescoreDepth(k, s.total)
-	grain := 1 + (1<<18)/s.features // int8 chunks are cheap; sweep bigger blocks
-	pool, err := parallel.ReduceCtx(ctx, parallelism, s.total, grain, nil,
-		func(lo, hi int) []gallery.Candidate {
-			local := make([]gallery.Candidate, 0, min(depth, hi-lo))
-			si, li := s.locate(lo)
-			for gi := lo; gi < hi; gi++ {
-				for li >= s.galleries[si].Len() {
-					si, li = si+1, 0
-					for s.galleries[si] == nil {
-						si++
-					}
-				}
-				qv := s.qvecs[si][li*s.features : (li+1)*s.features]
-				c := gallery.Candidate{
-					Index: gi,
-					ID:    s.galleries[si].ID(li),
-					Score: approxScore(qv, scaled, offsetDot, s.qnorms[si][li], pnorm),
-				}
-				local = insertRanked(local, c, depth)
-				li++
-			}
-			return local
-		},
-		func(acc, part []gallery.Candidate) []gallery.Candidate { return mergeRanked(acc, part, depth) },
-	)
-	if err != nil {
-		return nil, err
-	}
-	// Exact rescore: replace approximate scores with the bit-exact
-	// expression, then re-rank the pool and keep k.
-	inv := 1 / float64(s.features)
-	top := make([]gallery.Candidate, 0, k)
-	for _, c := range pool {
-		si, li := s.locate(c.Index)
-		c.Score = linalg.Dot(s.galleries[si].Fingerprint(li), zp) * inv
-		top = insertRanked(top, c, k)
-	}
-	return top, nil
+	return s.topKZMasked(ctx, zp, k, parallelism, nil)
 }
 
 // clampK validates the store and k, clamping k to the store size.
@@ -304,18 +209,4 @@ func (s *Store) prepProbes(probes *linalg.Matrix, parallelism int) ([][]float64,
 		}
 	})
 	return cols, nil
-}
-
-// insertRanked inserts c into a descending-ranked list bounded at k,
-// under the ID-tiebreak total order. The machinery is shared with the
-// single-file gallery (gallery.RankInsert); only the comparator
-// differs.
-func insertRanked(list []gallery.Candidate, c gallery.Candidate, k int) []gallery.Candidate {
-	return gallery.RankInsert(list, c, k, better)
-}
-
-// mergeRanked merges two descending-ranked lists, keeping at most k.
-// The ID tiebreak makes the merge order-deterministic.
-func mergeRanked(a, b []gallery.Candidate, k int) []gallery.Candidate {
-	return gallery.RankMerge(a, b, k, better)
 }

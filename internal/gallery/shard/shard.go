@@ -43,13 +43,14 @@ import (
 // manifest geometry. Subjects are enumerated shard-major (all of shard
 // 0 in enrollment order, then shard 1, …) over the loaded shards; that
 // enumeration is the canonical Candidate.Index space. A Store is
-// read-only after construction apart from SetQuantized, which must not
-// race with queries; concurrent queries are safe.
+// read-only after construction apart from SetPrecision (and its
+// SetQuantized wrapper), which must not race with queries; concurrent
+// queries are safe.
 type Store struct {
 	features     int
 	featureIndex []int
 	quant        *Quant
-	useQuant     bool
+	prec         gallery.ScanPrecision
 	manifest     bool
 
 	// galleries[i] is the loaded gallery of shard i, nil when the shard
@@ -63,13 +64,18 @@ type Store struct {
 	total     int
 	allIDs    []string
 
+	// units is the fixed scan plan over the loaded shards (scan.go),
+	// computed once at construction.
+	units []scanUnit
+
 	// qvecs[i]/qnorms[i] are shard i's int8-quantized fingerprints and
-	// cached dequantized norms, built lazily by SetQuantized.
+	// cached dequantized norms, built lazily by SetPrecision(ScanInt8).
 	qvecs  [][]int8
 	qnorms [][]float64
 }
 
 var _ gallery.Engine = (*Store)(nil)
+var _ gallery.PrecisionSetter = (*Store)(nil)
 
 // Fault describes one shard that failed to load.
 type Fault struct {
@@ -194,8 +200,12 @@ func newStore(features int, index []int, galleries []*gallery.Gallery, meta []Me
 	for _, g := range galleries {
 		if g != nil {
 			s.allIDs = append(s.allIDs, g.IDs()...)
+			// Pay the blocked-layout build at load time, not on the
+			// first query.
+			g.Blocked()
 		}
 	}
+	s.units = planUnits(galleries, features)
 	return s
 }
 
@@ -431,32 +441,53 @@ func (s *Store) LoadedShards() int { return len(s.galleries) - len(s.faults) }
 // (empty for a fully healthy store).
 func (s *Store) Faults() []Fault { return s.faults }
 
-// Quantized reports whether the quantized scan path is active.
-func (s *Store) Quantized() bool { return s.useQuant }
+// Quantized reports whether the int8 quantized scan path is active —
+// equivalent to Precision() == gallery.ScanInt8.
+func (s *Store) Quantized() bool { return s.prec == gallery.ScanInt8 }
 
 // HasQuant reports whether the store carries quantization parameters
 // (whether or not the quantized scan is currently enabled).
 func (s *Store) HasQuant() bool { return s.quant != nil }
 
-// SetQuantized toggles the int8 quantized scan path. Enabling it on a
-// store without quantization parameters returns ErrNoQuantization.
-// Either way, returned scores stay exact: the quantized path rescores
-// its top candidates with the full-precision vectors. Not safe to call
-// concurrently with queries.
+// SetQuantized toggles the int8 quantized scan path — a compatibility
+// wrapper over SetPrecision: on selects gallery.ScanInt8, off returns
+// to gallery.ScanFloat64. Not safe to call concurrently with queries.
 func (s *Store) SetQuantized(on bool) error {
-	if !on {
-		s.useQuant = false
-		return nil
+	if on {
+		return s.SetPrecision(gallery.ScanInt8)
 	}
-	if s.quant == nil {
-		return ErrNoQuantization
+	return s.SetPrecision(gallery.ScanFloat64)
+}
+
+// SetPrecision selects the scan arithmetic (gallery.PrecisionSetter).
+// ScanFloat32 builds the float32 layout image on first use; ScanInt8
+// requires stored quantization parameters (ErrNoQuantization otherwise)
+// and builds the int8 vectors on first use. Whatever the precision,
+// returned scores are exact: the reduced-precision paths rescore their
+// top candidates with the full-precision vectors. Not safe to call
+// concurrently with queries.
+func (s *Store) SetPrecision(p gallery.ScanPrecision) error {
+	switch p {
+	case gallery.ScanInt8:
+		if s.quant == nil {
+			return ErrNoQuantization
+		}
+		if s.qvecs == nil {
+			s.buildQuantized()
+		}
+	case gallery.ScanFloat32:
+		for _, g := range s.galleries {
+			if g != nil {
+				g.Blocked().EnsureF32()
+			}
+		}
 	}
-	if s.qvecs == nil {
-		s.buildQuantized()
-	}
-	s.useQuant = true
+	s.prec = p
 	return nil
 }
+
+// Precision reports the active scan arithmetic.
+func (s *Store) Precision() gallery.ScanPrecision { return s.prec }
 
 // locate maps a global index to (shard, local index) over the loaded
 // shards.

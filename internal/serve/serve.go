@@ -501,6 +501,9 @@ func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 		resp["loaded_shards"] = sh.LoadedShards()
 		resp["quantized"] = sh.Quantized()
 	}
+	if ps, ok := g.(gallery.PrecisionSetter); ok {
+		resp["scan_precision"] = ps.Precision().String()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -567,6 +570,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			resp["status"] = "degraded"
 			resp["loaded_shards"] = sh.LoadedShards()
 		}
+	}
+	if ps, ok := s.atk.Gallery().(gallery.PrecisionSetter); ok {
+		resp["scan_precision"] = ps.Precision().String()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

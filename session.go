@@ -90,6 +90,13 @@ func WithMutableGallery(m GalleryMutable) AttackerOption { return attacker.WithM
 // method (0 = none).
 func WithTimeout(d time.Duration) AttackerOption { return attacker.WithTimeout(d) }
 
+// WithScanPrecision selects the engine's candidate-scan precision.
+// Reduced precisions (ScanFloat32, ScanInt8) accelerate candidate
+// selection only — every returned score is the exact float64
+// expression, bit-identical to the default scan. Engines without the
+// knob (the single-file Gallery) accept only ScanFloat64.
+func WithScanPrecision(p ScanPrecision) AttackerOption { return attacker.WithScanPrecision(p) }
+
 // Experiments returns every registered experiment in canonical "all"
 // order.
 func Experiments() []ExperimentSpec { return attacker.Experiments() }
@@ -134,6 +141,34 @@ type GalleryEngine = gallery.Engine
 // with a deterministic fan-out planner and an optional int8 quantized
 // scan that rescores its top candidates exactly. See DESIGN.md §6.
 type GalleryStore = shard.Store
+
+// ScanPrecision selects how an engine's candidate scan arithmetic runs:
+// exact float64 (the default), float32 with exact rescoring, or int8
+// quantized with exact rescoring. Whatever the setting, every returned
+// score is the exact float64 expression — reduced precisions steer
+// candidate selection only. See DESIGN.md §8.
+type ScanPrecision = gallery.ScanPrecision
+
+// Scan precisions accepted by WithScanPrecision and
+// (*GalleryStore).SetPrecision.
+const (
+	// ScanFloat64 is the exact scan — the default.
+	ScanFloat64 = gallery.ScanFloat64
+	// ScanFloat32 scans in float32 and rescores candidates exactly.
+	ScanFloat32 = gallery.ScanFloat32
+	// ScanInt8 scans int8-quantized vectors and rescores exactly;
+	// requires a store built or opened with quantization parameters.
+	ScanInt8 = gallery.ScanInt8
+)
+
+// ParseScanPrecision parses a ScanPrecision from its string form —
+// "float64"/"f64"/"exact" (or empty), "float32"/"f32", and
+// "int8"/"quantized" — as accepted by the CLI's -scan flags.
+func ParseScanPrecision(s string) (ScanPrecision, error) { return gallery.ParseScanPrecision(s) }
+
+// PrecisionSetter is the optional engine surface for selecting scan
+// precision at runtime; *GalleryStore and the live engine implement it.
+type PrecisionSetter = gallery.PrecisionSetter
 
 // GalleryShardStat is one shard's health report (records, bytes,
 // checksum/dims status), as printed by the `gallery info` subcommand.
