@@ -7,8 +7,9 @@
 //	brainprint gallery shard   -db hcp.bpg -out hcp.bpm -shards 4 -quantize
 //	brainprint gallery live    -from hcp.bpg -db hcp.live
 //	brainprint gallery compact -db hcp.live
+//	brainprint gallery index   -db hcp.bpm
 //	brainprint gallery info    -db hcp.bpm
-//	brainprint gallery query   -db hcp.bpm -task REST2 -encoding RL -k 5
+//	brainprint gallery query   -db hcp.bpm -task REST2 -encoding RL -k 5 -ann
 //	brainprint gallery probe   -task REST2 -encoding RL -subject 3
 //
 // query, info, and serve accept a single-file gallery (.bpg), a shard
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -32,7 +34,7 @@ import (
 // runGallery dispatches the gallery subcommands.
 func runGallery(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, live, compact, query, info, or probe)")
+		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, live, compact, index, query, info, or probe)")
 	}
 	switch args[0] {
 	case "enroll":
@@ -43,6 +45,8 @@ func runGallery(args []string, out io.Writer) error {
 		return galleryLive(args[1:], out)
 	case "compact":
 		return galleryCompact(args[1:], out)
+	case "index":
+		return galleryIndex(args[1:], out)
 	case "query":
 		return galleryQuery(args[1:], out)
 	case "info":
@@ -50,7 +54,7 @@ func runGallery(args []string, out io.Writer) error {
 	case "probe":
 		return galleryProbe(args[1:], out)
 	default:
-		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, live, compact, query, info, or probe)", args[0])
+		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, live, compact, index, query, info, or probe)", args[0])
 	}
 }
 
@@ -138,6 +142,54 @@ func galleryCompact(args []string, out io.Writer) error {
 	if before.RecoveredTornBytes > 0 {
 		fmt.Fprintf(out, "recovered a torn write-ahead log tail (%d bytes truncated)\n", before.RecoveredTornBytes)
 	}
+	return nil
+}
+
+// galleryIndex trains an IVF coarse index over a gallery database and
+// persists it as the database's ".ivf" sidecar, enabling sub-linear
+// -ann/-nprobe queries. The build is deterministic given the seed (at
+// any -parallelism), and the index never changes reported scores —
+// only which candidates the scan visits (see DESIGN.md §9). For a live
+// directory the index covers the current generation's base store and
+// is rebuilt automatically at every compaction.
+func galleryIndex(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery index", flag.ContinueOnError)
+	db := fs.String("db", "", "gallery file, shard manifest, or live directory to index (required)")
+	cells := fs.Int("cells", 0, "k-means cell count (0 = square root of the record count, clamped to [4, 512])")
+	seed := fs.Int64("seed", 1, "training seed (the index is bit-identical given the seed)")
+	par := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = serial); the index is identical at any setting")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" {
+		return fmt.Errorf("gallery index: -db is required")
+	}
+	if isLiveDir(*db) {
+		e, err := brainprint.OpenLiveGallery(*db, brainprint.LiveGalleryOptions{})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		if err := e.BuildANN(context.Background(), *cells, *seed, *par); err != nil {
+			return err
+		}
+		st := e.Stats()
+		fmt.Fprintf(out, "indexed %d base records of %s (generation %d sidecar; query with -ann or -nprobe)\n",
+			st.BaseRecords, *db, st.Generation)
+		return nil
+	}
+	g, err := openStore(*db, out)
+	if err != nil {
+		return err
+	}
+	if err := g.BuildANN(context.Background(), *cells, *seed, *par); err != nil {
+		return err
+	}
+	if err := g.SaveANN(*db); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "indexed %d subjects of %s into %d cells (%s; query with -ann or -nprobe)\n",
+		g.Len(), *db, g.ANNIndex().Cells(), brainprint.GalleryANNSidecarPath(*db))
 	return nil
 }
 
@@ -426,11 +478,16 @@ func galleryQuery(args []string, out io.Writer) error {
 	db := fs.String("db", "", "gallery file, shard manifest, or live directory to query (required)")
 	k := fs.Int("k", 5, "candidates to report per probe")
 	scan := fs.String("scan", "", "candidate-scan precision: float64 (default), float32, or int8; reduced precisions rescore exactly, so reported scores are identical")
+	ann := fs.Bool("ann", false, "scan through the IVF coarse index at the default fan-out (requires a `gallery index` sidecar)")
+	nprobe := fs.Int("nprobe", 0, "IVF cells to probe per query (implies -ann; 0 with -ann = the default fan-out)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *db == "" {
 		return fmt.Errorf("gallery query: -db is required")
+	}
+	if *nprobe < 0 {
+		return fmt.Errorf("gallery query: -nprobe %d must be non-negative", *nprobe)
 	}
 	prec, err := brainprint.ParseScanPrecision(*scan)
 	if err != nil {
@@ -450,6 +507,19 @@ func galleryQuery(args []string, out io.Writer) error {
 			}
 		case prec != brainprint.ScanFloat64:
 			return fmt.Errorf("gallery query: -scan %s: %s is a single-file gallery without the precision knob", prec, *db)
+		}
+	}
+	if *ann || *nprobe > 0 {
+		np := *nprobe
+		if np == 0 {
+			np = brainprint.DefaultNProbe
+		}
+		as, ok := g.(brainprint.GalleryANNSetter)
+		if !ok {
+			return fmt.Errorf("gallery query: -ann: %s does not support ANN scans", *db)
+		}
+		if err := as.SetANNProbe(np); err != nil {
+			return fmt.Errorf("gallery query: -ann: %w", err)
 		}
 	}
 	ids, probes, err := cf.buildGroup()
@@ -562,6 +632,10 @@ func galleryInfo(args []string, out io.Writer) error {
 	if g.HasQuant() {
 		fmt.Fprintf(out, "  quantized:      int8 scalar scan with exact float64 rescore\n")
 	}
+	if g.HasANNIndex() {
+		fmt.Fprintf(out, "  ann index:      IVF sidecar, %d cells (queries scan exactly unless -ann/-nprobe)\n",
+			g.ANNIndex().Cells())
+	}
 	stats := g.Stats()
 	var bytes int64
 	loaded := 0
@@ -625,6 +699,9 @@ func liveInfo(dir string, out io.Writer) error {
 		fmt.Fprintf(out, "  feature index:  %d raw-space rows (probes may be full connectome vectors)\n", len(idx))
 	} else {
 		fmt.Fprintf(out, "  feature index:  none (probes must be gallery-space vectors)\n")
+	}
+	if e.HasANNIndex() {
+		fmt.Fprintf(out, "  ann index:      IVF sidecar on the base store (queries scan exactly unless -ann/-nprobe)\n")
 	}
 	fmt.Fprintf(out, "  write-ahead log: %d records, %d bytes\n", st.WALRecords, st.WALBytes)
 	if st.RecoveredTornBytes > 0 {

@@ -48,6 +48,8 @@ func runServe(args []string, out io.Writer) error {
 		writable     = fs.Bool("writable", false, "accept online enrollment/deletion (requires a live gallery directory; see gallery live)")
 		compactAfter = fs.Int("compact-after", 0, "auto-compact the live gallery once its write-ahead log holds this many records (0 = manual gallery compact only)")
 		scan         = fs.String("scan", "", "candidate-scan precision: float64 (default), float32, or int8; reduced precisions rescore exactly, so served scores are identical")
+		ann          = fs.Bool("ann", false, "serve through the IVF coarse index at the default fan-out (requires a `gallery index` sidecar)")
+		nprobe       = fs.Int("nprobe", 0, "IVF cells to probe per identification (implies -ann; 0 with -ann = the default fan-out)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -59,6 +61,15 @@ func runServe(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	if *nprobe < 0 {
+		return fmt.Errorf("serve: -nprobe %d must be non-negative", *nprobe)
+	}
+	np := 0
+	if *ann || *nprobe > 0 {
+		if np = *nprobe; np == 0 {
+			np = brainprint.DefaultNProbe
+		}
+	}
 
 	sessionOpts := []brainprint.AttackerOption{
 		brainprint.WithParallelism(*parallelism),
@@ -68,6 +79,9 @@ func runServe(args []string, out io.Writer) error {
 		// Explicit -scan wins even when it names the default: float64
 		// on a quantized store switches the scan back to exact.
 		sessionOpts = append(sessionOpts, brainprint.WithScanPrecision(prec))
+	}
+	if np > 0 {
+		sessionOpts = append(sessionOpts, brainprint.WithANN(np))
 	}
 	var layout string
 	if isLiveDir(*db) {
@@ -110,6 +124,9 @@ func runServe(args []string, out io.Writer) error {
 		layout += ", " + prec.String() + " scan"
 	case g.Quantized():
 		layout += ", quantized scan"
+	}
+	if np > 0 {
+		layout += fmt.Sprintf(", ivf nprobe=%d", np)
 	}
 	return serveEngine(out, *db, g, layout, false, sessionOpts, serve.Config{
 		Addr:           *addr,

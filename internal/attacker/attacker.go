@@ -57,6 +57,8 @@ type Attacker struct {
 	timeout    time.Duration
 	prec       gallery.ScanPrecision
 	precSet    bool
+	nprobe     int
+	nprobeSet  bool
 }
 
 // Option configures an Attacker during New. Options are applied in
@@ -165,6 +167,45 @@ func WithScanPrecision(p gallery.ScanPrecision) Option {
 	}
 }
 
+// WithANN selects the engine's ANN cell fan-out: queries scan only the
+// nprobe index cells nearest the probe instead of every record. 0 (the
+// default) disables the index and scans exactly. The knob trades
+// recall for speed, never score fidelity — every returned score is the
+// exact float64 expression, bit-identical to the dense path, and
+// nprobe at or above the index's cell count is bit-identical to the
+// exact scan outright (see DESIGN.md §9). A positive nprobe requires
+// an engine with a loaded IVF index (built by `gallery index` or
+// live.Engine.BuildANN); the setting is applied once, after all
+// options.
+func WithANN(nprobe int) Option {
+	return func(a *Attacker) error {
+		if nprobe < 0 {
+			return fmt.Errorf("attacker: WithANN(%d): nprobe must be non-negative", nprobe)
+		}
+		a.nprobe, a.nprobeSet = nprobe, true
+		return nil
+	}
+}
+
+// applyANN pushes a requested ANN fan-out to the session's engine
+// after every option has applied.
+func (a *Attacker) applyANN() error {
+	if !a.nprobeSet {
+		return nil
+	}
+	if a.gallery == nil {
+		return fmt.Errorf("attacker: WithANN(%d): session has no gallery", a.nprobe)
+	}
+	as, ok := a.gallery.(gallery.ANNSetter)
+	if !ok {
+		if a.nprobe == 0 {
+			return nil // every engine scans exactly by default
+		}
+		return fmt.Errorf("attacker: WithANN(%d): %T does not support ANN scans", a.nprobe, a.gallery)
+	}
+	return as.SetANNProbe(a.nprobe)
+}
+
 // applyPrecision pushes a requested scan precision to the session's
 // engine after every option has applied.
 func (a *Attacker) applyPrecision() error {
@@ -199,6 +240,9 @@ func New(g gallery.Engine, opts ...Option) (*Attacker, error) {
 		}
 	}
 	if err := a.applyPrecision(); err != nil {
+		return nil, err
+	}
+	if err := a.applyANN(); err != nil {
 		return nil, err
 	}
 	return a, nil

@@ -1,0 +1,25 @@
+package gallery
+
+// ANNSetter is the optional knob surface of engines that can scan
+// through an approximate-nearest-neighbor coarse index (today the
+// sharded store's IVF index, and the live engine forwarding to its
+// base store). The attacker session's WithANN option and the
+// serve/CLI -ann/-nprobe flags are written against it.
+//
+// The knob trades recall for speed, never correctness of scores:
+// whatever nprobe, every returned score is the exact float64
+// expression, bit-identical to the dense path — the index restricts
+// which records are scored, not how. nprobe at or above the index's
+// cell count probes every cell, making results bit-identical to the
+// exact scan.
+type ANNSetter interface {
+	// SetANNProbe selects how many index cells a query scans
+	// (0 disables the index and returns to the exact sweep). Enabling
+	// requires a loaded index. Not safe to call concurrently with
+	// queries.
+	SetANNProbe(nprobe int) error
+	// ANNProbe reports the active cell fan-out (0 = exact scan).
+	ANNProbe() int
+	// HasANNIndex reports whether a coarse index is loaded.
+	HasANNIndex() bool
+}

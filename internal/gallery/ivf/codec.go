@@ -1,0 +1,261 @@
+package ivf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/linalg"
+)
+
+// The sidecar codec. An index persists beside its gallery database as
+// "<db>.ivf" with the same discipline as the gallery, manifest, and
+// WAL codecs: a fixed magic, an explicit version, little-endian
+// integers, and CRC-32 (IEEE) checksums — one over the header, one
+// over the centroid matrix, one per shard's posting section — so a
+// torn or corrupted sidecar is detected before a single cell is
+// probed. Layout:
+//
+//	magic "BPIVFIX\x00"                               8 bytes
+//	version, features, cells, shards     uint32 each 16 bytes
+//	seed                                       uint64  8 bytes
+//	header CRC                                 uint32  4 bytes
+//	centroids  cells×features float64, then a section CRC
+//	per shard: count uint32, then per cell
+//	           (len uint32 + len×uint32 local indices),
+//	           then a section CRC
+//
+// Decoding validates more than checksums: each shard's posting lists
+// must form an exact partition of its local index space (every record
+// in exactly one cell, lists strictly ascending) — the structural
+// invariant the scan paths rely on, and the property FuzzDecodeIVF
+// hammers. All reads go through gallery.ReadN, so a forged length
+// field cannot drive a huge allocation.
+
+const (
+	ivfMagic = "BPIVFIX\x00"
+
+	// SidecarVersion is the IVF sidecar format version this build
+	// reads and writes.
+	SidecarVersion = 1
+
+	// maxCells bounds the plausible centroid count in a sidecar
+	// header; anything larger is corruption, not configuration.
+	maxCells = 1 << 16
+
+	// maxSidecarShards mirrors the shard manifest's shard bound.
+	maxSidecarShards = 1 << 16
+
+	// maxSidecarFeatures mirrors the gallery codec's dimensionality
+	// bound.
+	maxSidecarFeatures = 1 << 26
+
+	headerLen = 8 + 4*4 + 8 // magic + version/features/cells/shards + seed
+)
+
+// Typed sidecar errors, matched with errors.Is. Truncation and
+// checksum failures reuse the gallery sentinels so callers handle all
+// codecs uniformly.
+var (
+	// ErrMagic means the file does not start with the IVF sidecar
+	// magic.
+	ErrMagic = errors.New("ivf: bad magic (not an index sidecar)")
+	// ErrVersion means the sidecar's format version is not supported
+	// by this build.
+	ErrVersion = errors.New("ivf: unsupported sidecar version")
+	// ErrCorrupt means the sidecar decoded but violates a structural
+	// invariant (implausible geometry, posting lists that do not
+	// partition a shard).
+	ErrCorrupt = errors.New("ivf: corrupt index sidecar")
+)
+
+// SidecarPath returns the sidecar filename for a gallery database
+// path — "<db>.ivf" beside the gallery file, shard manifest, or live
+// generation manifest it indexes.
+func SidecarPath(dbPath string) string { return dbPath + ".ivf" }
+
+// Encode renders the index in sidecar format.
+func (x *Index) Encode() []byte {
+	buf := make([]byte, 0, headerLen+4+len(x.centroids)*8+4)
+	buf = append(buf, ivfMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, SidecarVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.features))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(x.cells))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(x.counts)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(x.seed))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	clo := len(buf)
+	buf = linalg.AppendFloat64s(buf, x.centroids)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[clo:]))
+
+	for si, lists := range x.postings {
+		slo := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x.counts[si]))
+		for _, list := range lists {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(list)))
+			for _, li := range list {
+				buf = binary.LittleEndian.AppendUint32(buf, li)
+			}
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[slo:]))
+	}
+	return buf
+}
+
+// Decode parses and fully validates a sidecar stream: header and
+// section CRCs, geometry bounds, the per-shard partition invariant,
+// and a trailing-byte check. On success the index is ready to probe.
+func Decode(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, headerLen+4)
+	if err := readFull(br, head, "sidecar header"); err != nil {
+		return nil, err
+	}
+	if string(head[:8]) != ivfMagic {
+		return nil, ErrMagic
+	}
+	if got := binary.LittleEndian.Uint32(head[headerLen:]); got != crc32.ChecksumIEEE(head[:headerLen]) {
+		return nil, fmt.Errorf("%w: sidecar header CRC mismatch", gallery.ErrChecksum)
+	}
+	version := binary.LittleEndian.Uint32(head[8:])
+	if version != SidecarVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, version, SidecarVersion)
+	}
+	features := int(binary.LittleEndian.Uint32(head[12:]))
+	cells := int(binary.LittleEndian.Uint32(head[16:]))
+	shards := int(binary.LittleEndian.Uint32(head[20:]))
+	seed := int64(binary.LittleEndian.Uint64(head[24:]))
+	if features < 1 || features > maxSidecarFeatures {
+		return nil, fmt.Errorf("%w: implausible feature count %d", ErrCorrupt, features)
+	}
+	if cells < 1 || cells > maxCells {
+		return nil, fmt.Errorf("%w: implausible cell count %d", ErrCorrupt, cells)
+	}
+	if shards < 1 || shards > maxSidecarShards {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrCorrupt, shards)
+	}
+
+	x := &Index{features: features, cells: cells, seed: seed}
+	cbytes, err := gallery.ReadN(br, cells*features*8+4, "sidecar centroids")
+	if err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(cbytes[len(cbytes)-4:]); got != crc32.ChecksumIEEE(cbytes[:len(cbytes)-4]) {
+		return nil, fmt.Errorf("%w: sidecar centroid CRC mismatch", gallery.ErrChecksum)
+	}
+	x.centroids = make([]float64, cells*features)
+	if _, err := linalg.DecodeFloat64s(cbytes[:len(cbytes)-4], x.centroids); err != nil {
+		return nil, fmt.Errorf("ivf: decoding centroids: %w", err)
+	}
+
+	x.counts = make([]int, shards)
+	x.postings = make([][][]uint32, shards)
+	lenBuf := make([]byte, 4)
+	for si := 0; si < shards; si++ {
+		crc := crc32.NewIEEE()
+		tee := io.TeeReader(br, crc)
+		if err := readFull(tee, lenBuf, "sidecar shard section"); err != nil {
+			return nil, err
+		}
+		count := int(binary.LittleEndian.Uint32(lenBuf))
+		x.counts[si] = count
+		lists := make([][]uint32, cells)
+		posted := 0
+		for c := 0; c < cells; c++ {
+			if err := readFull(tee, lenBuf, "sidecar posting list"); err != nil {
+				return nil, err
+			}
+			n := int(binary.LittleEndian.Uint32(lenBuf))
+			if n > count {
+				return nil, fmt.Errorf("%w: shard %d cell %d posts %d records, shard holds %d", ErrCorrupt, si, c, n, count)
+			}
+			body, err := gallery.ReadN(tee, n*4, "sidecar posting list")
+			if err != nil {
+				return nil, err
+			}
+			list := make([]uint32, n)
+			for i := range list {
+				list[i] = binary.LittleEndian.Uint32(body[i*4:])
+			}
+			lists[c] = list
+			posted += n
+		}
+		// The partition check proper runs in validate; checking the
+		// total here first keeps validate's seen-bitmap allocation
+		// proportional to bytes actually present in the stream, so a
+		// forged count cannot drive a huge allocation.
+		if posted != count {
+			return nil, fmt.Errorf("%w: shard %d posts %d records, header declares %d", ErrCorrupt, si, posted, count)
+		}
+		sum := crc.Sum32()
+		if err := readFull(br, lenBuf, "sidecar shard CRC"); err != nil {
+			return nil, err
+		}
+		if got := binary.LittleEndian.Uint32(lenBuf); got != sum {
+			return nil, fmt.Errorf("%w: sidecar shard %d CRC mismatch", gallery.ErrChecksum, si)
+		}
+		x.postings[si] = lists
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing bytes after the last shard section", ErrCorrupt)
+	}
+	if err := x.validate(); err != nil {
+		return nil, err
+	}
+	x.derive()
+	return x, nil
+}
+
+// WriteFile atomically persists the index sidecar: write to a
+// temporary file in the target directory, fsync, then rename over the
+// final path.
+func (x *Index) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(x.Encode()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile loads and validates an index sidecar.
+func ReadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// readFull fills buf, mapping EOF and short reads to the gallery's
+// typed truncation error with context.
+func readFull(r io.Reader, buf []byte, what string) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: in %s", gallery.ErrTruncated, what)
+		}
+		return fmt.Errorf("ivf: reading %s: %w", what, err)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package ivf
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// fuzzSeedSidecar renders a valid encoded sidecar to seed the corpus.
+func fuzzSeedSidecar(tb testing.TB, cells int, counts []int) []byte {
+	tb.Helper()
+	const features = 6
+	x, err := Build(context.Background(), Config{Cells: cells, Seed: 41},
+		features, counts, testShards(43, features, counts))
+	if err != nil {
+		tb.Fatalf("seed sidecar: %v", err)
+	}
+	return x.Encode()
+}
+
+// FuzzDecodeIVF throws adversarial bytes at the sidecar decoder: no
+// panics, allocation bounded by the bytes actually present (the forged
+// shard-count guard), and any successfully decoded index must satisfy
+// the partition invariant and re-encode to the identical byte stream.
+func FuzzDecodeIVF(f *testing.F) {
+	plain := fuzzSeedSidecar(f, 3, []int{15, 9})
+	f.Add(plain)
+	f.Add(fuzzSeedSidecar(f, 1, []int{4}))
+	f.Add(plain[:20])                // torn header
+	f.Add(plain[:len(plain)-5])      // torn shard section
+	f.Add([]byte("BPIVFIX\x00\x01")) // magic then garbage
+	f.Add([]byte{})
+	mut := append([]byte(nil), plain...)
+	mut[9] ^= 0x01 // version flip (caught by the header CRC)
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if x.Features() <= 0 || x.Cells() <= 0 || x.Shards() <= 0 {
+			t.Fatalf("decoded inconsistent index: features=%d cells=%d shards=%d",
+				x.Features(), x.Cells(), x.Shards())
+		}
+		if err := x.validate(); err != nil {
+			t.Fatalf("decoded index fails its own partition invariant: %v", err)
+		}
+		if !bytes.Equal(x.Encode(), data) {
+			t.Fatal("decoded index does not re-encode to the identical stream")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -76,6 +77,14 @@ func (e *Engine) Compact() error {
 		return fmt.Errorf("live: internal error: frozen memtable outside a compaction")
 	}
 	newGen := e.gen + 1
+	// Capture the ANN state under the lock: a base that carries an
+	// index gets its successor re-indexed with the same training seed,
+	// so the knob survives the generation switch.
+	var annSeed int64
+	annRebuild := false
+	if e.base != nil && e.base.ANNIndex() != nil {
+		annRebuild, annSeed = true, e.base.ANNIndex().Seed()
+	}
 	snap, err := snapshotGallery(e.mem.Features(), e.featureIndexCopy(), func(yield func(string, []float64) error) error {
 		for i, id := range e.ids {
 			if err := yield(id, e.fingerprint(i)); err != nil {
@@ -109,6 +118,16 @@ func (e *Engine) Compact() error {
 		if err := newBase.WriteFiles(filepath.Join(e.dir, genName(newGen, "bpm"))); err != nil {
 			e.abortFreeze()
 			return err
+		}
+		if annRebuild {
+			if err := newBase.BuildANN(context.Background(), 0, annSeed, 0); err != nil {
+				e.abortFreeze()
+				return err
+			}
+			if err := newBase.SaveANN(filepath.Join(e.dir, genName(newGen, "bpm"))); err != nil {
+				e.abortFreeze()
+				return err
+			}
 		}
 	}
 
@@ -144,6 +163,20 @@ func (e *Engine) Compact() error {
 		// float32 can be set on a live engine, and it cannot fail here.
 		if err := newBase.SetPrecision(e.prec); err != nil {
 			panic(fmt.Sprintf("live: re-applying scan precision after compaction: %v", err))
+		}
+	}
+	if e.nprobe > 0 {
+		if newBase != nil {
+			// An active fan-out implies the old base carried an index,
+			// so the fresh base was re-indexed above; re-applying
+			// cannot fail.
+			if err := newBase.SetANNProbe(e.nprobe); err != nil {
+				panic(fmt.Sprintf("live: re-applying ANN fan-out after compaction: %v", err))
+			}
+		} else {
+			// Everything was deleted: a baseless generation has no
+			// index, so the knob resets to exact.
+			e.nprobe = 0
 		}
 	}
 	e.frozen = nil

@@ -139,6 +139,12 @@ type Engine struct {
 	// fresh base. The overlay always scans exact (see query.go).
 	prec gallery.ScanPrecision
 
+	// nprobe is the ANN cell fan-out applied to the base store (0 =
+	// exact scan), carried across compactions like prec: each fresh
+	// base is re-indexed when its predecessor carried an index, and
+	// the fan-out is re-applied at the swap (see ann.go).
+	nprobe int
+
 	wal        *walWriter
 	walRecords int
 	walBytes   int64

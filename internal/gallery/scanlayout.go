@@ -223,6 +223,48 @@ func (bk *Blocked) DotsF64(lo, hi int, zp []float64, out []float64) {
 	}
 }
 
+// DotF64 returns the float64 dot product of record i against the
+// probe. Features are consumed strictly in ascending order across
+// tiles with one accumulator, so the result is bit-identical to
+// linalg.Dot(record i, zp) — it is the single-record accessor the IVF
+// posting-list scan uses, where candidates are too sparse for the
+// striped kernels.
+func (bk *Blocked) DotF64(i int, zp []float64) float64 {
+	b, l := i/ScanLanes, i%ScanLanes
+	var acc float64
+	for tlo := 0; tlo < bk.features; tlo += scanTileF {
+		w := bk.tileWidth(tlo)
+		base := bk.tileBase(tlo) + b*w*ScanLanes + l
+		d := bk.f64[base : base+(w-1)*ScanLanes+1]
+		j := 0
+		for _, p := range zp[tlo : tlo+w] {
+			acc += d[j] * p
+			j += ScanLanes
+		}
+	}
+	return acc
+}
+
+// DotF32 is the reduced-precision single-record accessor: the float32
+// dot product of record i against a float32 probe. EnsureF32 must
+// have been called. Like DotsF32, results are approximate — callers
+// use them only to select rescore candidates.
+func (bk *Blocked) DotF32(i int, zp []float32) float32 {
+	b, l := i/ScanLanes, i%ScanLanes
+	var acc float32
+	for tlo := 0; tlo < bk.features; tlo += scanTileF {
+		w := bk.tileWidth(tlo)
+		base := bk.tileBase(tlo) + b*w*ScanLanes + l
+		d := bk.f32[base : base+(w-1)*ScanLanes+1]
+		j := 0
+		for _, p := range zp[tlo : tlo+w] {
+			acc += d[j] * p
+			j += ScanLanes
+		}
+	}
+	return acc
+}
+
 // DotsF64Batch is DotsF64 over a batch of probes: outs[p][i-lo]
 // accumulates record i's dot product against zps[p]. Probes are
 // processed in pairs, so each streamed record block is scored against

@@ -1,0 +1,373 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/ivf"
+	"brainprint/internal/linalg"
+	"brainprint/internal/parallel"
+)
+
+// The IVF scan paths. With an index loaded and nprobe > 0, a query
+// ranks the index cells against the probe and scans only the posting
+// lists of the best nprobe cells — sub-linear candidate selection —
+// while scoring stays exactly what the full sweep computes: the
+// float64 path scores candidates with linalg.Dot over the contiguous
+// per-record fingerprints, and the float32/int8 paths select a
+// rescoreDepth(k) pool that is rescored with the exact float64
+// expression, the same discipline as the linear reduced-precision
+// sweeps. The index therefore changes WHICH records can be returned
+// (recall, measured by the CI gate), never the score of any record
+// that is returned. Because each shard's posting lists partition its
+// local index space, nprobe ≥ Cells() scans every record exactly once
+// and the result is bit-identical to the exact sweep — the
+// equivalence matrix pins this at several shard counts and
+// parallelism settings.
+
+// ErrNoANNIndex is returned by SetANNProbe when enabling the ANN scan
+// on a store without a loaded index.
+var ErrNoANNIndex = errors.New("shard: no ANN index loaded (build one with BuildANN or the gallery index subcommand)")
+
+// BuildANN trains an IVF coarse index over the store's records:
+// k-means centroids (deterministically seeded, at most 512 cells by
+// default) and one posting list per (shard, cell). cells 0 picks
+// ivf.DefaultCells over the record count; the build is bit-identical
+// at any parallelism. A partially loaded store refuses — an index
+// trained over surviving shards would go stale the moment the faulted
+// shards heal. Persist with SaveANN; not safe to call concurrently
+// with queries.
+func (s *Store) BuildANN(ctx context.Context, cells int, seed int64, parallelism int) error {
+	x, err := s.TrainANN(ctx, cells, seed, parallelism)
+	if err != nil {
+		return err
+	}
+	s.ann = x
+	return nil
+}
+
+// TrainANN is BuildANN without the attach: it trains and returns the
+// index, leaving the store untouched — for callers (the live engine)
+// that must train off their lock while queries flow, then attach in a
+// short locked window. Training only reads the store, so it is safe
+// concurrent with queries.
+func (s *Store) TrainANN(ctx context.Context, cells int, seed int64, parallelism int) (*ivf.Index, error) {
+	if len(s.faults) > 0 {
+		return nil, fmt.Errorf("shard: refusing to index a partially loaded store (%d faulted shards)", len(s.faults))
+	}
+	if s.total == 0 {
+		return nil, fmt.Errorf("shard: refusing to index an empty store")
+	}
+	counts := make([]int, len(s.galleries))
+	for i, g := range s.galleries {
+		counts[i] = g.Len()
+	}
+	return ivf.Build(ctx, ivf.Config{Cells: cells, Seed: seed, Parallelism: parallelism},
+		s.features, counts,
+		func(si, li int) []float64 { return s.galleries[si].Fingerprint(li) })
+}
+
+// AttachANN installs a trained index after verifying it describes
+// exactly this store (same geometry and per-shard record counts). Not
+// safe to call concurrently with queries.
+func (s *Store) AttachANN(x *ivf.Index) error {
+	if !s.annMatches(x) {
+		return fmt.Errorf("shard: index geometry does not match the store")
+	}
+	s.ann = x
+	return nil
+}
+
+// SaveANN persists the loaded index as the sidecar of the given
+// database path (gallery file, shard manifest, or live generation
+// manifest): "<dbPath>.ivf", written atomically. Open of the same
+// database path picks it up automatically.
+func (s *Store) SaveANN(dbPath string) error {
+	if s.ann == nil {
+		return ErrNoANNIndex
+	}
+	return s.ann.WriteFile(ivf.SidecarPath(dbPath))
+}
+
+// ANNIndex returns the loaded IVF index, or nil. The caller must not
+// mutate it.
+func (s *Store) ANNIndex() *ivf.Index { return s.ann }
+
+// HasANNIndex reports whether an IVF index is loaded
+// (gallery.ANNSetter).
+func (s *Store) HasANNIndex() bool { return s.ann != nil }
+
+// ANNProbe reports the active cell fan-out (0 = exact scan).
+func (s *Store) ANNProbe() int { return s.nprobe }
+
+// SetANNProbe selects how many index cells a query scans
+// (gallery.ANNSetter). 0 disables the index and returns to the exact
+// sweep; a positive nprobe requires a loaded index (ErrNoANNIndex
+// otherwise) and is clamped to the cell count at query time — nprobe
+// at or above Cells() probes every cell and is bit-identical to
+// exact. Not safe to call concurrently with queries.
+func (s *Store) SetANNProbe(nprobe int) error {
+	if nprobe < 0 {
+		return fmt.Errorf("shard: nprobe %d must be non-negative", nprobe)
+	}
+	if nprobe > 0 && s.ann == nil {
+		return ErrNoANNIndex
+	}
+	s.nprobe = nprobe
+	return nil
+}
+
+// loadANN loads the database's index sidecar if one exists. A missing
+// sidecar is simply no index; a sidecar that fails to decode is a
+// loud error (corruption must not be masked); a sidecar that decodes
+// but disagrees with the store's geometry (features, shard count, or
+// any shard's record count) is stale — it indexes some other state of
+// the database — and is ignored so the store serves exactly.
+func (s *Store) loadANN(dbPath string) error {
+	path := ivf.SidecarPath(dbPath)
+	if _, err := os.Stat(path); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	x, err := ivf.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("shard: loading ANN sidecar %s: %w", path, err)
+	}
+	if !s.annMatches(x) {
+		return nil
+	}
+	s.ann = x
+	return nil
+}
+
+// annMatches reports whether a decoded index describes exactly this
+// store: same dimensionality, same shard count, same per-shard record
+// counts, no faulted shards.
+func (s *Store) annMatches(x *ivf.Index) bool {
+	if len(s.faults) > 0 || x.Features() != s.features || x.Shards() != len(s.galleries) {
+		return false
+	}
+	for si, g := range s.galleries {
+		if g == nil || x.ShardCount(si) != g.Len() {
+			return false
+		}
+	}
+	return true
+}
+
+// topKANN is the IVF sweep for one z-scored probe: rank the cells,
+// scan the probed posting lists per shard under the active precision,
+// and merge per-shard rankings by tournament (one shared ranker in
+// the serial path, carrying the selection threshold across shards).
+// The reduced precisions select a rescoreDepth(k) pool that is
+// rescored exactly, so returned scores are bit-identical to the dense
+// path whatever the precision.
+func (s *Store) topKANN(ctx context.Context, zp []float64, k, parallelism int, skip []bool) ([]gallery.Candidate, error) {
+	cells := s.ann.RankCells(zp, s.nprobe)
+	depth := k
+	if s.prec != gallery.ScanFloat64 {
+		depth = rescoreDepth(k, s.total)
+	}
+	var zp32 []float32
+	var scaled []float64
+	var offsetDot, pnorm float64
+	switch s.prec {
+	case gallery.ScanFloat32:
+		zp32 = gallery.ToF32(zp)
+	case gallery.ScanInt8:
+		scaled, offsetDot, pnorm = s.quant.probeQuantTerms(zp)
+	}
+	inv := 1 / float64(s.features)
+
+	scanShard := func(si int, r *gallery.Ranker) {
+		switch s.prec {
+		case gallery.ScanInt8:
+			s.scanANNShardQuant(si, cells, scaled, offsetDot, pnorm, r, skip)
+		case gallery.ScanFloat32:
+			s.scanANNShardF32(si, cells, zp32, inv, r, skip)
+		default:
+			s.scanANNShardExact(si, cells, zp, inv, r, skip)
+		}
+	}
+
+	var pool []gallery.Candidate
+	if serialScan(parallelism) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r := gallery.NewRanker(depth, better)
+		for si := range s.galleries {
+			scanShard(si, r)
+		}
+		pool = r.Ranked()
+	} else {
+		partials := make([][]gallery.Candidate, len(s.galleries))
+		err := parallel.ForCtx(ctx, parallelism, len(s.galleries), 1, func(lo, hi int) error {
+			for si := lo; si < hi; si++ {
+				r := gallery.NewRanker(depth, better)
+				scanShard(si, r)
+				partials[si] = r.Ranked()
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pool = gallery.RankMergeLists(partials, depth, better)
+	}
+	if s.prec == gallery.ScanFloat64 {
+		return pool, nil // scores are already the exact expression
+	}
+	return s.rescore(pool, zp, k), nil
+}
+
+// queryAllANN is the IVF batch path: probes fan out one per worker
+// with a serial inner sweep — posting-list scans are too sparse for
+// the record-striped batch kernels to pay off.
+func (s *Store) queryAllANN(ctx context.Context, zcols [][]float64, k, parallelism int, skip []bool) ([][]gallery.Candidate, error) {
+	out := make([][]gallery.Candidate, len(zcols))
+	err := parallel.ForCtx(ctx, parallelism, len(zcols), 1, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			top, err := s.topKANN(ctx, zcols[j], k, 1, skip)
+			if err != nil {
+				return err
+			}
+			out[j] = top
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanANNShardExact scans one shard's probed posting lists at full
+// precision, scoring candidates against the gallery's contiguous
+// per-record fingerprints — the same expression the rescore pass uses
+// — so these scores are final, no rescore pass needed. The blocked
+// layout is deliberately avoided here: its record-striped lanes put
+// consecutive features of one record a stride apart, which is ideal
+// for full sweeps but wastes most of every streamed cache line when
+// visiting the scattered subset of records a posting list selects.
+// Candidates are gathered eight at a time into linalg.Dot8 so the
+// dependency chains (and the eight records' cache-miss streams)
+// overlap; each score is still bit-identical to a lone linalg.Dot,
+// and offer order is exactly the posting order, so results match the
+// unbatched loop bit for bit.
+func (s *Store) scanANNShardExact(si int, cells []int, zp []float64, inv float64, r *gallery.Ranker, skip []bool) {
+	g := s.galleries[si]
+	if g == nil {
+		return
+	}
+	base := s.bases[si]
+	thr, full := r.Threshold()
+	var idx [8]int
+	var dots [8]float64
+	n := 0
+	flush := func() {
+		for t := 0; t < n; t++ {
+			i, sc := idx[t], dots[t]*inv
+			if full && sc < thr.Score {
+				continue
+			}
+			cand := gallery.Candidate{Index: base + i, ID: g.ID(i), Score: sc}
+			if full && !better(cand, thr) {
+				continue
+			}
+			r.Offer(cand)
+			thr, full = r.Threshold()
+		}
+		n = 0
+	}
+	for _, c := range cells {
+		for _, li := range s.ann.Postings(si, c) {
+			i := int(li)
+			if skip != nil && skip[base+i] {
+				continue
+			}
+			idx[n] = i
+			n++
+			if n < len(idx) {
+				continue
+			}
+			dots[0], dots[1], dots[2], dots[3], dots[4], dots[5], dots[6], dots[7] = linalg.Dot8(
+				g.Fingerprint(idx[0]), g.Fingerprint(idx[1]),
+				g.Fingerprint(idx[2]), g.Fingerprint(idx[3]),
+				g.Fingerprint(idx[4]), g.Fingerprint(idx[5]),
+				g.Fingerprint(idx[6]), g.Fingerprint(idx[7]), zp)
+			flush()
+		}
+	}
+	for t := 0; t < n; t++ {
+		dots[t] = linalg.Dot(g.Fingerprint(idx[t]), zp)
+	}
+	flush()
+}
+
+// scanANNShardF32 scans one shard's probed posting lists through the
+// float32 single-record accessor, offering approximate scores to the
+// depth-bounded pool ranker.
+func (s *Store) scanANNShardF32(si int, cells []int, zp32 []float32, inv float64, r *gallery.Ranker, skip []bool) {
+	g := s.galleries[si]
+	if g == nil {
+		return
+	}
+	bk := g.Blocked()
+	base := s.bases[si]
+	thr, full := r.Threshold()
+	for _, c := range cells {
+		for _, li := range s.ann.Postings(si, c) {
+			i := int(li)
+			if skip != nil && skip[base+i] {
+				continue
+			}
+			sc := float64(bk.DotF32(i, zp32)) * inv
+			if full && sc < thr.Score {
+				continue
+			}
+			cand := gallery.Candidate{Index: base + i, ID: g.ID(i), Score: sc}
+			if full && !better(cand, thr) {
+				continue
+			}
+			r.Offer(cand)
+			thr, full = r.Threshold()
+		}
+	}
+}
+
+// scanANNShardQuant scans one shard's probed posting lists against
+// the precomputed int8 probe terms, offering approximate cosines to
+// the depth-bounded pool ranker.
+func (s *Store) scanANNShardQuant(si int, cells []int, scaled []float64, offsetDot, pnorm float64, r *gallery.Ranker, skip []bool) {
+	g := s.galleries[si]
+	if g == nil {
+		return
+	}
+	base := s.bases[si]
+	qv, qn := s.qvecs[si], s.qnorms[si]
+	thr, full := r.Threshold()
+	for _, c := range cells {
+		for _, li := range s.ann.Postings(si, c) {
+			i := int(li)
+			if skip != nil && skip[base+i] {
+				continue
+			}
+			sc := approxScore(qv[i*s.features:(i+1)*s.features], scaled, offsetDot, qn[i], pnorm)
+			if full && sc < thr.Score {
+				continue
+			}
+			cand := gallery.Candidate{Index: base + i, ID: g.ID(i), Score: sc}
+			if full && !better(cand, thr) {
+				continue
+			}
+			r.Offer(cand)
+			thr, full = r.Threshold()
+		}
+	}
+}

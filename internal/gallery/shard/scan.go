@@ -86,6 +86,9 @@ func (s *Store) QueryAllZMasked(ctx context.Context, zps [][]float64, k, paralle
 // z-scored gallery-space probe; skip (nil for none) excludes global
 // indices from the result.
 func (s *Store) topKZMasked(ctx context.Context, zp []float64, k, parallelism int, skip []bool) ([]gallery.Candidate, error) {
+	if s.ann != nil && s.nprobe > 0 {
+		return s.topKANN(ctx, zp, k, parallelism, skip)
+	}
 	switch s.prec {
 	case gallery.ScanInt8:
 		return s.topKQuant(ctx, zp, k, parallelism, skip)
@@ -353,6 +356,9 @@ func (s *Store) scanUnitQuantInto(u scanUnit, scaled []float64, offsetDot, pnorm
 // probe pair instead of one pass per probe); the int8 path fans out
 // per probe, whose precomputed probe terms don't batch.
 func (s *Store) queryAllZMasked(ctx context.Context, zcols [][]float64, k, parallelism int, skip []bool) ([][]gallery.Candidate, error) {
+	if s.ann != nil && s.nprobe > 0 {
+		return s.queryAllANN(ctx, zcols, k, parallelism, skip)
+	}
 	switch s.prec {
 	case gallery.ScanInt8:
 		out := make([][]gallery.Candidate, len(zcols))

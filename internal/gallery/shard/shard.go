@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/ivf"
 )
 
 // Store is a sharded gallery: up to N per-shard galleries plus the
@@ -72,10 +73,16 @@ type Store struct {
 	// cached dequantized norms, built lazily by SetPrecision(ScanInt8).
 	qvecs  [][]int8
 	qnorms [][]float64
+
+	// ann is the loaded IVF coarse index, nil when none; nprobe is the
+	// active cell fan-out (0 = exact scan). See ann.go.
+	ann    *ivf.Index
+	nprobe int
 }
 
 var _ gallery.Engine = (*Store)(nil)
 var _ gallery.PrecisionSetter = (*Store)(nil)
+var _ gallery.ANNSetter = (*Store)(nil)
 
 // Fault describes one shard that failed to load.
 type Fault struct {
@@ -281,7 +288,16 @@ func Open(path string) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		return openShards(m, filepath.Dir(path))
+		s, err := openShards(m, filepath.Dir(path))
+		if err != nil {
+			// Degraded (or failed) stores skip the sidecar: an index
+			// over the full shard set cannot describe the survivors.
+			return s, err
+		}
+		if err := s.loadANN(path); err != nil {
+			return nil, err
+		}
+		return s, nil
 	}
 	g, err := gallery.OpenFile(path)
 	if err != nil {
@@ -291,6 +307,9 @@ func Open(path string) (*Store, error) {
 	s.meta[0].Name = filepath.Base(path)
 	if st, err := os.Stat(path); err == nil {
 		s.meta[0].Bytes = st.Size()
+	}
+	if err := s.loadANN(path); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

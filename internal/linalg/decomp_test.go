@@ -321,3 +321,67 @@ func TestQuickSVDNormIdentity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDot4BitIdenticalToDot pins the gather kernel's exactness
+// contract: each of Dot4's four results must equal the corresponding
+// lone Dot bit for bit (==, not a tolerance), across dimensions that
+// exercise awkward accumulation lengths. The IVF posting-list scan
+// leans on this to batch scattered candidates without perturbing the
+// score of any returned record.
+func TestDot4BitIdenticalToDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, dim := range []int{1, 2, 3, 7, 100, 513} {
+		vecs := make([][]float64, 5)
+		for i := range vecs {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			vecs[i] = v
+		}
+		a, b, c, d, y := vecs[0], vecs[1], vecs[2], vecs[3], vecs[4]
+		s0, s1, s2, s3 := Dot4(a, b, c, d, y)
+		for i, got := range []float64{s0, s1, s2, s3} {
+			if want := Dot(vecs[i], y); got != want {
+				t.Errorf("dim %d lane %d: Dot4 %v != Dot %v", dim, i, got, want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot4 with mismatched lengths did not panic")
+		}
+	}()
+	Dot4(make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]float64, 2), make([]float64, 3))
+}
+
+// TestDot8BitIdenticalToDot extends the gather-kernel exactness pin to
+// the eight-wide variant the IVF scan actually uses.
+func TestDot8BitIdenticalToDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, dim := range []int{1, 5, 100, 513} {
+		vecs := make([][]float64, 9)
+		for i := range vecs {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			vecs[i] = v
+		}
+		y := vecs[8]
+		s0, s1, s2, s3, s4, s5, s6, s7 := Dot8(
+			vecs[0], vecs[1], vecs[2], vecs[3], vecs[4], vecs[5], vecs[6], vecs[7], y)
+		for i, got := range []float64{s0, s1, s2, s3, s4, s5, s6, s7} {
+			if want := Dot(vecs[i], y); got != want {
+				t.Errorf("dim %d lane %d: Dot8 %v != Dot %v", dim, i, got, want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot8 with mismatched lengths did not panic")
+		}
+	}()
+	v3 := make([]float64, 3)
+	Dot8(v3, v3, v3, v3, v3, v3, make([]float64, 4), v3, v3)
+}

@@ -504,6 +504,10 @@ func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 	if ps, ok := g.(gallery.PrecisionSetter); ok {
 		resp["scan_precision"] = ps.Precision().String()
 	}
+	if as, ok := g.(gallery.ANNSetter); ok {
+		resp["ann_index"] = as.HasANNIndex()
+		resp["nprobe"] = as.ANNProbe()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -573,6 +577,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if ps, ok := s.atk.Gallery().(gallery.PrecisionSetter); ok {
 		resp["scan_precision"] = ps.Precision().String()
+	}
+	if as, ok := s.atk.Gallery().(gallery.ANNSetter); ok {
+		resp["ann_index"] = as.HasANNIndex()
+		resp["nprobe"] = as.ANNProbe()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

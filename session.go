@@ -12,6 +12,7 @@ import (
 
 	"brainprint/internal/attacker"
 	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/ivf"
 	"brainprint/internal/gallery/shard"
 )
 
@@ -97,6 +98,17 @@ func WithTimeout(d time.Duration) AttackerOption { return attacker.WithTimeout(d
 // knob (the single-file Gallery) accept only ScanFloat64.
 func WithScanPrecision(p ScanPrecision) AttackerOption { return attacker.WithScanPrecision(p) }
 
+// WithANN selects the engine's IVF cell fan-out: queries scan only the
+// nprobe index cells nearest each probe instead of every record —
+// sub-linear candidate selection at population scale. 0 (the default)
+// keeps the exact sweep. The knob trades recall for speed, never score
+// fidelity: every returned score stays the exact float64 expression,
+// bit-identical to the dense path, and nprobe at or above the index's
+// cell count is bit-identical to the exact scan outright. A positive
+// nprobe requires an engine whose database carries an index sidecar
+// (built by `brainprint gallery index`). See DESIGN.md §9.
+func WithANN(nprobe int) AttackerOption { return attacker.WithANN(nprobe) }
+
 // Experiments returns every registered experiment in canonical "all"
 // order.
 func Experiments() []ExperimentSpec { return attacker.Experiments() }
@@ -170,6 +182,20 @@ func ParseScanPrecision(s string) (ScanPrecision, error) { return gallery.ParseS
 // precision at runtime; *GalleryStore and the live engine implement it.
 type PrecisionSetter = gallery.PrecisionSetter
 
+// GalleryANNSetter is the optional engine surface for the IVF
+// approximate-scan knob; *GalleryStore and the live engine implement
+// it. See DESIGN.md §9 for the recall/exactness contract.
+type GalleryANNSetter = gallery.ANNSetter
+
+// DefaultNProbe is the default cell fan-out the CLI and service use
+// when ANN scanning is enabled without an explicit -nprobe.
+const DefaultNProbe = ivf.DefaultNProbe
+
+// GalleryANNSidecarPath returns the index sidecar path for a gallery
+// database path ("<db>.ivf"), as written by `gallery index` and loaded
+// automatically by OpenGalleryStore.
+func GalleryANNSidecarPath(dbPath string) string { return ivf.SidecarPath(dbPath) }
+
 // GalleryShardStat is one shard's health report (records, bytes,
 // checksum/dims status), as printed by the `gallery info` subcommand.
 type GalleryShardStat = shard.Stat
@@ -208,6 +234,16 @@ var (
 	// ErrGalleryNoQuantization: SetQuantized(true) on a store without
 	// quantization parameters.
 	ErrGalleryNoQuantization = shard.ErrNoQuantization
+	// ErrGalleryNoANNIndex: enabling the ANN scan on an engine whose
+	// database carries no index sidecar.
+	ErrGalleryNoANNIndex = shard.ErrNoANNIndex
+	// ErrGalleryANNMagic: the sidecar file is not an IVF index.
+	ErrGalleryANNMagic = ivf.ErrMagic
+	// ErrGalleryANNVersion: unsupported index sidecar format version.
+	ErrGalleryANNVersion = ivf.ErrVersion
+	// ErrGalleryANNCorrupt: the index sidecar decoded but violates a
+	// structural invariant.
+	ErrGalleryANNCorrupt = ivf.ErrCorrupt
 )
 
 // NewGalleryStore splits an in-memory gallery into a sharded store,
