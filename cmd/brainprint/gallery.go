@@ -109,8 +109,8 @@ func galleryLive(args []string, out io.Writer) error {
 	}
 	defer e.Close()
 	st := e.Stats()
-	fmt.Fprintf(out, "created live gallery %s from %s (%d subjects, %d features, generation %d)\n",
-		*db, *from, e.Len(), e.Features(), st.Generation)
+	fmt.Fprintf(out, "created live gallery %s from %s (%d subjects, %d features, generation %d, sequence %d)\n",
+		*db, *from, e.Len(), e.Features(), st.Generation, st.Seq)
 	return nil
 }
 
@@ -137,8 +137,8 @@ func galleryCompact(args []string, out io.Writer) error {
 		return err
 	}
 	after := e.Stats()
-	fmt.Fprintf(out, "compacted %s: generation %d -> %d, folded %d log records (%d overlay, %d tombstones) into %d base records\n",
-		*db, before.Generation, after.Generation, before.WALRecords, before.MemRecords, before.Tombstones, after.BaseRecords)
+	fmt.Fprintf(out, "compacted %s: generation %d -> %d, folded %d log records (%d overlay, %d tombstones) into %d base records at sequence %d\n",
+		*db, before.Generation, after.Generation, before.WALRecords, before.MemRecords, before.Tombstones, after.BaseRecords, after.Seq)
 	if before.RecoveredTornBytes > 0 {
 		fmt.Fprintf(out, "recovered a torn write-ahead log tail (%d bytes truncated)\n", before.RecoveredTornBytes)
 	}
@@ -704,6 +704,7 @@ func liveInfo(dir string, out io.Writer) error {
 		fmt.Fprintf(out, "  ann index:      IVF sidecar on the base store (queries scan exactly unless -ann/-nprobe)\n")
 	}
 	fmt.Fprintf(out, "  write-ahead log: %d records, %d bytes\n", st.WALRecords, st.WALBytes)
+	fmt.Fprintf(out, "  sequence:       %d (current generation starts after %d)\n", st.Seq, st.BaseSeq)
 	if st.RecoveredTornBytes > 0 {
 		fmt.Fprintf(out, "  recovery:       truncated a torn log tail (%d bytes) at open\n", st.RecoveredTornBytes)
 	}

@@ -1,0 +1,266 @@
+// The loadgen subcommand: drive configurable mixed identify/enroll
+// traffic against one or more running brainprint servers and report
+// latency percentiles and throughput per (target, concurrency level).
+//
+//	brainprint serve -db hcp.live -writable -addr 127.0.0.1:7311 &
+//	brainprint serve -db rep.live -replica-of http://127.0.0.1:7311 \
+//	    -addr 127.0.0.1:7312 &
+//	brainprint loadgen \
+//	    -targets http://127.0.0.1:7311,http://127.0.0.1:7312 \
+//	    -concurrency 4,16 -duration 5s -json LOAD_pr8.json
+//
+// Identify probes are synthetic Gaussian vectors in the target
+// gallery's dimensionality (latency does not depend on probe content);
+// with -enroll-fraction > 0 a matching share of requests enroll fresh
+// synthetic subjects instead, which a writable primary accepts and a
+// replica correctly refuses (counted as errors).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loadgenRun is the result of one (target, concurrency) cell, both
+// printed as a table row and persisted to the -json artifact.
+type loadgenRun struct {
+	Target        string  `json:"target"`
+	Concurrency   int     `json:"concurrency"`
+	DurationSec   float64 `json:"duration_seconds"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	Identify      int     `json:"identify"`
+	Enroll        int     `json:"enroll"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+}
+
+// loadgenReport is the LOAD_pr8.json artifact shape.
+type loadgenReport struct {
+	GeneratedUnix  int64        `json:"generated_unix"`
+	K              int          `json:"k"`
+	EnrollFraction float64      `json:"enroll_fraction"`
+	Runs           []loadgenRun `json:"runs"`
+}
+
+// runLoadgen parses flags and sweeps every target × concurrency cell
+// sequentially, so cells never contend with each other for client-side
+// resources.
+func runLoadgen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint loadgen", flag.ContinueOnError)
+	var (
+		targets  = fs.String("targets", "", "comma-separated base URLs of running brainprint servers (required)")
+		levels   = fs.String("concurrency", "4,16", "comma-separated concurrency levels to sweep")
+		duration = fs.Duration("duration", 5*time.Second, "wall-clock length of each (target, concurrency) cell")
+		enroll   = fs.Float64("enroll-fraction", 0, "fraction of requests that enroll a fresh synthetic subject instead of identifying (0..1; needs a -writable target)")
+		k        = fs.Int("k", 1, "candidates requested per identification")
+		seed     = fs.Int64("seed", 1, "probe-synthesis random seed")
+		jsonPath = fs.String("json", "", "write the report to this JSON artifact (e.g. LOAD_pr8.json) in addition to the table")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *targets == "" {
+		return fmt.Errorf("loadgen: -targets is required")
+	}
+	if *enroll < 0 || *enroll > 1 {
+		return fmt.Errorf("loadgen: -enroll-fraction %g must be in [0, 1]", *enroll)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("loadgen: -duration must be positive")
+	}
+	var concs []int
+	for _, s := range strings.Split(*levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("loadgen: bad concurrency level %q", s)
+		}
+		concs = append(concs, n)
+	}
+
+	report := loadgenReport{GeneratedUnix: time.Now().Unix(), K: *k, EnrollFraction: *enroll}
+	fmt.Fprintf(out, "%-28s %6s %9s %7s %9s %8s %8s %8s\n",
+		"target", "conc", "requests", "errors", "req/s", "p50 ms", "p95 ms", "p99 ms")
+	for _, target := range strings.Split(*targets, ",") {
+		target = strings.TrimRight(strings.TrimSpace(target), "/")
+		features, err := targetFeatures(target)
+		if err != nil {
+			return fmt.Errorf("loadgen: probing %s: %w", target, err)
+		}
+		for _, conc := range concs {
+			run := loadgenCell(target, features, conc, *duration, *enroll, *k, *seed)
+			report.Runs = append(report.Runs, run)
+			fmt.Fprintf(out, "%-28s %6d %9d %7d %9.1f %8.2f %8.2f %8.2f\n",
+				target, conc, run.Requests, run.Errors, run.ThroughputRPS, run.P50MS, run.P95MS, run.P99MS)
+		}
+	}
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("loadgen: writing report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d runs)\n", *jsonPath, len(report.Runs))
+	}
+	return nil
+}
+
+// targetFeatures asks the target's gallery endpoint for the probe
+// dimensionality the cell's synthetic vectors must carry.
+func targetFeatures(target string) (int, error) {
+	resp, err := http.Get(target + "/v1/gallery")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /v1/gallery answered %d", resp.StatusCode)
+	}
+	var meta struct {
+		Features int `json:"features"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		return 0, err
+	}
+	if meta.Features <= 0 {
+		return 0, fmt.Errorf("target reports %d features", meta.Features)
+	}
+	return meta.Features, nil
+}
+
+// loadgenCell hammers one target at one concurrency level for the
+// given duration and aggregates the workers' latency samples.
+func loadgenCell(target string, features, conc int, duration time.Duration, enrollFrac float64, k int, seed int64) loadgenRun {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: conc, // keep-alive per worker: measure the server, not TCP setup
+	}}
+	defer client.CloseIdleConnections()
+
+	var stop atomic.Bool
+	// Enrolled IDs must be unique across cells and across repeated
+	// loadgen invocations against a persistent server: a wall-clock
+	// nonce per cell plus a serial per request.
+	nonce := time.Now().UnixNano()
+	var enrollSerial atomic.Int64
+	type workerOut struct {
+		latencies []float64 // milliseconds, successes only
+		errors    int
+		identify  int
+		enroll    int
+	}
+	outs := make([]workerOut, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	time.AfterFunc(duration, func() { stop.Store(true) })
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			probe := make([]float64, features)
+			o := &outs[w]
+			for !stop.Load() {
+				for i := range probe {
+					probe[i] = rng.NormFloat64()
+				}
+				var (
+					path string
+					body any
+				)
+				if rng.Float64() < enrollFrac {
+					o.enroll++
+					path = "/v1/enroll"
+					body = map[string]any{
+						"id":          fmt.Sprintf("loadgen-%x-%d", nonce, enrollSerial.Add(1)),
+						"fingerprint": probe,
+					}
+				} else {
+					o.identify++
+					path = "/v1/identify"
+					body = map[string]any{"probe": probe, "k": k}
+				}
+				t0 := time.Now()
+				ok := loadgenPost(client, target+path, body)
+				if ok {
+					o.latencies = append(o.latencies, float64(time.Since(t0).Microseconds())/1000)
+				} else {
+					o.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	run := loadgenRun{
+		Target:      target,
+		Concurrency: conc,
+		DurationSec: elapsed.Seconds(),
+	}
+	var all []float64
+	for i := range outs {
+		all = append(all, outs[i].latencies...)
+		run.Errors += outs[i].errors
+		run.Identify += outs[i].identify
+		run.Enroll += outs[i].enroll
+	}
+	run.Requests = len(all) + run.Errors
+	run.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	sort.Float64s(all)
+	run.P50MS = percentile(all, 0.50)
+	run.P95MS = percentile(all, 0.95)
+	run.P99MS = percentile(all, 0.99)
+	if n := len(all); n > 0 {
+		run.MaxMS = all[n-1]
+	}
+	return run
+}
+
+// loadgenPost sends one JSON request and reports whether it succeeded
+// (any 2xx). The body is drained so the connection is reused.
+func loadgenPost(client *http.Client, url string, body any) bool {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// percentile reads the q-quantile from latencies sorted ascending
+// (nearest-rank; 0 when empty).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"brainprint"
+	"brainprint/internal/serve"
+)
+
+func TestLoadgenFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLoadgen(nil, &out); err == nil || !strings.Contains(err.Error(), "-targets") {
+		t.Errorf("missing -targets: %v", err)
+	}
+	if err := runLoadgen([]string{"-targets", "http://x", "-concurrency", "4,zero"}, &out); err == nil {
+		t.Error("bad concurrency level accepted")
+	}
+	if err := runLoadgen([]string{"-targets", "http://x", "-enroll-fraction", "1.5"}, &out); err == nil {
+		t.Error("out-of-range enroll fraction accepted")
+	}
+	if err := runLoadgen([]string{"-targets", "http://x", "-duration", "0s"}, &out); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := runLoadgen([]string{"-help"}, &out); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("runLoadgen(-help) = %v, want flag.ErrHelp", err)
+	}
+	if err := runLoadgen([]string{"-targets", "http://127.0.0.1:1/nope"}, &out); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+// TestLoadgenAgainstService drives the full harness against an
+// in-process writable service: mixed identify/enroll traffic at two
+// concurrency levels, table on stdout, JSON artifact on disk.
+func TestLoadgenAgainstService(t *testing.T) {
+	const features = 32
+	e, err := brainprint.CreateLiveGallery(filepath.Join(t.TempDir(), "live"), features,
+		brainprint.LiveGalleryOptions{NoSync: true})
+	if err != nil {
+		t.Fatalf("CreateLiveGallery: %v", err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(3))
+	vec := make([]float64, features)
+	for j := 0; j < 8; j++ {
+		for i := range vec {
+			vec[i] = rng.NormFloat64()
+		}
+		if err := e.Enroll(fmt.Sprintf("seed-%02d", j), vec); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	atk, err := brainprint.NewAttacker(e, brainprint.WithMutableGallery(e), brainprint.WithTopK(3))
+	if err != nil {
+		t.Fatalf("NewAttacker: %v", err)
+	}
+	s, err := serve.New(atk, serve.Config{})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	artifact := filepath.Join(t.TempDir(), "LOAD_test.json")
+	var out bytes.Buffer
+	args := []string{"-targets", srv.URL, "-concurrency", "1,2",
+		"-duration", "250ms", "-enroll-fraction", "0.25", "-json", artifact}
+	if err := runLoadgen(args, &out); err != nil {
+		t.Fatalf("runLoadgen: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), srv.URL) {
+		t.Errorf("table output missing target:\n%s", out.String())
+	}
+
+	raw, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatalf("reading artifact: %v", err)
+	}
+	var report loadgenReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(report.Runs) != 2 {
+		t.Fatalf("artifact has %d runs, want 2", len(report.Runs))
+	}
+	for _, run := range report.Runs {
+		if run.Requests == 0 || run.ThroughputRPS <= 0 {
+			t.Errorf("empty run: %+v", run)
+		}
+		if run.Errors > 0 {
+			t.Errorf("run against a writable server saw %d errors", run.Errors)
+		}
+		if run.P50MS <= 0 || run.P99MS < run.P50MS {
+			t.Errorf("implausible percentiles: %+v", run)
+		}
+		if run.Enroll == 0 || run.Identify == 0 {
+			t.Errorf("traffic mix not exercised: %+v", run)
+		}
+	}
+}
+
+func TestServeReplicaFlagConflicts(t *testing.T) {
+	var out bytes.Buffer
+	err := runServe([]string{"-db", t.TempDir(), "-replica-of", "http://127.0.0.1:1", "-writable"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("replica+writable: %v", err)
+	}
+	err = runServe([]string{"-db", filepath.Join(t.TempDir(), "rep"), "-replica-of", "not-a-url"}, &out)
+	if err == nil {
+		t.Error("relative primary URL accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("percentile(nil) = %v", p)
+	}
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 0.5); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(sorted, 0.99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+}

@@ -42,10 +42,12 @@ import (
 var usageText = fmt.Sprintf(`usage:
   brainprint [-experiment %s|all] [flags]
   brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
-  brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [flags]
+  brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [-replica-of url] [flags]
+  brainprint loadgen -targets url[,url...] [flags]
 
-run 'brainprint -help', 'brainprint gallery <subcommand> -help' or
-'brainprint serve -help' for the flags of each form`,
+run 'brainprint -help', 'brainprint gallery <subcommand> -help',
+'brainprint serve -help' or 'brainprint loadgen -help' for the flags of
+each form`,
 	strings.Join(brainprint.ExperimentNames(), "|"))
 
 func main() {
@@ -58,6 +60,12 @@ func main() {
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		if err := runServe(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+			fail(err)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "loadgen" {
+		if err := runLoadgen(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
 			fail(err)
 		}
 		return

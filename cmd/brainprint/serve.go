@@ -13,6 +13,13 @@
 //	brainprint serve -db hcp.live -writable
 //	curl -s -X POST --data '{"id":"new","fingerprint":[...]}' \
 //	    localhost:7311/v1/enroll
+//
+// Replica mode (WAL-shipping read replica of a live primary):
+//
+//	brainprint serve -db hcp.live -writable -addr 127.0.0.1:7311
+//	brainprint serve -db replica.live -replica-of http://127.0.0.1:7311 \
+//	    -addr 127.0.0.1:7312
+//	curl -s localhost:7312/healthz   # replication lag under "replica"
 package main
 
 import (
@@ -46,6 +53,8 @@ func runServe(args []string, out io.Writer) error {
 		parallelism  = fs.Int("parallelism", 0, "worker count for identification sweeps (0 = all cores)")
 		maxInflight  = fs.Int("max-inflight", 0, "bound on concurrently served requests (0 = 4x workers)")
 		writable     = fs.Bool("writable", false, "accept online enrollment/deletion (requires a live gallery directory; see gallery live)")
+		replicaOf    = fs.String("replica-of", "", "serve as a read replica of the primary at this base URL, keeping replica state in the -db directory")
+		drain        = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown bound: how long in-flight and streaming requests get to finish")
 		compactAfter = fs.Int("compact-after", 0, "auto-compact the live gallery once its write-ahead log holds this many records (0 = manual gallery compact only)")
 		scan         = fs.String("scan", "", "candidate-scan precision: float64 (default), float32, or int8; reduced precisions rescore exactly, so served scores are identical")
 		ann          = fs.Bool("ann", false, "serve through the IVF coarse index at the default fan-out (requires a `gallery index` sidecar)")
@@ -83,6 +92,27 @@ func runServe(args []string, out io.Writer) error {
 	if np > 0 {
 		sessionOpts = append(sessionOpts, brainprint.WithANN(np))
 	}
+	if *replicaOf != "" {
+		if *writable {
+			return fmt.Errorf("serve: -replica-of and -writable are mutually exclusive (replicas are read-only)")
+		}
+		rep, err := brainprint.StartReplica(*replicaOf, *db, brainprint.ReplicaOptions{
+			CompactAfter: *compactAfter,
+			Logf:         func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) },
+		})
+		if err != nil {
+			return err
+		}
+		defer rep.Close()
+		layout := fmt.Sprintf("replica of %s, generation %d", *replicaOf, rep.Stats().Generation)
+		return serveEngine(out, *db, rep, layout, false, sessionOpts, serve.Config{
+			Addr:           *addr,
+			RequestTimeout: *timeout,
+			MaxInflight:    *maxInflight,
+			DrainTimeout:   *drain,
+			Replica:        rep,
+		})
+	}
 	var layout string
 	if isLiveDir(*db) {
 		e, err := brainprint.OpenLiveGallery(*db, brainprint.LiveGalleryOptions{CompactAfter: *compactAfter})
@@ -104,6 +134,10 @@ func runServe(args []string, out io.Writer) error {
 			Addr:           *addr,
 			RequestTimeout: *timeout,
 			MaxInflight:    *maxInflight,
+			DrainTimeout:   *drain,
+			// Any live directory — writable or not — is a replication
+			// primary: replicas only need its log, not its write surface.
+			Live: e,
 		})
 	}
 	if *writable {
@@ -132,6 +166,7 @@ func runServe(args []string, out io.Writer) error {
 		Addr:           *addr,
 		RequestTimeout: *timeout,
 		MaxInflight:    *maxInflight,
+		DrainTimeout:   *drain,
 	})
 }
 
@@ -150,9 +185,12 @@ func serveEngine(out io.Writer, db string, g brainprint.GalleryEngine, layout st
 	defer stop()
 	fmt.Fprintf(out, "serving gallery %s (%d subjects, %d features, %s) on http://%s\n",
 		db, g.Len(), g.Features(), layout, srv.Addr())
-	endpoints := "endpoints: POST /v1/identify, POST /v1/identify/batch, GET /v1/gallery, GET /v1/metrics, GET /healthz"
+	endpoints := "endpoints: POST /v1/identify, POST /v1/identify/batch, POST /v1/identify/stream, GET /v1/gallery, GET /v1/metrics, GET /healthz"
 	if writable {
 		endpoints += ", POST /v1/enroll, DELETE /v1/subjects/{id}"
+	}
+	if cfg.Live != nil {
+		endpoints += ", GET /v1/replicate/{state,file,wal}"
 	}
 	fmt.Fprintln(out, endpoints)
 	return srv.ListenAndServe(ctx)

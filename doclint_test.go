@@ -34,6 +34,7 @@ var docAuditedPackages = []string{
 	"internal/attacker",
 	"internal/serve",
 	"internal/parallel",
+	"internal/replicate",
 }
 
 // TestExportedIdentifiersDocumented walks the audited packages and

@@ -96,6 +96,15 @@ type MutableStats struct {
 	// Generation is the current on-disk generation number, incremented
 	// by every compaction.
 	Generation int
+	// Seq is the monotonic mutation sequence number of the last
+	// committed write. It counts every enroll and delete ever committed
+	// to the directory and is stable across compactions and reopens —
+	// the coordinate replication lag is measured in.
+	Seq int64
+	// BaseSeq is the sequence number the current generation's
+	// write-ahead log starts after: Seq - BaseSeq is the current
+	// segment's record count.
+	BaseSeq int64
 	// BaseRecords is the number of records in the immutable base store
 	// (tombstoned records included until the next compaction).
 	BaseRecords int

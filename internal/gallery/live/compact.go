@@ -142,14 +142,26 @@ func (e *Engine) Compact() error {
 		e.abortFreeze()
 		return ErrClosed
 	}
-	newWAL, walBytes, walRecords, err := e.seedWAL(newGen)
+	seeded, err := e.seedWAL(newGen)
 	if err != nil {
 		e.mu.Unlock()
 		e.abortFreeze()
 		return err
 	}
+	// The seeded log is a reordered, collapsed retelling of history (see
+	// replication.go): the new generation starts after sequence
+	// oldSeq - records and its seeded prefix replays up to oldSeq, so
+	// sequence numbers carry across the switch unchanged.
+	oldSeq := e.baseSeq + int64(e.walRecords)
+	newBaseSeq := oldSeq - int64(seeded.records)
+	if err := writeSeqFile(e.dir, newGen, newBaseSeq, oldSeq); err != nil {
+		seeded.w.close()
+		e.mu.Unlock()
+		e.abortFreeze()
+		return err
+	}
 	if err := writeCurrent(e.dir, newGen); err != nil {
-		newWAL.close()
+		seeded.w.close()
 		e.mu.Unlock()
 		e.abortFreeze()
 		return err
@@ -181,9 +193,14 @@ func (e *Engine) Compact() error {
 	}
 	e.frozen = nil
 	e.deadBase = map[string]bool{}
-	e.wal = newWAL
-	e.walRecords = walRecords
-	e.walBytes = walBytes
+	e.wal = seeded.w
+	e.walRecords = seeded.records
+	e.walBytes = seeded.bytes
+	e.walStart = seeded.start
+	e.walOff = seeded.ends
+	e.baseSeq = newBaseSeq
+	e.seedSeq = oldSeq
+	e.bump() // generation switched: wake stream waiters pinned to oldGen
 	e.rebuild()
 	e.mu.Unlock()
 
@@ -243,38 +260,54 @@ func (e *Engine) abortFreeze() {
 	e.rebuild()
 }
 
+// seededWAL is the outcome of seeding a fresh generation's log segment.
+type seededWAL struct {
+	w       *walWriter
+	start   int64   // offset just past the segment header
+	bytes   int64   // total committed segment length
+	records int     // seeded record count
+	ends    []int64 // offset just past each seeded record
+}
+
 // seedWAL writes generation gen's log segment containing the current
 // post-freeze overlay — tombstone deletes in sorted order, then
 // memtable enrolls in enrollment order — and syncs it, so the segment
-// replays to exactly the state the swap leaves in memory. Called with
-// the write lock held.
-func (e *Engine) seedWAL(gen int) (*walWriter, int64, int, error) {
+// replays to exactly the state the swap leaves in memory. The writer's
+// rollback offset is advanced past the seeded batch: truncating to the
+// header on a later failed append would otherwise cut the seed away.
+// Called with the write lock held.
+func (e *Engine) seedWAL(gen int) (seededWAL, error) {
 	w, n, err := createWAL(filepath.Join(e.dir, genName(gen, "bpw")),
 		walHeader{features: e.mem.Features(), featureIndex: e.featureIndexCopy()}, !e.opts.NoSync)
 	if err != nil {
-		return nil, 0, 0, err
+		return seededWAL{}, err
 	}
-	records := 0
+	out := seededWAL{w: w, start: n}
 	var batch []byte
+	add := func(frame []byte) {
+		batch = append(batch, frame...)
+		out.records++
+		out.ends = append(out.ends, n+int64(len(batch)))
+	}
 	for _, id := range sortedKeys(e.dead) {
-		batch = append(batch, encodeWALRecord(walKindDelete, id, nil)...)
-		records++
+		add(encodeWALRecord(walKindDelete, id, nil))
 	}
 	for i, id := range e.mem.IDs() {
-		batch = append(batch, encodeWALRecord(walKindEnroll, id, e.mem.Fingerprint(i))...)
-		records++
+		add(encodeWALRecord(walKindEnroll, id, e.mem.Fingerprint(i)))
 	}
 	if len(batch) > 0 {
 		if _, err := w.f.Write(batch); err != nil {
 			w.close()
-			return nil, 0, 0, err
+			return seededWAL{}, err
 		}
 	}
 	if err := w.f.Sync(); err != nil {
 		w.close()
-		return nil, 0, 0, err
+		return seededWAL{}, err
 	}
-	return w, n + int64(len(batch)), records, nil
+	w.off = n + int64(len(batch))
+	out.bytes = w.off
+	return out, nil
 }
 
 // removeGeneration deletes a superseded generation's manifest, shard

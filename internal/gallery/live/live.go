@@ -150,6 +150,20 @@ type Engine struct {
 	walBytes   int64
 	tornBytes  int64
 
+	// Replication bookkeeping (see replication.go). baseSeq is the
+	// global mutation sequence number the current generation's log
+	// starts after; seedSeq is the sequence the seeded prefix written at
+	// the last compaction replays up to (the earliest safe cross-
+	// generation resume point); walStart is the offset just past the log
+	// header; walOff[i] is the offset just past committed record i; and
+	// walCh is closed-and-replaced on every commit, generation switch,
+	// and Close, waking WaitWAL waiters.
+	baseSeq  int64
+	seedSeq  int64
+	walStart int64
+	walOff   []int64
+	walCh    chan struct{}
+
 	compactMu     sync.Mutex  // serializes compactions
 	compactKick   atomic.Bool // a background compaction is scheduled or running
 	compactingNow atomic.Bool // a compaction is running right now
@@ -193,7 +207,11 @@ func Create(dir string, features int, featureIndex []int, opts Options) (*Engine
 	if err != nil {
 		return nil, err
 	}
-	e.wal, e.walBytes = w, n
+	e.wal, e.walBytes, e.walStart = w, n, n
+	if err := writeSeqFile(dir, 0, 0, 0); err != nil {
+		w.close()
+		return nil, err
+	}
 	if err := writeCurrent(dir, 0); err != nil {
 		w.close()
 		return nil, err
@@ -246,7 +264,11 @@ func CreateFromStore(dir string, src *shard.Store, opts Options) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
-	e.wal, e.walBytes = w, n
+	e.wal, e.walBytes, e.walStart = w, n, n
+	if err := writeSeqFile(dir, 0, 0, 0); err != nil {
+		w.close()
+		return nil, err
+	}
 	if err := writeCurrent(dir, 0); err != nil {
 		w.close()
 		return nil, err
@@ -321,7 +343,10 @@ func Open(dir string, opts Options) (*Engine, error) {
 	e.wal = w
 	e.walRecords = tail.records
 	e.walBytes = tail.goodEnd
+	e.walStart = tail.hdrEnd
+	e.walOff = tail.ends
 	e.tornBytes = tail.tornBytes
+	e.baseSeq, e.seedSeq = readSeqFile(dir, gen)
 	e.sweepOrphans()
 	return e, nil
 }
@@ -359,6 +384,7 @@ func newEngine(dir string, features int, featureIndex []int, opts Options) *Engi
 		mem:      mem,
 		dead:     map[string]bool{},
 		deadBase: map[string]bool{},
+		walCh:    make(chan struct{}),
 	}
 }
 
@@ -379,6 +405,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.bump() // wake WaitWAL waiters so replication streams end promptly
 	e.mu.Unlock()
 	e.wg.Wait()
 	return e.wal.close()
@@ -441,14 +468,17 @@ func (e *Engine) Delete(id string) error {
 	return nil
 }
 
-// commit appends one framed record to the log, updating the counters.
-// Called with the write lock held.
+// commit appends one framed record to the log, updating the counters,
+// the replication offset table, and waking stream waiters. Called with
+// the write lock held.
 func (e *Engine) commit(frame []byte) error {
 	if err := e.wal.append(frame); err != nil {
 		return fmt.Errorf("live: committing to write-ahead log: %w", err)
 	}
 	e.walRecords++
 	e.walBytes += int64(len(frame))
+	e.walOff = append(e.walOff, e.walBytes)
+	e.bump()
 	return nil
 }
 
@@ -667,6 +697,8 @@ func (e *Engine) Stats() gallery.MutableStats {
 	defer e.mu.RUnlock()
 	st := gallery.MutableStats{
 		Generation:          e.gen,
+		Seq:                 e.baseSeq + int64(e.walRecords),
+		BaseSeq:             e.baseSeq,
 		MemRecords:          e.mem.Len(),
 		Tombstones:          len(e.dead) + len(e.deadBase),
 		WALRecords:          e.walRecords,

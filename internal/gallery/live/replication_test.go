@@ -1,0 +1,323 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"brainprint/internal/gallery"
+)
+
+// TestSeqMonotonicAcrossCompactionAndReopen pins the sequence-number
+// contract: every committed mutation advances Seq by one, a compaction
+// renumbers the generation's window (BaseSeq) but never Seq itself,
+// and both survive a close/reopen via the sequence sidecar.
+func TestSeqMonotonicAcrossCompactionAndReopen(t *testing.T) {
+	const features = 12
+	dir := filepath.Join(t.TempDir(), "live")
+	e, err := Create(dir, features, nil, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	group := randomGroup(3, features, 10)
+	ids := subjectIDs(10)
+	for j := 0; j < 8; j++ {
+		if err := e.Enroll(ids[j], group.Col(j)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if err := e.Delete(ids[1]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	st := e.Stats()
+	if st.Seq != 9 || st.BaseSeq != 0 {
+		t.Fatalf("pre-compaction: Seq=%d BaseSeq=%d, want 9, 0", st.Seq, st.BaseSeq)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st = e.Stats()
+	if st.Seq != 9 {
+		t.Fatalf("compaction changed Seq: %d, want 9", st.Seq)
+	}
+	if st.BaseSeq != 9 || st.WALRecords != 0 {
+		t.Fatalf("post-compaction: BaseSeq=%d WALRecords=%d, want 9, 0", st.BaseSeq, st.WALRecords)
+	}
+	rs := e.ReplicationState()
+	if rs.SeedSeq != 9 || rs.BaseSeq != 9 || rs.Seq != 9 {
+		t.Fatalf("ReplicationState after compaction: %+v", rs)
+	}
+	// Two more mutations, then reopen: the sidecar must restore the
+	// origin so Seq continues from 11, not from the local record count.
+	if err := e.Enroll(ids[8], group.Col(8)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := e.Enroll(ids[9], group.Col(9)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	e, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer e.Close()
+	st = e.Stats()
+	if st.Seq != 11 || st.BaseSeq != 9 {
+		t.Fatalf("after reopen: Seq=%d BaseSeq=%d, want 11, 9", st.Seq, st.BaseSeq)
+	}
+}
+
+// TestSeqLegacyDirectory pins the degradation rule for directories
+// written before sequence numbering: a missing sidecar reads as origin
+// zero and the engine still opens and counts from its local records.
+func TestSeqLegacyDirectory(t *testing.T) {
+	const features = 8
+	dir := filepath.Join(t.TempDir(), "live")
+	e, err := Create(dir, features, nil, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	group := randomGroup(4, features, 3)
+	for j, id := range subjectIDs(3) {
+		if err := e.Enroll(id, group.Col(j)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, seqName(0))); err != nil {
+		t.Fatalf("removing sidecar: %v", err)
+	}
+	e, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open without sidecar: %v", err)
+	}
+	defer e.Close()
+	if st := e.Stats(); st.Seq != 3 || st.BaseSeq != 0 {
+		t.Fatalf("legacy open: Seq=%d BaseSeq=%d, want 3, 0", st.Seq, st.BaseSeq)
+	}
+}
+
+// TestWALRangeStreamsVerbatimFrames pins that WALRange hands out the
+// exact committed frame bytes, in batches bounded by maxBytes, and
+// that replaying them through ApplyReplicated reproduces the primary's
+// results bit-identically.
+func TestWALRangeStreamsVerbatimFrames(t *testing.T) {
+	const features = 16
+	primary := createEngine(t, features, Options{})
+	group := randomGroup(5, features, 12)
+	ids := subjectIDs(12)
+	for j, id := range ids {
+		if err := primary.Enroll(id, group.Col(j)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if err := primary.Delete(ids[4]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	replica := createEngine(t, features, Options{})
+	rs := primary.ReplicationState()
+	var cur int64
+	for cur < rs.Seq {
+		frames, upTo, err := primary.WALRange(rs.Generation, cur, 512)
+		if err != nil {
+			t.Fatalf("WALRange(after=%d): %v", cur, err)
+		}
+		if upTo == cur {
+			t.Fatalf("WALRange made no progress at %d", cur)
+		}
+		// Split the batch back into frames and apply each.
+		for len(frames) > 0 {
+			payloadLen := int(uint32(frames[0]) | uint32(frames[1])<<8 | uint32(frames[2])<<16 | uint32(frames[3])<<24)
+			frame := frames[:4+payloadLen+4]
+			if err := replica.ApplyReplicated(frame); err != nil {
+				t.Fatalf("ApplyReplicated: %v", err)
+			}
+			frames = frames[len(frame):]
+		}
+		cur = upTo
+	}
+	if got := replica.Stats().Seq; got != rs.Seq {
+		t.Fatalf("replica Seq = %d, want %d", got, rs.Seq)
+	}
+	probe := randomGroup(99, features, 1).Col(0)
+	want, err := primary.TopKCtx(context.Background(), probe, 5, 0)
+	if err != nil {
+		t.Fatalf("primary TopK: %v", err)
+	}
+	got, err := replica.TopKCtx(context.Background(), probe, 5, 0)
+	if err != nil {
+		t.Fatalf("replica TopK: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("replica TopK diverged:\n  primary: %+v\n  replica: %+v", want, got)
+	}
+	// Caught up: an empty batch, same position.
+	frames, upTo, err := primary.WALRange(rs.Generation, rs.Seq, 512)
+	if err != nil || len(frames) != 0 || upTo != rs.Seq {
+		t.Fatalf("caught-up WALRange = (%d bytes, %d, %v), want (0, %d, nil)", len(frames), upTo, err, rs.Seq)
+	}
+}
+
+// TestWALRangeWindow pins the typed out-of-window errors: a stale
+// generation, a position before the window, and a position past the
+// head all refuse with ErrSeqOutOfRange.
+func TestWALRangeWindow(t *testing.T) {
+	const features = 8
+	e := createEngine(t, features, Options{})
+	group := randomGroup(6, features, 4)
+	for j, id := range subjectIDs(4) {
+		if err := e.Enroll(id, group.Col(j)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if _, _, err := e.WALRange(0, 99, 1<<20); !errors.Is(err, ErrSeqOutOfRange) {
+		t.Fatalf("past-head WALRange: %v, want ErrSeqOutOfRange", err)
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if _, _, err := e.WALRange(0, 2, 1<<20); !errors.Is(err, ErrSeqOutOfRange) {
+		t.Fatalf("stale-generation WALRange: %v, want ErrSeqOutOfRange", err)
+	}
+	if _, _, err := e.WALRange(1, 2, 1<<20); !errors.Is(err, ErrSeqOutOfRange) {
+		t.Fatalf("pre-window WALRange: %v, want ErrSeqOutOfRange", err)
+	}
+}
+
+// TestWaitWALWakesOnCommitAndSwitch pins the waiter contract: a commit
+// past the waited position wakes the waiter, a generation switch wakes
+// it too, and cancellation returns the context error.
+func TestWaitWALWakesOnCommitAndSwitch(t *testing.T) {
+	const features = 8
+	e := createEngine(t, features, Options{})
+	group := randomGroup(7, features, 4)
+	ids := subjectIDs(4)
+	if err := e.Enroll(ids[0], group.Col(0)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- e.WaitWAL(context.Background(), 0, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := e.Enroll(ids[1], group.Col(1)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitWAL after commit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitWAL did not wake on commit")
+	}
+
+	go func() { done <- e.WaitWAL(context.Background(), 0, 2) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitWAL after switch: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitWAL did not wake on generation switch")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := e.WaitWAL(ctx, 1, e.Stats().Seq); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled WaitWAL: %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestApplyReplicatedRejects pins the corruption and divergence
+// errors: damaged framing or checksums are ErrWALCorrupt, duplicate
+// enrolls and unknown deletes surface the gallery sentinels.
+func TestApplyReplicatedRejects(t *testing.T) {
+	const features = 8
+	e := createEngine(t, features, Options{})
+	group := randomGroup(8, features, 2)
+	if err := e.Enroll("subject-a", group.Col(0)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	frames, _, err := e.WALRange(0, 0, 1<<20)
+	if err != nil {
+		t.Fatalf("WALRange: %v", err)
+	}
+
+	other := createEngine(t, features, Options{})
+	if err := other.ApplyReplicated(frames[:5]); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("truncated frame: %v, want ErrWALCorrupt", err)
+	}
+	bad := append([]byte(nil), frames...)
+	bad[len(bad)-1] ^= 0x40
+	if err := other.ApplyReplicated(bad); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("flipped checksum: %v, want ErrWALCorrupt", err)
+	}
+	if err := other.ApplyReplicated(frames); err != nil {
+		t.Fatalf("good frame: %v", err)
+	}
+	if err := other.ApplyReplicated(frames); !errors.Is(err, gallery.ErrDuplicateID) {
+		t.Fatalf("replayed duplicate: %v, want ErrDuplicateID", err)
+	}
+	del := encodeWALRecord(walKindDelete, "never-enrolled", nil)
+	if err := other.ApplyReplicated(del); !errors.Is(err, gallery.ErrUnknownID) {
+		t.Fatalf("unknown delete: %v, want ErrUnknownID", err)
+	}
+}
+
+// TestOpenGenerationFileBounds pins the bootstrap file server: names
+// outside the generation are refused, and the write-ahead log reader
+// is limited to the committed prefix.
+func TestOpenGenerationFileBounds(t *testing.T) {
+	const features = 8
+	e := createEngine(t, features, Options{})
+	group := randomGroup(9, features, 3)
+	for j, id := range subjectIDs(3) {
+		if err := e.Enroll(id, group.Col(j)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if _, _, err := e.OpenGenerationFile("../CURRENT"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+	if _, _, err := e.OpenGenerationFile("live.g0099.bpw"); err == nil {
+		t.Fatal("foreign generation accepted")
+	}
+	rs := e.ReplicationState()
+	rc, size, err := e.OpenGenerationFile(rs.WALName)
+	if err != nil {
+		t.Fatalf("OpenGenerationFile(%s): %v", rs.WALName, err)
+	}
+	defer rc.Close()
+	if size != rs.WALBytes {
+		t.Fatalf("log size = %d, want committed %d", size, rs.WALBytes)
+	}
+	files, err := e.GenerationFiles()
+	if err != nil {
+		t.Fatalf("GenerationFiles: %v", err)
+	}
+	sawSeq := false
+	for _, f := range files {
+		if f.Name == seqName(0) {
+			sawSeq = true
+		}
+		if f.Name == rs.WALName {
+			t.Fatal("GenerationFiles listed the write-ahead log")
+		}
+	}
+	if !sawSeq {
+		t.Fatalf("GenerationFiles missing sequence sidecar: %+v", files)
+	}
+}

@@ -163,6 +163,9 @@ func encodeWALRecord(kind byte, id string, vec []float64) []byte {
 
 // replayTail is the outcome of replaying a segment's record section.
 type replayTail struct {
+	// hdrEnd is the offset just past the segment header — where the
+	// record section starts.
+	hdrEnd int64
 	// goodEnd is the offset just past the last committed record.
 	goodEnd int64
 	// tornBytes is how many trailing bytes after goodEnd belong to a
@@ -170,6 +173,9 @@ type replayTail struct {
 	tornBytes int64
 	// records is how many committed records were replayed.
 	records int
+	// ends[i] is the offset just past committed record i — the frame
+	// boundaries replication streams committed byte ranges by.
+	ends []int64
 }
 
 // replayWAL decodes the record section after the header, calling apply
@@ -179,7 +185,7 @@ type replayTail struct {
 // distinguish tail corruption (recoverable) from interior corruption
 // (hard ErrWALCorrupt).
 func replayWAL(br *bufio.Reader, h walHeader, start, size int64, apply func(walRecord) error) (replayTail, error) {
-	tail := replayTail{goodEnd: start}
+	tail := replayTail{hdrEnd: start, goodEnd: start}
 	lenBuf := make([]byte, 4)
 	for {
 		remaining := size - tail.goodEnd
@@ -229,6 +235,7 @@ func replayWAL(br *bufio.Reader, h walHeader, start, size int64, apply func(walR
 		}
 		tail.goodEnd += 4 + payloadLen + 4
 		tail.records++
+		tail.ends = append(tail.ends, tail.goodEnd)
 	}
 }
 

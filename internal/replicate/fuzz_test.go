@@ -1,0 +1,75 @@
+package replicate
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+// fuzzFrame renders one valid CRC-framed record the way the live
+// engine's log codec does: length prefix, payload (kind, idLen, id,
+// vector float64s), trailing payload CRC.
+func fuzzFrame(kind byte, id string, features int) []byte {
+	payload := []byte{kind}
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(id)))
+	payload = append(payload, id...)
+	for i := 0; i < features; i++ {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(i)<<52)
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+}
+
+// fuzzFeatures fixes the stream geometry the fuzzer decodes under.
+const fuzzFeatures = 4
+
+// FuzzReadFrame throws adversarial bytes at the replication-stream
+// frame decoder. The decoder must never panic, must bound allocation
+// by the bytes actually present, and must reject-or-roundtrip: every
+// frame it accepts is byte-identical to the wire bytes it consumed (so
+// a replica's log is a verbatim copy of the primary's), every CRC or
+// framing violation is an error, and it never resynchronizes past
+// damage.
+func FuzzReadFrame(f *testing.F) {
+	enroll := fuzzFrame(1, "subject-a", fuzzFeatures)
+	del := fuzzFrame(2, "subject-a", 0)
+	f.Add(append(append([]byte(nil), enroll...), del...))
+	f.Add(enroll[:len(enroll)-3]) // truncated mid-frame
+	f.Add(del)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0x00}) // forged huge length
+	mut := append([]byte(nil), enroll...)
+	mut[7] ^= 0x10 // payload flip: the trailing CRC must catch it
+	f.Add(mut)
+
+	maxPayload := MaxPayload(fuzzFeatures)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		consumed := 0
+		for {
+			frame, err := ReadFrame(br, maxPayload)
+			if err != nil {
+				if err == io.EOF && consumed != len(data) {
+					t.Fatalf("clean EOF after %d of %d bytes", consumed, len(data))
+				}
+				return
+			}
+			if len(frame) < 8 || len(frame) > 4+maxPayload+4 {
+				t.Fatalf("accepted frame of implausible size %d", len(frame))
+			}
+			if !bytes.Equal(frame, data[consumed:consumed+len(frame)]) {
+				t.Fatalf("accepted frame differs from the wire bytes at offset %d", consumed)
+			}
+			payloadLen := binary.LittleEndian.Uint32(frame)
+			payload := frame[4 : 4+payloadLen]
+			if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frame[4+payloadLen:]) {
+				t.Fatal("accepted frame fails its own checksum")
+			}
+			consumed += len(frame)
+		}
+	})
+}

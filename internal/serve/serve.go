@@ -9,9 +9,17 @@
 //	POST /v1/identify        one probe  → ranked top-k candidates
 //	POST /v1/identify/batch  many probes → per-probe rankings
 //	                         (+ optional Hungarian assignment)
+//	POST /v1/identify/stream NDJSON probe stream → NDJSON rankings in
+//	                         completion order
 //	GET  /v1/gallery         gallery metadata and enrolled IDs
 //	GET  /v1/metrics         per-endpoint request counters/latency
 //	GET  /healthz            liveness + gallery summary
+//
+// A server over a live gallery additionally mounts the replication
+// surface (GET /v1/replicate/{state,file,wal} — see internal/replicate)
+// so read replicas can bootstrap and tail its write-ahead log, and a
+// server fronting a replica reports replication lag in /healthz and
+// /v1/metrics.
 //
 // Every request runs under a per-request timeout (the identification
 // sweeps underneath are context-aware, so a slow request is truly
@@ -25,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -34,6 +43,7 @@ import (
 	"brainprint/internal/gallery/live"
 	"brainprint/internal/linalg"
 	"brainprint/internal/parallel"
+	"brainprint/internal/replicate"
 )
 
 // Config tunes the HTTP service.
@@ -54,6 +64,20 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies (default 256 MiB, enough for
 	// a paper-scale raw batch).
 	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown (default 10s): on cancel,
+	// streaming responses — the identify stream and the replication log
+	// stream — are told to drain, and everything in flight gets this
+	// long to finish before the remaining connections are cut.
+	DrainTimeout time.Duration
+	// Live, when the served gallery is a live engine, mounts the
+	// primary-side replication surface (GET /v1/replicate/*) over it;
+	// nil leaves replication unmounted.
+	Live *live.Engine
+	// Replica, when the server fronts a WAL-shipping read replica,
+	// feeds replication lag into /healthz and /v1/metrics (and marks
+	// health degraded while disconnected from the primary); nil
+	// otherwise.
+	Replica *replicate.Replica
 }
 
 // withDefaults resolves zero values.
@@ -72,6 +96,9 @@ func (c Config) withDefaults(parallelism int) Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -112,14 +139,20 @@ type Server struct {
 	cfg     Config
 	started time.Time
 
-	inflight chan struct{}
+	source  *replicate.Source  // primary-side replication mount (nil unless cfg.Live)
+	replica *replicate.Replica // replica lag reporting (nil unless cfg.Replica)
 
-	mIdentify endpointMetrics
-	mBatch    endpointMetrics
-	mGallery  endpointMetrics
-	mHealth   endpointMetrics
-	mEnroll   endpointMetrics
-	mDelete   endpointMetrics
+	inflight chan struct{}
+	draining chan struct{} // closed once, when graceful shutdown begins
+
+	mIdentify  endpointMetrics
+	mBatch     endpointMetrics
+	mStream    endpointMetrics
+	mGallery   endpointMetrics
+	mHealth    endpointMetrics
+	mEnroll    endpointMetrics
+	mDelete    endpointMetrics
+	mReplicate endpointMetrics
 }
 
 // New builds a service over a session with a non-empty gallery. A
@@ -136,13 +169,19 @@ func New(atk *attacker.Attacker, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: session has no enrolled gallery")
 	}
 	cfg = cfg.withDefaults(atk.Parallelism())
-	return &Server{
+	s := &Server{
 		atk:      atk,
 		mutable:  atk.Mutable(),
 		cfg:      cfg,
+		replica:  cfg.Replica,
 		started:  time.Now(),
 		inflight: make(chan struct{}, cfg.MaxInflight),
-	}, nil
+		draining: make(chan struct{}),
+	}
+	if cfg.Live != nil {
+		s.source = replicate.NewSource(cfg.Live)
+	}
+	return s, nil
 }
 
 // Writable reports whether the server accepts online mutations.
@@ -157,6 +196,14 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
 	mux.HandleFunc("POST /v1/identify/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/identify/stream", s.handleIdentifyStream)
+	if s.source != nil {
+		mux.HandleFunc("GET "+replicate.PathState, s.observeReplicate(s.source.ServeState))
+		mux.HandleFunc("GET "+replicate.PathFile, s.observeReplicate(s.source.ServeFile))
+		mux.HandleFunc("GET "+replicate.PathWAL, s.observeReplicate(func(w http.ResponseWriter, r *http.Request) {
+			s.source.ServeWAL(w, r, s.draining)
+		}))
+	}
 	mux.HandleFunc("GET /v1/gallery", s.handleGallery)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -169,10 +216,14 @@ func (s *Server) Handler() http.Handler {
 }
 
 // ListenAndServe runs the service until ctx is cancelled, then shuts
-// down gracefully: in-flight requests get 5s to finish (request
-// contexts deliberately do not descend from ctx — cancelling the
-// server must not abort work already accepted; the per-request timeout
-// still bounds it). It returns nil on a clean shutdown.
+// down gracefully: the drain signal ends streaming responses at their
+// next frame boundary, and everything in flight gets DrainTimeout to
+// finish (request contexts deliberately do not descend from ctx —
+// cancelling the server must not abort work already accepted; the
+// per-request timeout still bounds it). Connections that outlive the
+// drain window are cut so shutdown stays bounded. It returns nil on a
+// clean shutdown, and — because the drain signal fires once — serves
+// at most once per Server.
 func (s *Server) ListenAndServe(ctx context.Context) error {
 	srv := &http.Server{
 		Addr:              s.cfg.Addr,
@@ -189,9 +240,14 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		close(s.draining)
+		shctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
-		return srv.Shutdown(shctx)
+		if err := srv.Shutdown(shctx); err != nil {
+			_ = srv.Close()
+			return err
+		}
+		return nil
 	}
 }
 
@@ -362,6 +418,121 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// streamProbeJSON is one NDJSON line of the identify-stream request.
+type streamProbeJSON struct {
+	// ID is an opaque caller label echoed back on the matching result
+	// line (results arrive in completion order, not submission order).
+	ID string `json:"id,omitempty"`
+	// Probe is the fingerprint vector.
+	Probe []float64 `json:"probe"`
+}
+
+// streamResultJSON is one NDJSON line of the identify-stream response.
+type streamResultJSON struct {
+	ID         string          `json:"id,omitempty"`
+	Candidates []candidateJSON `json:"candidates,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// handleIdentifyStream serves POST /v1/identify/stream: the request
+// body is a stream of NDJSON probe lines, the response a stream of
+// NDJSON result lines in completion order, flushed per line — results
+// start flowing before the request body ends, so a load generator can
+// keep one connection saturated. The stream holds a single in-flight
+// slot for its whole life and is bounded by the server's read timeout,
+// not the per-request timeout; a graceful shutdown ends it at the next
+// line boundary.
+func (s *Server) handleIdentifyStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mStream.observe(start, failed) }()
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	// Full duplex: without this the HTTP/1.1 server drains the whole
+	// request body before releasing any response bytes, deadlocking a
+	// client that paces its probes by reading results. Best-effort —
+	// recorders and HTTP/2 don't need it.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.draining:
+			cancel()
+		case <-stop:
+		}
+	}()
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	probes := make(chan attacker.Probe)
+	var feedErr error // published by close(probes), read after results drain
+	go func() {
+		defer close(probes)
+		for {
+			var req streamProbeJSON
+			if err := dec.Decode(&req); err != nil {
+				if err != io.EOF && ctx.Err() == nil {
+					feedErr = err
+				}
+				return
+			}
+			if len(req.Probe) == 0 {
+				feedErr = fmt.Errorf("probe %q: missing probe vector", req.ID)
+				return
+			}
+			select {
+			case probes <- attacker.Probe{ID: req.ID, Vector: req.Probe}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for res := range s.atk.IdentifyStream(ctx, probes) {
+		line := streamResultJSON{ID: res.Probe.ID}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+		} else {
+			line.Candidates = toJSON(res.Candidates)
+		}
+		if enc.Encode(&line) != nil {
+			return // client gone; cancel (deferred) stops the workers
+		}
+		flusher.Flush()
+	}
+	if feedErr != nil {
+		// The stream dies at the first bad line: report it as the final
+		// result line (the status is already on the wire).
+		_ = enc.Encode(&streamResultJSON{Error: "bad request line: " + feedErr.Error()})
+		return
+	}
+	failed = false
+}
+
+// observeReplicate folds the replication endpoints into one metrics
+// bucket — operators care about stream pressure, not per-path splits.
+func (s *Server) observeReplicate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { s.mReplicate.observe(start, false) }()
+		h(w, r)
+	}
+}
+
 // ---- write endpoints ----
 
 // enrollRequest is the POST /v1/enroll body.
@@ -513,10 +684,11 @@ func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	endpoints := map[string]any{
-		"identify": s.mIdentify.snapshot(),
-		"batch":    s.mBatch.snapshot(),
-		"gallery":  s.mGallery.snapshot(),
-		"healthz":  s.mHealth.snapshot(),
+		"identify":        s.mIdentify.snapshot(),
+		"batch":           s.mBatch.snapshot(),
+		"identify_stream": s.mStream.snapshot(),
+		"gallery":         s.mGallery.snapshot(),
+		"healthz":         s.mHealth.snapshot(),
 	}
 	resp := map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
@@ -528,9 +700,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.mutable != nil {
 		endpoints["enroll"] = s.mEnroll.snapshot()
 		endpoints["delete"] = s.mDelete.snapshot()
-		resp["live"] = liveJSON(s.mutable.Stats())
+	}
+	if s.source != nil {
+		endpoints["replicate"] = s.mReplicate.snapshot()
+	}
+	if st, ok := s.liveStats(); ok {
+		resp["live"] = liveJSON(st)
+	}
+	if s.replica != nil {
+		resp["replica"] = replicaJSON(s.replica.Stats())
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// liveStats resolves the live engine's counters for whichever role the
+// server plays: writable primary (the mutable gallery), read replica
+// (the replica's engine), or read-only live mount (cfg.Live).
+func (s *Server) liveStats() (gallery.MutableStats, bool) {
+	switch {
+	case s.mutable != nil:
+		return s.mutable.Stats(), true
+	case s.replica != nil:
+		return s.replica.Engine().Stats(), true
+	case s.cfg.Live != nil:
+		return s.cfg.Live.Stats(), true
+	}
+	return gallery.MutableStats{}, false
+}
+
+// replicaJSON renders replication-lag figures for the metrics and
+// health endpoints.
+func replicaJSON(st replicate.Stats) map[string]any {
+	out := map[string]any{
+		"primary":             st.Primary,
+		"connected":           st.Connected,
+		"seq":                 st.Seq,
+		"primary_seq":         st.PrimarySeq,
+		"seq_lag":             st.SeqLag,
+		"staleness_seconds":   st.Staleness.Seconds(),
+		"generation":          st.Generation,
+		"upstream_generation": st.UpstreamGeneration,
+		"bootstraps":          st.Bootstraps,
+		"reconnects":          st.Reconnects,
+	}
+	if st.LastError != "" {
+		out["last_error"] = st.LastError
+	}
+	return out
 }
 
 // liveJSON renders a live engine's compaction/log counters for the
@@ -538,6 +754,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func liveJSON(st gallery.MutableStats) map[string]any {
 	return map[string]any{
 		"generation":           st.Generation,
+		"seq":                  st.Seq,
+		"base_seq":             st.BaseSeq,
 		"base_records":         st.BaseRecords,
 		"mem_records":          st.MemRecords,
 		"tombstones":           st.Tombstones,
@@ -560,11 +778,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"writable":       s.mutable != nil,
 	}
-	if s.mutable != nil {
-		// Compaction visibility for operators: a writable server's
-		// health report carries the live engine's generation, overlay
-		// size, and whether a fold is running right now.
-		resp["live"] = liveJSON(s.mutable.Stats())
+	if st, ok := s.liveStats(); ok {
+		// Compaction visibility for operators: a live server's health
+		// report carries the engine's generation, sequence position,
+		// overlay size, and whether a fold is running right now.
+		resp["live"] = liveJSON(st)
+	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		resp["replica"] = replicaJSON(rs)
+		if !rs.Connected {
+			// Still serving (possibly stale) local data, but operators
+			// monitoring /healthz see the broken feed.
+			resp["status"] = "degraded"
+		}
 	}
 	if sh, ok := s.atk.Gallery().(shardedEngine); ok {
 		resp["shards"] = sh.Shards()
