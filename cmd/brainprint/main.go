@@ -12,6 +12,7 @@
 //	brainprint [-experiment <name>|all] [flags]
 //	brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
 //	brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [flags]
+//	brainprint router -primary url [-replicas url,url...] [flags]
 //
 // The experiment list (fig1 … defense) is generated from the library's
 // experiment registry — run 'brainprint -help' for the current set.
@@ -43,11 +44,12 @@ var usageText = fmt.Sprintf(`usage:
   brainprint [-experiment %s|all] [flags]
   brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
   brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [-replica-of url] [flags]
+  brainprint router -primary url [-replicas url,url...] [flags]
   brainprint loadgen -targets url[,url...] [flags]
 
 run 'brainprint -help', 'brainprint gallery <subcommand> -help',
-'brainprint serve -help' or 'brainprint loadgen -help' for the flags of
-each form`,
+'brainprint serve -help', 'brainprint router -help' or
+'brainprint loadgen -help' for the flags of each form`,
 	strings.Join(brainprint.ExperimentNames(), "|"))
 
 func main() {
@@ -60,6 +62,12 @@ func main() {
 	}
 	if len(args) > 0 && args[0] == "serve" {
 		if err := runServe(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+			fail(err)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "router" {
+		if err := runRouter(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
 			fail(err)
 		}
 		return

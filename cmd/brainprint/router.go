@@ -1,0 +1,83 @@
+// The router subcommand: a replica-aware HTTP front tier over a
+// primary + N replica serve topology, with health-checked failover.
+//
+//	brainprint serve -db hcp.live -writable -addr 127.0.0.1:7311
+//	brainprint serve -db r1.live -replica-of http://127.0.0.1:7311 -addr 127.0.0.1:7312
+//	brainprint serve -db r2.live -replica-of http://127.0.0.1:7311 -addr 127.0.0.1:7313
+//	brainprint router -primary http://127.0.0.1:7311 \
+//	    -replicas http://127.0.0.1:7312,http://127.0.0.1:7313 \
+//	    -addr 127.0.0.1:7310
+//	curl -s localhost:7310/healthz          # topology as the router sees it
+//	curl -s -H 'X-Max-Staleness-Seconds: 0.5' -X POST \
+//	    --data @probe.json localhost:7310/v1/identify
+//
+// Reads route to replicas within the staleness bound (primary
+// fallback), writes to the primary. If the primary stays unreachable
+// for -fail-after polls, the router promotes the most-caught-up
+// replica, repoints the others at it, and fences the old primary if it
+// returns.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"brainprint"
+)
+
+// runRouter parses the topology flags and runs the front tier until
+// SIGINT/SIGTERM.
+func runRouter(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint router", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:7351", "listen address (loopback by default; widen deliberately)")
+		primary      = fs.String("primary", "", "base URL of the node currently primary (required)")
+		replicas     = fs.String("replicas", "", "comma-separated base URLs of the read replicas")
+		poll         = fs.Duration("poll", time.Second, "health-poll interval")
+		failAfter    = fs.Int("fail-after", 3, "consecutive failed primary polls before failover")
+		maxStaleness = fs.Duration("max-staleness", 5*time.Second, "default read staleness bound (requests may override with the X-Max-Staleness-Seconds header)")
+		noFailover   = fs.Bool("no-failover", false, "observe and route only: never promote, demote, or repoint")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *primary == "" {
+		return fmt.Errorf("router: -primary is required")
+	}
+	var reps []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			reps = append(reps, r)
+		}
+	}
+	rt, err := brainprint.NewRouter(brainprint.RouterConfig{
+		Addr:         *addr,
+		Primary:      *primary,
+		Replicas:     reps,
+		Poll:         *poll,
+		FailAfter:    *failAfter,
+		MaxStaleness: *maxStaleness,
+		NoFailover:   *noFailover,
+		Logf:         func(format string, args ...any) { fmt.Fprintf(out, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	mode := "failover"
+	if *noFailover {
+		mode = "observe-only"
+	}
+	fmt.Fprintf(out, "routing for primary %s + %d replica(s) (%s, poll %s, fail-after %d, max-staleness %s) on http://%s\n",
+		*primary, len(reps), mode, *poll, *failAfter, *maxStaleness, rt.Addr())
+	fmt.Fprintln(out, "endpoints: every serve endpoint (proxied), GET /v1/metrics, GET /healthz (the router's own)")
+	return rt.ListenAndServe(ctx)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestRouterFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := runRouter(nil, &out); err == nil || !strings.Contains(err.Error(), "-primary") {
+		t.Errorf("missing -primary: %v", err)
+	}
+	if err := runRouter([]string{"-help"}, &out); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("runRouter(-help) = %v, want flag.ErrHelp", err)
+	}
+	if err := runRouter([]string{"-primary", "http://127.0.0.1:1", "-bogus"}, &out); err == nil {
+		t.Error("expected flag parse error")
+	}
+	if err := runRouter([]string{"-primary", "not-a-url"}, &out); err == nil {
+		t.Error("expected error for a relative primary URL")
+	}
+	if err := runRouter([]string{"-primary", "http://127.0.0.1:1",
+		"-replicas", "http://127.0.0.1:2,http://127.0.0.1:2"}, &out); err == nil {
+		t.Error("expected error for a duplicate replica URL")
+	}
+}
+
+// TestRouterBindFailure drives the happy parse path to the server: a
+// valid topology on an occupied port prints the banner and surfaces
+// the listen error instead of hanging on the signal context.
+func TestRouterBindFailure(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("occupying a port: %v", err)
+	}
+	defer l.Close()
+
+	var out bytes.Buffer
+	err = runRouter([]string{
+		"-primary", "http://127.0.0.1:1",
+		"-replicas", " http://127.0.0.1:2 , http://127.0.0.1:3 ,",
+		"-addr", l.Addr().String(),
+		"-poll", "10s", // no poll round fires before the bind fails
+		"-no-failover",
+	}, &out)
+	if err == nil {
+		t.Fatal("runRouter on an occupied port returned nil")
+	}
+	banner := out.String()
+	if !strings.Contains(banner, "2 replica(s)") || !strings.Contains(banner, "observe-only") {
+		t.Errorf("banner = %q", banner)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"net"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -23,6 +24,41 @@ func TestServeFlagErrors(t *testing.T) {
 	}
 	if err := runServe([]string{"-db", "x.bpg", "-bogus"}, &out); err == nil {
 		t.Error("expected flag parse error")
+	}
+}
+
+// TestServeBindFailure drives the happy path all the way to the
+// socket: a real gallery file on an occupied port prints the serving
+// banner and surfaces the listen error instead of hanging on signals.
+func TestServeBindFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	db := filepath.Join(t.TempDir(), "hcp.bpg")
+	var out bytes.Buffer
+	enroll := []string{"enroll", "-db", db, "-task", "REST1", "-encoding", "LR",
+		"-scale", "small", "-subjects", "6", "-regions", "30"}
+	if err := runGallery(enroll, &out); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("occupying a port: %v", err)
+	}
+	defer l.Close()
+
+	out.Reset()
+	err = runServe([]string{"-db", db, "-addr", l.Addr().String(), "-k", "2"}, &out)
+	if err == nil {
+		t.Fatal("runServe on an occupied port returned nil")
+	}
+	banner := out.String()
+	if !strings.Contains(banner, "serving gallery") || !strings.Contains(banner, "6 subjects") {
+		t.Errorf("banner = %q", banner)
+	}
+	if !strings.Contains(banner, "POST /v1/identify") {
+		t.Errorf("endpoint listing missing from banner: %q", banner)
 	}
 }
 

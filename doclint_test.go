@@ -35,6 +35,7 @@ var docAuditedPackages = []string{
 	"internal/serve",
 	"internal/parallel",
 	"internal/replicate",
+	"internal/router",
 }
 
 // TestExportedIdentifiersDocumented walks the audited packages and

@@ -1,0 +1,200 @@
+package replicate
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// serveReplica exposes a replica's own replication surface the way
+// internal/serve mounts it (NewSourceFunc, so the surface follows the
+// replica's engine across re-bootstrap swaps) — the middle link of a
+// chained topology.
+func serveReplica(t testing.TB, rep *Replica) *httptest.Server {
+	t.Helper()
+	src := NewSourceFunc(rep.Engine)
+	src.Poll = 200 * time.Millisecond
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathState, src.ServeState)
+	mux.HandleFunc("GET "+PathFile, src.ServeFile)
+	mux.HandleFunc("GET "+PathWAL, func(w http.ResponseWriter, r *http.Request) { src.ServeWAL(w, r, nil) })
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestChainedReplication pins the replica-of-replica contract: with
+// primary → R1 → R2, mutations stream through both hops and all three
+// stores answer bit-identically at equal sequence; when R1 dies, R2
+// repoints at the primary and — because the primary compacted past
+// R2's position while it was orphaned — re-bootstraps from a fresh
+// snapshot rather than resuming.
+func TestChainedReplication(t *testing.T) {
+	p := newPrimary(t, 10)
+	r1 := startReplica(t, p, "")
+	r1srv := serveReplica(t, r1)
+	r2, err := Start(r1srv.URL, filepath.Join(t.TempDir(), "r2"), fastOptions())
+	if err != nil {
+		t.Fatalf("Start second hop: %v", err)
+	}
+	t.Cleanup(func() { r2.Close() })
+
+	// Mutations flow primary → R1 → R2.
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 6; i++ {
+		if err := p.eng.Enroll(fmt.Sprintf("chain-%d", i), randVec(rng)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if err := p.eng.Delete("s00002"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	waitCaughtUp(t, r1, p)
+	waitCaughtUp(t, r2, p)
+	assertEquivalent(t, r1, p)
+	assertEquivalent(t, r2, p)
+
+	// Kill the middle link, then move the primary on AND compact, so
+	// R2's resume position is gone from the primary's log: the repoint
+	// must end in a 410-driven re-bootstrap, not a resume.
+	r1srv.Close()
+	if err := r1.Close(); err != nil {
+		t.Fatalf("closing R1: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.eng.Enroll(fmt.Sprintf("post-r1-%d", i), randVec(rng)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if err := p.eng.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := r2.Repoint(p.srv.URL); err != nil {
+		t.Fatalf("Repoint: %v", err)
+	}
+	waitCaughtUp(t, r2, p)
+	assertEquivalent(t, r2, p)
+	st := r2.Stats()
+	if st.Bootstraps < 2 {
+		t.Fatalf("expected a re-bootstrap after the repoint, stats: %+v", st)
+	}
+	if st.Primary != p.srv.URL {
+		t.Fatalf("R2 primary = %q, want %q", st.Primary, p.srv.URL)
+	}
+}
+
+// TestDetachHandsOverEngine pins the promotion-side contract of
+// Detach: the tail stops, the engine stays open and writable with its
+// sequence continuing from the replicated head, the upstream marker is
+// gone (a restart opens the directory as a primary), and the handle
+// refuses second detaches, repoints, and double closes.
+func TestDetachHandsOverEngine(t *testing.T) {
+	p := newPrimary(t, 5)
+	dir := filepath.Join(t.TempDir(), "replica")
+	rep, err := Start(p.srv.URL, dir, fastOptions())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	waitCaughtUp(t, rep, p)
+
+	eng, err := rep.Detach()
+	if err != nil {
+		t.Fatalf("Detach: %v", err)
+	}
+	defer eng.Close()
+	if _, err := os.Stat(filepath.Join(dir, upstreamFile)); !os.IsNotExist(err) {
+		t.Fatalf("upstream marker survived the detach: %v", err)
+	}
+
+	// Seq handoff: the detached engine's first write continues the
+	// replicated numbering.
+	head := eng.Stats().Seq
+	if head != p.eng.Stats().Seq {
+		t.Fatalf("detached at seq %d, primary at %d", head, p.eng.Stats().Seq)
+	}
+	rng := rand.New(rand.NewSource(52))
+	if err := eng.Enroll("first-own-write", randVec(rng)); err != nil {
+		t.Fatalf("post-detach Enroll: %v", err)
+	}
+	if got := eng.Stats().Seq; got != head+1 {
+		t.Fatalf("post-detach seq %d, want %d", got, head+1)
+	}
+
+	// One-way: no second detach, no repoint, and Close leaves the
+	// engine with the caller.
+	if _, err := rep.Detach(); err == nil {
+		t.Fatal("second Detach succeeded")
+	}
+	if err := rep.Repoint(p.srv.URL); err == nil {
+		t.Fatal("Repoint after Detach succeeded")
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatalf("Close after Detach: %v", err)
+	}
+	if err := eng.Enroll("after-replica-close", randVec(rng)); err != nil {
+		t.Fatalf("engine died with the replica handle: %v", err)
+	}
+
+	// The detached directory restarts as a first-class primary: no
+	// upstream marker, so a plain live.Open sees the full history.
+	if err := eng.Close(); err != nil {
+		t.Fatalf("closing detached engine: %v", err)
+	}
+	if _, err := readUpstream(dir); err == nil {
+		t.Fatal("readUpstream succeeded on a detached directory")
+	}
+}
+
+// newLongPollPrimary is newPrimary with a stream idle window long
+// enough that a repoint waiting it out would blow the test deadline.
+func newLongPollPrimary(t testing.TB, n int) *primary {
+	t.Helper()
+	p := newPrimary(t, n)
+	p.srv.Close()
+	src := NewSource(p.eng)
+	src.Poll = 30 * time.Second
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathState, src.ServeState)
+	mux.HandleFunc("GET "+PathFile, src.ServeFile)
+	mux.HandleFunc("GET "+PathWAL, func(w http.ResponseWriter, r *http.Request) { src.ServeWAL(w, r, nil) })
+	p.srv = httptest.NewServer(mux)
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// TestRepointBreaksIdleStream pins repoint latency: a replica parked
+// in a long-poll idle window reconnects against the new upstream
+// immediately (the in-flight stream is cancelled), not after the poll
+// window expires.
+func TestRepointBreaksIdleStream(t *testing.T) {
+	pA := newLongPollPrimary(t, 4)
+	pB := newLongPollPrimary(t, 4) // identical seed → identical history, like a promoted sibling
+	dir := filepath.Join(t.TempDir(), "replica")
+	rep, err := Start(pA.srv.URL, dir, fastOptions())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	waitCaughtUp(t, rep, pA)
+
+	rng := rand.New(rand.NewSource(53))
+	if err := pB.eng.Enroll("only-on-b", randVec(rng)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	start := time.Now()
+	if err := rep.Repoint(pB.srv.URL); err != nil {
+		t.Fatalf("Repoint: %v", err)
+	}
+	waitCaughtUp(t, rep, pB)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("repoint took %v; the idle stream was not broken", elapsed)
+	}
+	if rep.Index("only-on-b") < 0 {
+		t.Fatal("replica did not converge onto the new upstream")
+	}
+}

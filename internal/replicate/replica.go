@@ -112,14 +112,16 @@ const upstreamFile = "UPSTREAM"
 // a local store; writes are refused upstream of it (the serve layer
 // answers 405, because a replica session carries no mutable gallery).
 type Replica struct {
-	primary string
-	dir     string
-	opts    Options
+	dir  string
+	opts Options
 
-	mu          sync.RWMutex
-	eng         *live.Engine
-	upstreamGen int
-	lastErr     string
+	mu           sync.RWMutex
+	primary      string
+	eng          *live.Engine
+	upstreamGen  int
+	lastErr      string
+	detached     bool
+	streamCancel context.CancelFunc // breaks the in-flight stream on Repoint
 
 	connected   atomic.Bool
 	primarySeq  atomic.Int64
@@ -143,11 +145,11 @@ func Start(primary, dir string, opts Options) (*Replica, error) {
 		return nil, fmt.Errorf("replicate: primary %q is not an absolute URL", primary)
 	}
 	r := &Replica{
-		primary: strings.TrimRight(primary, "/"),
-		dir:     dir,
-		opts:    opts.withDefaults(),
-		done:    make(chan struct{}),
+		dir:  dir,
+		opts: opts.withDefaults(),
+		done: make(chan struct{}),
 	}
+	r.primary = strings.TrimRight(primary, "/")
 	r.ctx, r.cancel = context.WithCancel(context.Background())
 	if gen, err := readUpstream(dir); err == nil {
 		eng, err := live.Open(dir, live.Options{CompactAfter: r.opts.CompactAfter})
@@ -172,14 +174,80 @@ func Start(primary, dir string, opts Options) (*Replica, error) {
 }
 
 // Close stops the replication tail and closes the local engine.
-// In-flight queries finish normally.
+// In-flight queries finish normally. After Detach the engine's
+// ownership has moved to the caller, so Close stops nothing but the
+// (already finished) tail and leaves the engine open.
 func (r *Replica) Close() error {
 	r.cancel()
 	<-r.done
 	r.mu.RLock()
-	eng := r.eng
+	eng, detached := r.eng, r.detached
 	r.mu.RUnlock()
+	if detached {
+		return nil
+	}
 	return eng.Close()
+}
+
+// Detach stops the replication tail cleanly and hands the local live
+// engine to the caller — the promotion path. The engine keeps serving
+// queries throughout (the tail stops, nothing is closed or swapped) and
+// its mutation sequence continues from the replicated head, so the
+// first post-promotion write gets the next sequence number the old
+// primary would have assigned. The upstream marker is removed, making
+// the directory a first-class primary: a restart opens it writable
+// instead of resuming a tail. Detach is one-way; a second call (or a
+// later Repoint) fails.
+func (r *Replica) Detach() (*live.Engine, error) {
+	r.cancel()
+	<-r.done
+	r.mu.Lock()
+	if r.detached {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("replicate: replica already detached")
+	}
+	r.detached = true
+	eng := r.eng
+	r.mu.Unlock()
+	r.connected.Store(false)
+	if err := os.Remove(filepath.Join(r.dir, upstreamFile)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("replicate: removing upstream marker: %w", err)
+	}
+	return eng, nil
+}
+
+// Repoint retargets the replica at a new primary (a post-failover
+// topology change: the old primary died and a sibling was promoted).
+// The in-flight stream is broken immediately and the tail reconnects
+// against the new upstream; the sequence scheme decides whether it can
+// resume from its own head or must re-bootstrap — a promoted sibling
+// was at least as caught up as this replica, so resume is the common
+// case, and a primary that compacted past this replica's position
+// triggers the usual 410 → fresh-snapshot path.
+func (r *Replica) Repoint(primary string) error {
+	if _, err := url.Parse(primary); err != nil || !strings.Contains(primary, "://") {
+		return fmt.Errorf("replicate: new primary %q is not an absolute URL", primary)
+	}
+	r.mu.Lock()
+	if r.detached {
+		r.mu.Unlock()
+		return fmt.Errorf("replicate: replica already detached")
+	}
+	r.primary = strings.TrimRight(primary, "/")
+	cancel := r.streamCancel
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	r.opts.Logf("replica: repointed at %s", primary)
+	return nil
+}
+
+// primaryURL reads the current upstream base URL.
+func (r *Replica) primaryURL() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.primary
 }
 
 // Stats reports the replica's current replication health.
@@ -188,10 +256,11 @@ func (r *Replica) Stats() Stats {
 	eng := r.eng
 	upstream := r.upstreamGen
 	lastErr := r.lastErr
+	primary := r.primary
 	r.mu.RUnlock()
 	st := eng.Stats()
 	out := Stats{
-		Primary:            r.primary,
+		Primary:            primary,
 		Connected:          r.connected.Load(),
 		Seq:                st.Seq,
 		PrimarySeq:         r.primarySeq.Load(),
@@ -267,20 +336,28 @@ func (r *Replica) loop() {
 
 // tailOnce opens one stream and applies frames until it ends. A nil
 // return is a clean end (idle poll window, primary generation switch,
-// or shutdown): the caller reconnects immediately.
-func (r *Replica) tailOnce(ctx context.Context) error {
-	r.mu.RLock()
+// repoint, or shutdown): the caller reconnects immediately — against
+// the new upstream, if the URL changed meanwhile.
+func (r *Replica) tailOnce(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	r.mu.Lock()
 	eng := r.eng
 	upstream := r.upstreamGen
-	r.mu.RUnlock()
+	primary := r.primary
+	r.streamCancel = cancel
+	r.mu.Unlock()
 	seq := eng.Stats().Seq
-	u := fmt.Sprintf("%s%s?gen=%d&after=%d", r.primary, PathWAL, upstream, seq)
+	u := fmt.Sprintf("%s%s?gen=%d&after=%d", primary, PathWAL, upstream, seq)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
 	}
 	resp, err := r.opts.Client.Do(req)
 	if err != nil {
+		if ctx.Err() != nil && parent.Err() == nil {
+			return nil // repointed mid-dial: reconnect against the new upstream
+		}
 		return err
 	}
 	defer resp.Body.Close()
@@ -311,6 +388,9 @@ func (r *Replica) tailOnce(ctx context.Context) error {
 		}
 		if err != nil {
 			if ctx.Err() != nil {
+				if parent.Err() == nil {
+					return nil // repointed mid-stream: reconnect cleanly
+				}
 				return ctx.Err()
 			}
 			return fmt.Errorf("replication stream: %w", err)
@@ -434,7 +514,7 @@ func (r *Replica) rebootstrap(ctx context.Context) error {
 // fetchState downloads and parses the primary's state document.
 func (r *Replica) fetchState(ctx context.Context) (State, error) {
 	var st State
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.primary+PathState, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.primaryURL()+PathState, nil)
 	if err != nil {
 		return st, err
 	}
@@ -461,7 +541,7 @@ func (r *Replica) fetchFile(ctx context.Context, name string, size int64) error 
 	if name != filepath.Base(name) {
 		return fmt.Errorf("%w: state names file %q outside the directory", ErrBadState, name)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.primary+PathFile+"?name="+url.QueryEscape(name), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.primaryURL()+PathFile+"?name="+url.QueryEscape(name), nil)
 	if err != nil {
 		return err
 	}

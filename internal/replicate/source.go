@@ -20,23 +20,36 @@ const DefaultPoll = 10 * time.Second
 
 // Source serves a live engine's replication surface: the state
 // document, generation-file bootstrap copies, and the long-poll frame
-// stream. internal/serve mounts one when serving a live directory.
+// stream. internal/serve mounts one when serving a live directory —
+// and, via NewSourceFunc, over a replica's current engine, which is
+// what makes chained replication (a replica of a replica) and
+// post-promotion continuity work.
 type Source struct {
 	// Poll is the stream's idle window (DefaultPoll when zero).
 	Poll time.Duration
 
-	eng *live.Engine
+	eng func() *live.Engine
 }
 
-// NewSource wraps a live engine for replication.
+// NewSource wraps one fixed live engine for replication.
 func NewSource(eng *live.Engine) *Source {
+	return &Source{eng: func() *live.Engine { return eng }}
+}
+
+// NewSourceFunc wraps an engine provider for replication: each request
+// resolves the engine afresh, so a source mounted over a replica keeps
+// serving across the replica's re-bootstrap engine swaps (a stream
+// caught mid-swap ends cleanly and the follower reconnects against the
+// new engine).
+func NewSourceFunc(eng func() *live.Engine) *Source {
 	return &Source{eng: eng}
 }
 
 // State assembles the current state document.
 func (s *Source) State() (State, error) {
-	rs := s.eng.ReplicationState()
-	files, err := s.eng.GenerationFiles()
+	eng := s.eng()
+	rs := eng.ReplicationState()
+	files, err := eng.GenerationFiles()
 	if err != nil {
 		return State{}, err
 	}
@@ -77,7 +90,7 @@ func (s *Source) ServeFile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing name parameter")
 		return
 	}
-	rc, size, err := s.eng.OpenGenerationFile(name)
+	rc, size, err := s.eng().OpenGenerationFile(name)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -108,7 +121,8 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request, drain <-chan s
 		writeError(w, http.StatusBadRequest, "bad after parameter")
 		return
 	}
-	rs := s.eng.ReplicationState()
+	eng := s.eng() // one engine for the whole stream: a mid-stream swap ends it cleanly
+	rs := eng.ReplicationState()
 	switch {
 	case gen == rs.Generation:
 		if after < rs.BaseSeq || after > rs.Seq {
@@ -146,7 +160,7 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request, drain <-chan s
 	ctx := r.Context()
 	cur := after
 	for {
-		frames, upTo, err := s.eng.WALRange(gen, cur, 1<<22)
+		frames, upTo, err := eng.WALRange(gen, cur, 1<<22)
 		if err != nil {
 			return // generation switched or engine closed: end cleanly, the replica reconnects
 		}
@@ -159,7 +173,7 @@ func (s *Source) ServeWAL(w http.ResponseWriter, r *http.Request, drain <-chan s
 			continue
 		}
 		wctx, cancel := contextWithDrain(ctx, drain, poll)
-		err = s.eng.WaitWAL(wctx, gen, cur)
+		err = eng.WaitWAL(wctx, gen, cur)
 		cancel()
 		if err != nil {
 			return // idle window passed, client gone, draining, or closed

@@ -1,0 +1,338 @@
+package router
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// directHealth fetches one upstream's health document straight from
+// the node, bypassing the router.
+func directHealth(t *testing.T, nodeURL string) UpstreamHealth {
+	t.Helper()
+	resp, err := http.Get(nodeURL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz %s: %v", nodeURL, err)
+	}
+	defer resp.Body.Close()
+	var h UpstreamHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz %s body: %v", nodeURL, err)
+	}
+	return h
+}
+
+// TestFailoverPromotesAndDemotes is the full failover story over a
+// real stack, with the primary partitioned by the flaky proxy: the
+// router promotes a replica, repoints the surviving sibling at it, a
+// post-failover write lands on the new primary and replicates to the
+// sibling — and when the old primary heals, it is fenced, not allowed
+// to split-brain the topology.
+func TestFailoverPromotesAndDemotes(t *testing.T) {
+	p := startPrimary(t, 5)
+	flaky := newFlaky(t, p.url, 7)
+	// Both replicas tail the primary THROUGH the partitionable link, so
+	// severing it isolates the primary from the whole topology at once.
+	r1 := startReplicaNode(t, flaky.URL())
+	r2 := startReplicaNode(t, flaky.URL())
+	rt, rsrv := startRouter(t, fastRouter(flaky.URL(), r1.url, r2.url))
+
+	waitUntil(t, 10*time.Second, "pre-failover convergence", func() bool {
+		doc := routerHealth(t, rsrv.URL)
+		return doc["primary"] == flaky.URL() && doc["replicas"].(float64) == 2
+	})
+	waitUntil(t, 10*time.Second, "replica catch-up", func() bool {
+		head := p.eng.Stats().Seq
+		return r1.rep.Stats().Seq >= head && r2.rep.Stats().Seq >= head
+	})
+
+	rng := rand.New(rand.NewSource(61))
+	if code, _, body := enrollVia(t, rsrv.URL, "pre-failover", randVec(rng)); code != http.StatusCreated {
+		t.Fatalf("pre-failover write: %d %s", code, body)
+	}
+
+	// Partition the primary. The router must promote one replica —
+	// exactly one — and route writes to it.
+	flaky.sever(true)
+	var newPrimary string
+	waitUntil(t, 15*time.Second, "failover", func() bool {
+		pr, _ := routerHealth(t, rsrv.URL)["primary"].(string)
+		newPrimary = pr
+		return pr == r1.url || pr == r2.url
+	})
+	if got := rt.failovers.Load(); got != 1 {
+		t.Fatalf("failovers = %d, want exactly 1", got)
+	}
+	winner, sibling := r1, r2
+	if newPrimary == r2.url {
+		winner, sibling = r2, r1
+	}
+	if !winner.serve.Writable() || winner.serve.Role() != "primary" {
+		t.Fatalf("promoted node role=%s writable=%v", winner.serve.Role(), winner.serve.Writable())
+	}
+	if sibling.serve.Writable() {
+		t.Fatal("both replicas writable after failover: split brain")
+	}
+
+	// A post-failover write lands on the new primary, and the repointed
+	// sibling replicates it from there.
+	vec := randVec(rng)
+	code, upstream, body := enrollVia(t, rsrv.URL, "post-failover", vec)
+	if code != http.StatusCreated || upstream != newPrimary {
+		t.Fatalf("post-failover write: %d via %q (%s), want 201 via %q", code, upstream, body, newPrimary)
+	}
+	waitUntil(t, 15*time.Second, "sibling repointed and caught up", func() bool {
+		return sibling.rep.Index("post-failover") >= 0
+	})
+	if got := sibling.rep.Stats().Primary; got != newPrimary {
+		t.Fatalf("sibling tails %q, want the new primary %q", got, newPrimary)
+	}
+	// The write is readable through the router.
+	waitUntil(t, 10*time.Second, "post-failover read", func() bool {
+		rcode, _, rbody := identifyVia(t, rsrv.URL, vec, "")
+		return rcode == http.StatusOK && len(rbody) > 0
+	})
+
+	// The partition heals; the old primary is still writable, which is
+	// one primary too many — the router fences it.
+	flaky.sever(false)
+	waitUntil(t, 15*time.Second, "healed old primary fenced", func() bool {
+		return directHealth(t, p.url).Role == "fenced"
+	})
+	if pr := routerHealth(t, rsrv.URL)["primary"]; pr != newPrimary {
+		t.Fatalf("primary churned after the fence: %v, want %q", pr, newPrimary)
+	}
+	if got := rt.failovers.Load(); got != 1 {
+		t.Fatalf("failovers after heal = %d, want still 1", got)
+	}
+	// The old primary's own write path is fenced off for good.
+	if h := directHealth(t, p.url); h.Writable {
+		t.Fatal("fenced old primary still reports writable")
+	}
+}
+
+// TestPromotionExactlyOnceUnderLostResponse pins the nastiest failover
+// race with a scripted fault: the promote POST reaches the target but
+// its response dies on the wire. The router must NOT promote a second
+// node — the target's next health poll shows it writable, and the
+// router adopts it. Exactly one role flip happens topology-wide.
+func TestPromotionExactlyOnceUnderLostResponse(t *testing.T) {
+	p := newFakeNode(t, fakePrimaryHealth(10))
+	r1 := newFakeNode(t, fakeReplicaHealth(p.url(), 10, 0.05))
+	flaky := newFlaky(t, r1.srv.URL, 99)
+	r2 := newFakeNode(t, fakeReplicaHealth(p.url(), 5, 0.05)) // behind r1: must lose the promotion
+	_, rsrv := startRouter(t, Config{
+		Primary:  p.url(),
+		Replicas: []string{flaky.URL(), r2.url()},
+		Poll:     50 * time.Millisecond, FailAfter: 2,
+	})
+	waitUntil(t, 10*time.Second, "pre-failover convergence", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == p.url()
+	})
+
+	// Script the fault, then kill the primary.
+	flaky.dropResponseNext("/v1/promote", 1)
+	p.setDown(true)
+
+	waitUntil(t, 15*time.Second, "adoption of the half-promoted node", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == flaky.URL()
+	})
+	f1, pc1, _, _ := r1.snapshot()
+	f2, pc2, dc2, _ := r2.snapshot()
+	if f1 != 1 || pc1 != 1 {
+		t.Fatalf("r1 flips=%d promoteCalls=%d, want exactly one of each", f1, pc1)
+	}
+	if f2 != 0 || pc2 != 0 {
+		t.Fatalf("r2 was promoted too (flips=%d calls=%d): two primaries from one lost response", f2, pc2)
+	}
+	if dc2 != 0 {
+		t.Fatalf("r2 was demoted (%d) though it never left replica role", dc2)
+	}
+}
+
+// TestIndeterminatePromoteHoldsSecondCandidate pins the pendingPromote
+// guard end to end: the promote response is lost AND the target goes
+// dark, so the router cannot learn the outcome. It must hold — not
+// promote the runner-up — until the target has been dead FailAfter
+// polls; only then is it written off and the runner-up promoted. When
+// the half-promoted node finally heals as a second writable, the
+// router fences it.
+func TestIndeterminatePromoteHoldsSecondCandidate(t *testing.T) {
+	const poll = 100 * time.Millisecond
+	const failAfter = 4
+	p := newFakeNode(t, fakePrimaryHealth(10))
+	r1 := newFakeNode(t, fakeReplicaHealth(p.url(), 10, 0.05))
+	r1.mu.Lock()
+	r1.downAfterFlip = true // the node applies the promote, then goes dark
+	r1.mu.Unlock()
+	flaky := newFlaky(t, r1.srv.URL, 17)
+	r2 := newFakeNode(t, fakeReplicaHealth(p.url(), 5, 0.05))
+	rt, rsrv := startRouter(t, Config{
+		Primary:  p.url(),
+		Replicas: []string{flaky.URL(), r2.url()},
+		Poll:     poll, FailAfter: failAfter,
+	})
+	waitUntil(t, 10*time.Second, "pre-failover convergence", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == p.url()
+	})
+
+	flaky.dropResponseNext("/v1/promote", 1)
+	p.setDown(true)
+
+	// The promote lands on r1 (observable: its flip counter), but the
+	// router heard nothing and now cannot reach r1 at all.
+	waitUntil(t, 15*time.Second, "the half-promotion to land", func() bool {
+		f, _, _, _ := r1.snapshot()
+		return f == 1
+	})
+	// Hold window: with the outcome unknown, the runner-up must not be
+	// promoted. Sample mid-window (the write-off takes FailAfter polls).
+	time.Sleep(failAfter / 2 * poll)
+	if f2, _, _, _ := r2.snapshot(); f2 != 0 {
+		t.Fatal("runner-up promoted while the first promote's outcome was unknown")
+	}
+
+	// After FailAfter dead polls the half-promoted node is written off
+	// like any dead primary, and the runner-up takes over.
+	waitUntil(t, 15*time.Second, "write-off and second promotion", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == r2.url()
+	})
+	if f2, _, _, _ := r2.snapshot(); f2 != 1 {
+		t.Fatalf("runner-up flips = %d, want 1", f2)
+	}
+
+	// The dark half-promoted node heals as a second writable primary —
+	// the fence rule must demote it, converging back to one writer.
+	r1.setDown(false)
+	waitUntil(t, 15*time.Second, "healed half-primary fenced", func() bool {
+		_, _, dc, _ := r1.snapshot()
+		return dc >= 1
+	})
+	if pr := routerHealth(t, rsrv.URL)["primary"]; pr != r2.url() {
+		t.Fatalf("primary churned on heal: %v, want %q", pr, r2.url())
+	}
+	if rt.demotions.Load() == 0 {
+		t.Fatal("router demotions counter did not move")
+	}
+}
+
+// TestNoReadBeyondStalenessBound pins the read guarantee under a
+// partitioned replica: once the replica's effective staleness exceeds
+// a request's bound, the router stops routing reads to it — every
+// replica-served read observably fits its bound, the rest fall back to
+// the primary, and nothing is dropped while a primary is up.
+func TestNoReadBeyondStalenessBound(t *testing.T) {
+	const bound = time.Second
+	p := startPrimary(t, 4)
+	flaky := newFlaky(t, p.url, 23)
+	r := startReplicaNode(t, flaky.URL()) // the replica tails through the severable link
+	rt, rsrv := startRouter(t, Config{
+		Primary:  p.url,
+		Replicas: []string{r.url},
+		Poll:     50 * time.Millisecond, FailAfter: 3,
+		MaxStaleness: bound,
+		NoFailover:   true, // keep the router from repointing the replica around the proxy
+	})
+	waitUntil(t, 10*time.Second, "convergence", func() bool {
+		doc := routerHealth(t, rsrv.URL)
+		return doc["primary"] == p.url && doc["replicas"].(float64) == 1
+	})
+	waitUntil(t, 10*time.Second, "replica catch-up", func() bool {
+		return r.rep.Stats().Seq >= p.eng.Stats().Seq
+	})
+
+	rng := rand.New(rand.NewSource(71))
+	probe := randVec(rng)
+	// Fresh replica: it serves the bounded read.
+	waitUntil(t, 10*time.Second, "a replica-served bounded read", func() bool {
+		code, upstream, _ := identifyVia(t, rsrv.URL, probe, "1")
+		return code == http.StatusOK && upstream == r.url
+	})
+
+	// Partition the replica from the primary and keep reading. The
+	// router's effective-staleness estimate (reported + time since poll)
+	// is, by construction, at least the true time since last primary
+	// contact — so any read it still routes to the replica happened
+	// within the bound of the sever instant, modulo one poll of slack.
+	severedAt := time.Now()
+	flaky.sever(true)
+	slack := 300 * time.Millisecond // poll interval + pre-sever heartbeat age
+	sawPrimaryFallback := false
+	for time.Since(severedAt) < 3*bound {
+		code, upstream, body := identifyVia(t, rsrv.URL, probe, "1")
+		if code != http.StatusOK {
+			t.Fatalf("bounded read during partition: %d %s", code, body)
+		}
+		if upstream == r.url {
+			if since := time.Since(severedAt); since > bound+slack {
+				t.Fatalf("replica served a read %v after the sever with a %v bound", since, bound)
+			}
+		} else {
+			sawPrimaryFallback = true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !sawPrimaryFallback {
+		t.Fatal("reads never fell back to the primary while the replica went stale")
+	}
+	// Fallback reads are fresh: a subject enrolled after the sever is
+	// immediately identifiable through the router.
+	vec := randVec(rng)
+	if err := p.eng.Enroll("only-after-sever", vec); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	code, upstream, body := identifyVia(t, rsrv.URL, vec, "1")
+	if code != http.StatusOK || upstream != p.url {
+		t.Fatalf("post-sever read: %d via %q (%s)", code, upstream, body)
+	}
+	if rt.readsDropped.Load() != 0 {
+		t.Fatalf("%d reads dropped with a live primary available", rt.readsDropped.Load())
+	}
+
+	// Heal the link: the replica catches up, its staleness recovers,
+	// and bounded reads return to it.
+	flaky.sever(false)
+	waitUntil(t, 15*time.Second, "bounded reads to return to the replica", func() bool {
+		code, upstream, _ := identifyVia(t, rsrv.URL, probe, "1")
+		return code == http.StatusOK && upstream == r.url
+	})
+	waitUntil(t, 15*time.Second, "replica to see the post-sever write", func() bool {
+		return r.rep.Index("only-after-sever") >= 0
+	})
+}
+
+// TestFlakyPollsDoNotChurnTopology pins the grace period: a primary
+// whose health polls drop probabilistically (but never FailAfter in a
+// row, with drop rate well under certainty) keeps its role; the
+// topology does not flap.
+func TestFlakyPollsDoNotChurnTopology(t *testing.T) {
+	p := startPrimary(t, 3)
+	flaky := newFlaky(t, p.url, 13)
+	r := startReplicaNode(t, p.url)
+	rt, rsrv := startRouter(t, Config{
+		Primary:   flaky.URL(),
+		Replicas:  []string{r.url},
+		Poll:      50 * time.Millisecond,
+		FailAfter: 5, // 30% drop rate: P(5 consecutive drops) ≈ 0.2%
+	})
+	waitUntil(t, 10*time.Second, "convergence", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == flaky.URL()
+	})
+	flaky.setDrop(0.30)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := rt.failovers.Load(); got != 0 {
+			t.Fatalf("flaky (not dead) primary triggered %d failovers", got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	flaky.setDrop(0)
+	waitUntil(t, 10*time.Second, "primary still in place", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == flaky.URL()
+	})
+	if r.serve.Writable() {
+		t.Fatal("replica got promoted under a merely flaky primary")
+	}
+}

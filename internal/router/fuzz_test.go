@@ -1,0 +1,61 @@
+package router
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeUpstreamHealth pins the reject-or-roundtrip property of
+// the health decoder: arbitrary bytes either fail to decode, or decode
+// to a document that re-encodes and re-decodes to the same value with
+// internally consistent derived views. The decoder fronts failover
+// decisions with network input, so "accepted but half-trusted" states
+// must not exist.
+func FuzzDecodeUpstreamHealth(f *testing.F) {
+	f.Add([]byte(`{"status":"ok","writable":true,"subjects":3,"live":{"generation":1,"seq":9}}`))
+	f.Add([]byte(`{"status":"ok","role":"replica","replica":{"primary":"http://p:1","connected":true,"seq":7,"primary_seq":9,"seq_lag":2,"staleness_seconds":0.25}}`))
+	f.Add([]byte(`{"status":"degraded","role":"fenced","promotions":2}`))
+	f.Add([]byte(`{"status":"ok","unknown_future_field":{"nested":[1,2,3]}}`))
+	f.Add([]byte(`{"status":"nope"}`))
+	f.Add([]byte(`{"status":"ok"}{"status":"ok"}`))
+	f.Add([]byte(`{"status":"ok","replica":{"staleness_seconds":-1}}`))
+	f.Add([]byte(`{"status":"ok","replica":{"staleness_seconds":1e999}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeUpstreamHealth(data)
+		if err != nil {
+			if h != (UpstreamHealth{}) {
+				t.Fatalf("rejected input returned a non-zero document: %+v", h)
+			}
+			return
+		}
+		// Accepted: every derived view must be internally consistent.
+		switch h.DerivedRole() {
+		case "primary", "replica", "fenced", "static":
+		default:
+			t.Fatalf("derived role %q out of vocabulary", h.DerivedRole())
+		}
+		if h.Seq() < 0 {
+			t.Fatalf("accepted document with negative seq %d", h.Seq())
+		}
+		if h.Staleness() < 0 {
+			t.Fatalf("accepted document with negative staleness %v", h.Staleness())
+		}
+		// Roundtrip: re-encode and re-decode must reproduce the document
+		// exactly (unknown fields are dropped by design, so the SECOND
+		// decode sees only what the router keeps).
+		enc, err := json.Marshal(h)
+		if err != nil {
+			t.Fatalf("accepted document failed to re-encode: %v", err)
+		}
+		h2, err := DecodeUpstreamHealth(enc)
+		if err != nil {
+			t.Fatalf("re-encoded document rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(h, h2) {
+			t.Fatalf("roundtrip drift:\n first %+v\nsecond %+v", h, h2)
+		}
+	})
+}

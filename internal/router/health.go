@@ -1,0 +1,151 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// UpstreamHealth is the router's view of one upstream's /healthz
+// document (internal/serve's health shape). The decoder keeps only the
+// fields routing decisions consume and tolerates unknown ones — a newer
+// serve build may add fields freely without breaking an older router —
+// but what it does keep it validates hard: a health document is an
+// input from the network, and a garbage seq or negative staleness must
+// not steer failover.
+type UpstreamHealth struct {
+	// Status is the upstream's self-reported liveness: "ok" or
+	// "degraded" (a degraded upstream still serves; see DerivedRole and
+	// the routing policy for how each is used).
+	Status string `json:"status"`
+	// Writable reports whether the upstream accepts writes right now.
+	Writable bool `json:"writable"`
+	// Role is the upstream's self-reported topology role ("primary",
+	// "replica", "fenced", "static"); empty on pre-router serve builds,
+	// where DerivedRole infers it.
+	Role string `json:"role,omitempty"`
+	// Subjects is the visible gallery size.
+	Subjects int `json:"subjects"`
+	// Promotions counts role flips into primary over the process life.
+	Promotions int64 `json:"promotions,omitempty"`
+	// Live carries the engine counters of a live-backed upstream.
+	Live *LiveHealth `json:"live,omitempty"`
+	// Replica carries replication-lag figures on a replica upstream.
+	Replica *ReplicaHealth `json:"replica,omitempty"`
+}
+
+// LiveHealth is the slice of the health document's "live" block the
+// router consumes.
+type LiveHealth struct {
+	// Generation is the engine's on-disk generation.
+	Generation int `json:"generation"`
+	// Seq is the engine's head mutation sequence.
+	Seq int64 `json:"seq"`
+}
+
+// ReplicaHealth is the slice of the health document's "replica" block
+// the router consumes.
+type ReplicaHealth struct {
+	// Primary is the upstream base URL this replica tails.
+	Primary string `json:"primary"`
+	// Connected reports whether the replication stream is open.
+	Connected bool `json:"connected"`
+	// Seq is the replica's durably applied head sequence.
+	Seq int64 `json:"seq"`
+	// PrimarySeq is the primary's head as of last contact.
+	PrimarySeq int64 `json:"primary_seq"`
+	// SeqLag is max(PrimarySeq-Seq, 0).
+	SeqLag int64 `json:"seq_lag"`
+	// StalenessSeconds is the wall-clock time since the replica last
+	// heard from its primary — an upper bound on its data age.
+	StalenessSeconds float64 `json:"staleness_seconds"`
+}
+
+// healthStatuses are the liveness values a serve build emits.
+var healthStatuses = map[string]bool{"ok": true, "degraded": true}
+
+// healthRoles are the role values a serve build emits ("" = pre-router
+// build, role inferred by DerivedRole).
+var healthRoles = map[string]bool{"": true, "primary": true, "replica": true, "fenced": true, "static": true}
+
+// DecodeUpstreamHealth parses one upstream /healthz document. Unknown
+// fields are ignored; known fields are validated: a document with an
+// unrecognized status or role, a negative counter, or a non-finite
+// staleness is rejected outright rather than half-trusted. The decode
+// is reject-or-roundtrip: any accepted document re-encodes and
+// re-decodes to the same value (FuzzDecodeUpstreamHealth pins this).
+func DecodeUpstreamHealth(data []byte) (UpstreamHealth, error) {
+	var h UpstreamHealth
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&h); err != nil {
+		return UpstreamHealth{}, fmt.Errorf("router: bad health document: %w", err)
+	}
+	// One JSON value per document: trailing data means a confused (or
+	// hostile) upstream.
+	if dec.More() {
+		return UpstreamHealth{}, fmt.Errorf("router: health document has trailing data")
+	}
+	if !healthStatuses[h.Status] {
+		return UpstreamHealth{}, fmt.Errorf("router: health status %q is not ok|degraded", h.Status)
+	}
+	if !healthRoles[h.Role] {
+		return UpstreamHealth{}, fmt.Errorf("router: health role %q unrecognized", h.Role)
+	}
+	if h.Subjects < 0 || h.Promotions < 0 {
+		return UpstreamHealth{}, fmt.Errorf("router: negative counter in health document")
+	}
+	if l := h.Live; l != nil && (l.Seq < 0 || l.Generation < 0) {
+		return UpstreamHealth{}, fmt.Errorf("router: negative live counter in health document")
+	}
+	if r := h.Replica; r != nil {
+		if r.Seq < 0 || r.PrimarySeq < 0 || r.SeqLag < 0 {
+			return UpstreamHealth{}, fmt.Errorf("router: negative replica counter in health document")
+		}
+		// NaN and ±Inf never survive json.Marshal, so rejecting the
+		// negatives is enough to make StalenessSeconds trustworthy.
+		if r.StalenessSeconds < 0 {
+			return UpstreamHealth{}, fmt.Errorf("router: negative staleness in health document")
+		}
+	}
+	return h, nil
+}
+
+// DerivedRole resolves the upstream's topology role, inferring it from
+// the document shape when the upstream predates the explicit role field:
+// writable means primary, a replica block means replica, anything else
+// is a static read-only store.
+func (h UpstreamHealth) DerivedRole() string {
+	if h.Role != "" {
+		return h.Role
+	}
+	switch {
+	case h.Writable:
+		return "primary"
+	case h.Replica != nil:
+		return "replica"
+	}
+	return "static"
+}
+
+// Seq is the upstream's head mutation sequence from whichever block
+// carries it (0 when neither does).
+func (h UpstreamHealth) Seq() int64 {
+	switch {
+	case h.Replica != nil:
+		return h.Replica.Seq
+	case h.Live != nil:
+		return h.Live.Seq
+	}
+	return 0
+}
+
+// Staleness is the upstream's self-reported data age: zero on a
+// primary (it is the source of truth), the replication staleness on a
+// replica.
+func (h UpstreamHealth) Staleness() time.Duration {
+	if h.Replica != nil {
+		return time.Duration(h.Replica.StalenessSeconds * float64(time.Second))
+	}
+	return 0
+}

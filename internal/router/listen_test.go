@@ -1,0 +1,83 @@
+package router
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port and releases it for the router
+// to bind: racy in principle, fine for a test that retries nothing.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserving a port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestListenAndServe runs the real server front: bind, answer the
+// router's own healthz over TCP, shut down cleanly on ctx cancel.
+func TestListenAndServe(t *testing.T) {
+	n := newFakeNode(t, fakePrimaryHealth(3))
+
+	addr := freePort(t)
+	rt, err := New(Config{Addr: addr, Primary: n.url(), Poll: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if rt.Addr() != addr {
+		t.Fatalf("Addr() = %q, want %q", rt.Addr(), addr)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rt.ListenAndServe(ctx) }()
+
+	base := "http://" + addr
+	waitUntil(t, 5*time.Second, "router answering over TCP", func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	waitUntil(t, 5*time.Second, "primary adopted", func() bool {
+		return routerHealth(t, base)["primary"] == n.url()
+	})
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ListenAndServe after cancel: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("ListenAndServe did not return after ctx cancel")
+	}
+}
+
+// TestListenAndServeBindFailure surfaces the listen error instead of
+// hanging when the address is already taken.
+func TestListenAndServeBindFailure(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("occupying a port: %v", err)
+	}
+	defer l.Close()
+
+	rt, err := New(Config{Addr: l.Addr().String(), Primary: "http://127.0.0.1:1"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.ListenAndServe(ctx); err == nil {
+		t.Fatal("ListenAndServe on an occupied port returned nil")
+	}
+}

@@ -1,0 +1,197 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// HeaderMaxStaleness is the request header carrying a per-request read
+// staleness bound in (fractional) seconds; it overrides the router's
+// -max-staleness default. A read is only ever served by an upstream
+// whose data is provably no older than the bound.
+const HeaderMaxStaleness = "X-Max-Staleness-Seconds"
+
+// HeaderUpstream is the response header the router stamps with the
+// base URL of the upstream that actually served the request — the
+// observability hook the staleness and failover tests assert on.
+const HeaderUpstream = "X-Brainprint-Upstream"
+
+// readPaths are the endpoints eligible for replica routing; everything
+// else — writes, topology control, the replication surface — forwards
+// to the primary.
+var readPaths = map[string]bool{
+	"/v1/identify":        true,
+	"/v1/identify/batch":  true,
+	"/v1/identify/stream": true,
+	"/v1/gallery":         true,
+}
+
+// targetKey carries the chosen upstream through the request context
+// into the shared reverse proxy.
+type targetKey struct{}
+
+// Handler returns the router's HTTP surface: its own /healthz and
+// /v1/metrics, and a proxy for everything else.
+func (rt *Router) Handler() http.Handler {
+	proxy := rt.newProxy()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", rt.handleMetrics)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) { rt.route(proxy, w, r) })
+	return mux
+}
+
+// newProxy builds the one reverse proxy all routes share; the chosen
+// upstream travels in the request context. Flushing is immediate
+// (FlushInterval -1) because two proxied endpoints — the identify
+// stream and the replication WAL stream — are long-lived and
+// line-buffered, and a buffering proxy would stall them.
+func (rt *Router) newProxy() *httputil.ReverseProxy {
+	return &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			t := pr.In.Context().Value(targetKey{}).(*url.URL)
+			pr.SetURL(t)
+			pr.Out.Host = t.Host
+		},
+		FlushInterval: -1,
+		ModifyResponse: func(resp *http.Response) error {
+			resp.Header.Set(HeaderUpstream, resp.Request.URL.Scheme+"://"+resp.Request.URL.Host)
+			return nil
+		},
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			rt.proxyErrors.Add(1)
+			writeJSON(w, http.StatusBadGateway,
+				map[string]string{"error": "upstream unreachable: " + err.Error()})
+		},
+	}
+}
+
+// route classifies one request and forwards it. Reads go to a replica
+// whose effective staleness — the staleness it reported at poll time
+// plus the time elapsed since that poll, a deliberate upper bound —
+// fits the request's bound, round-robin among the qualifiers; with no
+// qualifying replica they fall back to the primary (staleness zero by
+// definition). Everything else goes to the primary. With no live
+// primary, writes answer 503 immediately rather than hanging.
+func (rt *Router) route(proxy *httputil.ReverseProxy, w http.ResponseWriter, r *http.Request) {
+	tb := rt.table.Load()
+	if readPaths[r.URL.Path] {
+		bound, ok := rt.readBound(w, r)
+		if !ok {
+			return
+		}
+		if rd := rt.pickReader(tb, bound); rd != nil {
+			rt.readsReplica.Add(1)
+			rt.forward(proxy, w, r, rd)
+			return
+		}
+		if tb.primaryURL != nil {
+			rt.readsPrimary.Add(1)
+			rt.forward(proxy, w, r, tb.primaryURL)
+			return
+		}
+		rt.readsDropped.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "no upstream satisfies the staleness bound (failover in progress?)"})
+		return
+	}
+	if tb.primaryURL == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "no writable upstream (failover in progress?)"})
+		return
+	}
+	rt.forwards.Add(1)
+	rt.forward(proxy, w, r, tb.primaryURL)
+}
+
+// forward hands one request to the shared proxy with its target bound
+// into the context.
+func (rt *Router) forward(proxy *httputil.ReverseProxy, w http.ResponseWriter, r *http.Request, target *url.URL) {
+	ctx := context.WithValue(r.Context(), targetKey{}, target)
+	proxy.ServeHTTP(w, r.WithContext(ctx))
+}
+
+// readBound resolves a request's staleness bound: the header when
+// present (400 on garbage — a client that asked for a bound must not
+// silently get the default), the configured default otherwise.
+func (rt *Router) readBound(w http.ResponseWriter, r *http.Request) (time.Duration, bool) {
+	raw := r.Header.Get(HeaderMaxStaleness)
+	if raw == "" {
+		return rt.cfg.MaxStaleness, true
+	}
+	secs, err := strconv.ParseFloat(raw, 64)
+	if err != nil || secs < 0 || secs != secs {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": "bad " + HeaderMaxStaleness + " header: " + raw})
+		return 0, false
+	}
+	return time.Duration(secs * float64(time.Second)), true
+}
+
+// pickReader round-robins over the replicas whose effective staleness
+// fits the bound; nil when none qualifies.
+func (rt *Router) pickReader(tb *table, bound time.Duration) *url.URL {
+	if len(tb.readers) == 0 {
+		return nil
+	}
+	now := time.Now()
+	start := int(rt.rr.Add(1))
+	for i := range tb.readers {
+		rd := &tb.readers[(start+i)%len(tb.readers)]
+		if rd.staleness+now.Sub(rd.polled) <= bound {
+			return rd.url
+		}
+	}
+	return nil
+}
+
+// ---- the router's own health/metrics surface ----
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	tb := rt.table.Load()
+	status := "ok"
+	if tb.primary == "" {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"role":           "router",
+		"primary":        tb.primary,
+		"replicas":       len(tb.readers),
+		"failovers":      rt.failovers.Load(),
+		"demotions":      rt.demotions.Load(),
+		"repoints":       rt.repoints.Load(),
+		"poll_seconds":   rt.cfg.Poll.Seconds(),
+		"uptime_seconds": time.Since(rt.started).Seconds(),
+		"nodes":          tb.nodes,
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	tb := rt.table.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":         time.Since(rt.started).Seconds(),
+		"primary":                tb.primary,
+		"failovers":              rt.failovers.Load(),
+		"demotions":              rt.demotions.Load(),
+		"repoints":               rt.repoints.Load(),
+		"reads_replica":          rt.readsReplica.Load(),
+		"reads_primary_fallback": rt.readsPrimary.Load(),
+		"reads_unroutable":       rt.readsDropped.Load(),
+		"primary_forwards":       rt.forwards.Load(),
+		"proxy_errors":           rt.proxyErrors.Load(),
+		"nodes":                  tb.nodes,
+	})
+}
+
+// writeJSON emits the service's JSON shape.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,558 @@
+// Package router is the replica-aware HTTP front tier over a
+// primary + N read-replica brainprint topology (internal/replicate,
+// internal/serve). It health-polls every upstream's /healthz, routes
+// read traffic to replicas under a per-request staleness bound
+// (falling back to the primary when no replica qualifies), forwards
+// writes and the replication surface to the primary, and — on primary
+// loss — promotes the most-caught-up replica via POST /v1/promote,
+// repoints the surviving siblings at it, and fences a healed old
+// primary before it can split-brain the topology.
+//
+// The routing table is an immutable snapshot swapped atomically after
+// each poll round, so request routing never takes a lock; the poll
+// loop is a single goroutine, so failover decisions are serialized by
+// construction. Router state is surfaced on the router's own /healthz
+// and /v1/metrics.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the router.
+type Config struct {
+	// Addr is the listen address (default 127.0.0.1:7351 — loopback,
+	// like serve: expose deliberately).
+	Addr string
+	// Primary is the base URL of the node believed primary at start.
+	Primary string
+	// Replicas are the base URLs of the read replicas.
+	Replicas []string
+	// Poll is the health-poll interval (default 1s).
+	Poll time.Duration
+	// FailAfter is how many consecutive failed polls of the primary
+	// trigger failover (default 3).
+	FailAfter int
+	// MaxStaleness is the default read staleness bound, used when a
+	// request carries no X-Max-Staleness-Seconds header (default 5s).
+	MaxStaleness time.Duration
+	// NoFailover observes and routes but never promotes, demotes, or
+	// repoints — a read-only balancing mode.
+	NoFailover bool
+	// Client is the HTTP client for health polls and control calls (a
+	// default client when nil; the router manages per-call contexts).
+	Client *http.Client
+	// Logf receives router lifecycle messages (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7351"
+	}
+	if c.Poll <= 0 {
+		c.Poll = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.MaxStaleness <= 0 {
+		c.MaxStaleness = 5 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// nodeState is the poll loop's private view of one upstream; only the
+// loop goroutine touches it.
+type nodeState struct {
+	url     string
+	ok      bool // last poll succeeded and decoded
+	health  UpstreamHealth
+	polled  time.Time
+	fails   int // consecutive failed polls
+	lastErr string
+}
+
+// reader is one read-eligible upstream in a published routing table.
+type reader struct {
+	url       *url.URL
+	raw       string
+	staleness time.Duration // self-reported at poll time
+	polled    time.Time     // when it was reported
+	seq       int64
+}
+
+// table is one immutable routing snapshot; requests load it via one
+// atomic pointer read.
+type table struct {
+	primary    string   // "" while no writable upstream is known
+	primaryURL *url.URL // parsed form of primary (nil when primary == "")
+	readers    []reader // healthy replicas, any staleness (bounds apply per request)
+	built      time.Time
+	nodes      []nodeStatus // full per-node view for healthz/metrics
+}
+
+// nodeStatus renders one upstream in the router's health/metrics JSON.
+type nodeStatus struct {
+	URL              string  `json:"url"`
+	Role             string  `json:"role"`
+	Healthy          bool    `json:"healthy"`
+	Seq              int64   `json:"seq"`
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	Fails            int     `json:"consecutive_failures,omitempty"`
+	Error            string  `json:"error,omitempty"`
+}
+
+// Router is the front tier. Build one with New, run its poll loop with
+// Watch (or ListenAndServe, which also serves), and mount Handler.
+type Router struct {
+	cfg     Config
+	started time.Time
+
+	urls  map[string]*url.URL // parsed upstream base URLs, fixed at New
+	order []string            // stable poll order: primary first
+
+	table atomic.Pointer[table]
+
+	// Poll-loop-private (single goroutine): current belief and history.
+	nodes      map[string]*nodeState
+	curPrimary string
+	// pendingPromote is set while a promote call's outcome is unknown
+	// (transport error: the POST may or may not have landed). Until the
+	// target is heard from again — or written off after FailAfter failed
+	// polls — no OTHER node may be promoted, else a lost response could
+	// mint two primaries.
+	pendingPromote string
+
+	rr atomic.Uint64 // round-robin cursor over read candidates
+
+	failovers    atomic.Int64
+	demotions    atomic.Int64
+	repoints     atomic.Int64
+	readsReplica atomic.Int64
+	readsPrimary atomic.Int64
+	readsDropped atomic.Int64
+	forwards     atomic.Int64
+	proxyErrors  atomic.Int64
+}
+
+// New validates the topology and builds a router. The first routing
+// table is empty (no primary) until the first poll round completes;
+// Watch runs one round immediately on entry.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("router: no primary URL")
+	}
+	rt := &Router{
+		cfg:     cfg,
+		started: time.Now(),
+		urls:    make(map[string]*url.URL),
+		nodes:   make(map[string]*nodeState),
+	}
+	add := func(raw string) (string, error) {
+		raw = strings.TrimRight(raw, "/")
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return "", fmt.Errorf("router: upstream %q is not an absolute URL", raw)
+		}
+		if _, dup := rt.urls[raw]; dup {
+			return "", fmt.Errorf("router: upstream %q listed twice", raw)
+		}
+		rt.urls[raw] = u
+		rt.nodes[raw] = &nodeState{url: raw}
+		rt.order = append(rt.order, raw)
+		return raw, nil
+	}
+	primary, err := add(cfg.Primary)
+	if err != nil {
+		return nil, err
+	}
+	rt.curPrimary = primary
+	for _, r := range cfg.Replicas {
+		if _, err := add(r); err != nil {
+			return nil, err
+		}
+	}
+	rt.table.Store(&table{built: time.Now(), nodes: []nodeStatus{}})
+	return rt, nil
+}
+
+// Addr returns the configured listen address.
+func (rt *Router) Addr() string { return rt.cfg.Addr }
+
+// Watch runs the health-poll/failover loop until ctx ends, one round
+// immediately and then every Poll interval. Blocking; run it in a
+// goroutine next to Handler, or use ListenAndServe which does both.
+func (rt *Router) Watch(ctx context.Context) {
+	rt.tick(ctx)
+	t := time.NewTicker(rt.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.tick(ctx)
+		}
+	}
+}
+
+// ListenAndServe runs the poll loop and the HTTP front until ctx is
+// cancelled, then shuts down gracefully with a 10s drain bound.
+func (rt *Router) ListenAndServe(ctx context.Context) error {
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	go rt.Watch(wctx)
+	srv := &http.Server{
+		Addr:              rt.cfg.Addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			_ = srv.Close()
+			return err
+		}
+		return nil
+	}
+}
+
+// ---- poll loop ----
+
+// tick runs one poll round: poll every upstream in parallel, update
+// the failure counters, make the failover decision, publish a fresh
+// routing table.
+func (rt *Router) tick(ctx context.Context) {
+	type result struct {
+		h   UpstreamHealth
+		err error
+	}
+	results := make([]result, len(rt.order))
+	var wg sync.WaitGroup
+	for i, u := range rt.order {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := rt.pollOne(ctx, u)
+			results[i] = result{h: h, err: err}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return // mid-shutdown polls look like failures; don't act on them
+	}
+	now := time.Now()
+	for i, u := range rt.order {
+		n := rt.nodes[u]
+		if res := results[i]; res.err != nil {
+			n.ok = false
+			n.fails++
+			n.lastErr = res.err.Error()
+		} else {
+			n.ok = true
+			n.fails = 0
+			n.lastErr = ""
+			n.health = res.h
+			n.polled = now
+		}
+	}
+	rt.decide(ctx)
+	rt.publish(now)
+}
+
+// pollOne fetches and decodes one upstream's health document.
+func (rt *Router) pollOne(ctx context.Context, upstream string) (UpstreamHealth, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.pollTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, upstream+"/healthz", nil)
+	if err != nil {
+		return UpstreamHealth{}, err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return UpstreamHealth{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return UpstreamHealth{}, fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return UpstreamHealth{}, err
+	}
+	return DecodeUpstreamHealth(data)
+}
+
+// pollTimeout bounds one health poll: the poll interval, floored so a
+// sub-100ms test interval doesn't flake on a loaded machine.
+func (rt *Router) pollTimeout() time.Duration {
+	if rt.cfg.Poll < 250*time.Millisecond {
+		return 250 * time.Millisecond
+	}
+	return rt.cfg.Poll
+}
+
+// controlTimeout bounds one control call (promote/demote/repoint).
+func (rt *Router) controlTimeout() time.Duration {
+	d := 4 * rt.cfg.Poll
+	if d < 2*time.Second {
+		d = 2 * time.Second
+	}
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d
+}
+
+// decide updates the router's belief about who the primary is and
+// drives the topology toward it. The order of the rules matters:
+//
+//  1. The current primary is healthy and writable → keep it, and fence
+//     any OTHER healthy writable (a healed old primary must not
+//     split-brain the topology).
+//  2. Some other upstream is healthy and writable → adopt the
+//     most-caught-up one. This is what makes a router restart after a
+//     failover converge instead of demoting the survivor, and what
+//     lets two routers coexist (the second adopts the first's choice).
+//  3. The current primary has failed fewer than FailAfter consecutive
+//     polls → grace period, keep routing to it.
+//  4. Otherwise promote the most-caught-up healthy replica (highest
+//     replicated seq, URL as tiebreak) — exactly once per failover:
+//     after a successful promote the next round takes rule 1 or 2, and
+//     a retried promote (response lost on the wire) is idempotent on
+//     the serve side.
+//
+// Finally, any healthy replica tailing a different upstream than the
+// chosen primary is repointed at it.
+func (rt *Router) decide(ctx context.Context) {
+	cur := rt.nodes[rt.curPrimary]
+	writable := func(n *nodeState) bool { return n.ok && n.health.Writable }
+	switch {
+	case cur != nil && writable(cur):
+		if !rt.cfg.NoFailover {
+			for _, u := range rt.order {
+				if n := rt.nodes[u]; u != rt.curPrimary && writable(n) {
+					rt.demote(ctx, u)
+				}
+			}
+		}
+	case len(rt.pickWritables()) > 0:
+		best := rt.pickWritables()[0]
+		if best != rt.curPrimary {
+			rt.cfg.Logf("router: adopting %s as primary (writable, seq %d)", best, rt.nodes[best].health.Seq())
+			rt.curPrimary = best
+		}
+	case cur != nil && !cur.ok && cur.fails < rt.cfg.FailAfter:
+		// Grace period: a transient blip should not churn the topology.
+		// It applies only while polls are FAILING — a primary that
+		// answers but reports itself unwritable (fenced, or restarted
+		// into replica mode) is not coming back, so failover proceeds
+		// without waiting out the window.
+	case rt.cfg.NoFailover:
+		// Observe-only: keep the belief, let writes fail loudly.
+	default:
+		rt.failover(ctx)
+	}
+	if !rt.cfg.NoFailover && rt.curPrimary != "" {
+		if n := rt.nodes[rt.curPrimary]; n != nil && writable(n) {
+			rt.converge(ctx)
+		}
+	}
+}
+
+// pickWritables lists healthy writable upstreams, most caught-up first
+// (URL as tiebreak, so the ordering is total and deterministic).
+func (rt *Router) pickWritables() []string {
+	var out []string
+	for _, u := range rt.order {
+		if n := rt.nodes[u]; n.ok && n.health.Writable {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rt.nodes[out[i]].health.Seq(), rt.nodes[out[j]].health.Seq()
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// failover promotes the most-caught-up healthy replica. On success the
+// local health cache is patched so the very next request routes writes
+// to the new primary without waiting a poll round. An indeterminate
+// promote — a transport error, where the POST may have landed — parks
+// the failover on that one target until its health answers again (a
+// healthy poll is definitive either way) or it has been dead FailAfter
+// polls; promoting a second node while the first's outcome is unknown
+// could mint two primaries from one lost response.
+func (rt *Router) failover(ctx context.Context) {
+	if p := rt.pendingPromote; p != "" {
+		n := rt.nodes[p]
+		switch {
+		case n.ok:
+			rt.pendingPromote = "" // heard from it: its health doc is the truth
+		case n.fails < rt.cfg.FailAfter:
+			return // outcome unknown and the node may yet answer: hold
+		default:
+			rt.pendingPromote = "" // written off like a dead primary
+		}
+	}
+	var cands []string
+	for _, u := range rt.order {
+		if n := rt.nodes[u]; n.ok && n.health.DerivedRole() == "replica" {
+			cands = append(cands, u)
+		}
+	}
+	if len(cands) == 0 {
+		return // nothing promotable this round; keep trying
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		si, sj := rt.nodes[cands[i]].health.Seq(), rt.nodes[cands[j]].health.Seq()
+		if si != sj {
+			return si > sj
+		}
+		return cands[i] < cands[j]
+	})
+	best := cands[0]
+	definitive, err := rt.control(ctx, best, "/v1/promote", nil)
+	if err != nil {
+		if !definitive {
+			rt.pendingPromote = best
+		}
+		rt.cfg.Logf("router: promoting %s failed: %v", best, err)
+		return
+	}
+	n := rt.nodes[best]
+	rt.cfg.Logf("router: promoted %s (seq %d) after %d failed polls of %s",
+		best, n.health.Seq(), rt.nodes[rt.curPrimary].fails, rt.curPrimary)
+	n.health.Writable = true
+	n.health.Role = "primary"
+	rt.curPrimary = best
+	rt.failovers.Add(1)
+}
+
+// converge repoints healthy replicas that are tailing something other
+// than the current primary — the post-failover cleanup that lets the
+// surviving siblings (and a rejoined old primary) follow the new head.
+func (rt *Router) converge(ctx context.Context) {
+	for _, u := range rt.order {
+		n := rt.nodes[u]
+		if u == rt.curPrimary || !n.ok || n.health.Replica == nil || n.health.Writable {
+			continue
+		}
+		if strings.TrimRight(n.health.Replica.Primary, "/") == rt.curPrimary {
+			continue
+		}
+		if _, err := rt.control(ctx, u, "/v1/repoint", map[string]string{"primary": rt.curPrimary}); err != nil {
+			rt.cfg.Logf("router: repointing %s at %s failed: %v", u, rt.curPrimary, err)
+			continue
+		}
+		rt.cfg.Logf("router: repointed %s at %s", u, rt.curPrimary)
+		n.health.Replica.Primary = rt.curPrimary
+		rt.repoints.Add(1)
+	}
+}
+
+// demote fences one upstream out of write mode.
+func (rt *Router) demote(ctx context.Context, upstream string) {
+	if _, err := rt.control(ctx, upstream, "/v1/demote", nil); err != nil {
+		rt.cfg.Logf("router: demoting %s failed: %v", upstream, err)
+		return
+	}
+	rt.cfg.Logf("router: demoted %s (split-brain guard; primary is %s)", upstream, rt.curPrimary)
+	n := rt.nodes[upstream]
+	n.health.Writable = false
+	n.health.Role = "fenced"
+	rt.demotions.Add(1)
+}
+
+// control issues one POST control call against an upstream. The bool
+// reports whether the outcome is definitive: true when an HTTP status
+// came back (success or refusal), false on a transport error, where
+// the call may have been applied with its response lost on the wire.
+func (rt *Router) control(ctx context.Context, upstream, path string, body any) (bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.controlTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return true, err
+		}
+		rd = strings.NewReader(string(b))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, upstream+path, rd)
+	if err != nil {
+		return true, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return true, fmt.Errorf("%s answered %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return true, nil
+}
+
+// publish swaps in a fresh routing table reflecting the round.
+func (rt *Router) publish(now time.Time) {
+	tb := &table{built: now}
+	if n := rt.nodes[rt.curPrimary]; n != nil && n.ok && n.health.Writable {
+		tb.primary = rt.curPrimary
+		tb.primaryURL = rt.urls[rt.curPrimary]
+	}
+	for _, u := range rt.order {
+		n := rt.nodes[u]
+		st := nodeStatus{URL: u, Fails: n.fails, Error: n.lastErr}
+		if n.ok {
+			st.Healthy = true
+			st.Role = n.health.DerivedRole()
+			st.Seq = n.health.Seq()
+			st.StalenessSeconds = n.health.Staleness().Seconds()
+			if u != tb.primary && st.Role == "replica" {
+				tb.readers = append(tb.readers, reader{
+					url:       rt.urls[u],
+					raw:       u,
+					staleness: n.health.Staleness(),
+					polled:    n.polled,
+					seq:       n.health.Seq(),
+				})
+			}
+		}
+		tb.nodes = append(tb.nodes, st)
+	}
+	rt.table.Store(tb)
+}

@@ -1,0 +1,294 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewValidatesTopology pins the constructor's input contract.
+func TestNewValidatesTopology(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no primary succeeded")
+	}
+	if _, err := New(Config{Primary: "not a url"}); err == nil {
+		t.Fatal("New with a relative primary succeeded")
+	}
+	if _, err := New(Config{Primary: "http://a:1", Replicas: []string{"nope"}}); err == nil {
+		t.Fatal("New with a relative replica succeeded")
+	}
+	if _, err := New(Config{Primary: "http://a:1", Replicas: []string{"http://a:1/"}}); err == nil {
+		t.Fatal("New with a duplicate upstream succeeded")
+	}
+	rt, err := New(Config{Primary: "http://a:1/", Replicas: []string{"http://b:2"}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Before the first poll round the table is empty: no primary.
+	if tb := rt.table.Load(); tb.primary != "" || len(tb.readers) != 0 {
+		t.Fatalf("pre-poll table: %+v", tb)
+	}
+}
+
+// TestRoutingSplitsReadsAndWrites pins the core routing policy over a
+// real primary + replica pair: reads land on the replica, writes on
+// the primary, and both responses carry the upstream header naming who
+// served them.
+func TestRoutingSplitsReadsAndWrites(t *testing.T) {
+	p := startPrimary(t, 5)
+	r := startReplicaNode(t, p.url)
+	_, rsrv := startRouter(t, fastRouter(p.url, r.url))
+
+	waitUntil(t, 10*time.Second, "router to see primary and replica", func() bool {
+		doc := routerHealth(t, rsrv.URL)
+		return doc["primary"] == p.url && doc["replicas"].(float64) == 1
+	})
+	waitUntil(t, 10*time.Second, "replica catch-up", func() bool {
+		return r.rep.Stats().Seq >= p.eng.Stats().Seq
+	})
+
+	rng := rand.New(rand.NewSource(41))
+	probe := randVec(rng)
+	code, upstream, body := identifyVia(t, rsrv.URL, probe, "")
+	if code != http.StatusOK {
+		t.Fatalf("identify via router: %d %s", code, body)
+	}
+	if upstream != r.url {
+		t.Fatalf("read served by %q, want the replica %q", upstream, r.url)
+	}
+
+	code, upstream, body = enrollVia(t, rsrv.URL, "via-router", randVec(rng))
+	if code != http.StatusCreated {
+		t.Fatalf("enroll via router: %d %s", code, body)
+	}
+	if upstream != p.url {
+		t.Fatalf("write served by %q, want the primary %q", upstream, p.url)
+	}
+	if p.eng.Index("via-router") < 0 {
+		t.Fatal("write did not land on the primary")
+	}
+
+	// The write replicates; a bounded read still routes to the replica
+	// once its staleness recovers, and finds the new subject.
+	waitUntil(t, 10*time.Second, "write to replicate", func() bool {
+		return r.rep.Index("via-router") >= 0
+	})
+}
+
+// TestStalenessBound pins the per-request bound semantics: a
+// fresh-enough replica serves the read, an impossible bound falls back
+// to the primary, and header garbage is a 400 — never a silent
+// default.
+func TestStalenessBound(t *testing.T) {
+	p := startPrimary(t, 4)
+	r := startReplicaNode(t, p.url)
+	rt, rsrv := startRouter(t, fastRouter(p.url, r.url))
+
+	waitUntil(t, 10*time.Second, "router to see primary and replica", func() bool {
+		doc := routerHealth(t, rsrv.URL)
+		return doc["primary"] == p.url && doc["replicas"].(float64) == 1
+	})
+
+	rng := rand.New(rand.NewSource(42))
+	probe := randVec(rng)
+
+	// A generous bound routes to the replica.
+	code, upstream, body := identifyVia(t, rsrv.URL, probe, "30")
+	if code != http.StatusOK || upstream != r.url {
+		t.Fatalf("bounded read: %d via %q (%s), want 200 via replica", code, upstream, body)
+	}
+	// A zero bound can never be satisfied by a polled replica (effective
+	// staleness includes time-since-poll), so the primary serves it.
+	code, upstream, _ = identifyVia(t, rsrv.URL, probe, "0")
+	if code != http.StatusOK || upstream != p.url {
+		t.Fatalf("zero-bound read: %d via %q, want 200 via primary", code, upstream)
+	}
+	// Garbage bounds are the client's error.
+	for _, bad := range []string{"soon", "-1", "NaN"} {
+		code, _, _ = identifyVia(t, rsrv.URL, probe, bad)
+		if code != http.StatusBadRequest {
+			t.Fatalf("bound %q: %d, want 400", bad, code)
+		}
+	}
+	if rt.readsReplica.Load() == 0 || rt.readsPrimary.Load() == 0 {
+		t.Fatalf("read counters: replica=%d primary=%d, want both nonzero",
+			rt.readsReplica.Load(), rt.readsPrimary.Load())
+	}
+}
+
+// TestRoundRobinOverReplicas pins read spreading: with two qualifying
+// replicas, consecutive reads alternate between them.
+func TestRoundRobinOverReplicas(t *testing.T) {
+	p := startPrimary(t, 3)
+	r1 := startReplicaNode(t, p.url)
+	r2 := startReplicaNode(t, p.url)
+	_, rsrv := startRouter(t, fastRouter(p.url, r1.url, r2.url))
+
+	waitUntil(t, 10*time.Second, "router to see both replicas", func() bool {
+		return routerHealth(t, rsrv.URL)["replicas"].(float64) == 2
+	})
+
+	rng := rand.New(rand.NewSource(43))
+	probe := randVec(rng)
+	served := map[string]int{}
+	for i := 0; i < 10; i++ {
+		code, upstream, body := identifyVia(t, rsrv.URL, probe, "")
+		if code != http.StatusOK {
+			t.Fatalf("read %d: %d %s", i, code, body)
+		}
+		served[upstream]++
+	}
+	if served[r1.url] < 3 || served[r2.url] < 3 {
+		t.Fatalf("reads did not spread: %v", served)
+	}
+	if served[p.url] != 0 {
+		t.Fatalf("primary served %d reads with healthy replicas available", served[p.url])
+	}
+}
+
+// TestRouterOwnSurface pins the router's /healthz and /v1/metrics
+// documents.
+func TestRouterOwnSurface(t *testing.T) {
+	p := startPrimary(t, 2)
+	r := startReplicaNode(t, p.url)
+	_, rsrv := startRouter(t, fastRouter(p.url, r.url))
+	waitUntil(t, 10*time.Second, "router convergence", func() bool {
+		return routerHealth(t, rsrv.URL)["status"] == "ok"
+	})
+
+	doc := routerHealth(t, rsrv.URL)
+	if doc["role"] != "router" || doc["primary"] != p.url {
+		t.Fatalf("healthz: %v", doc)
+	}
+	nodes := doc["nodes"].([]any)
+	if len(nodes) != 2 {
+		t.Fatalf("healthz nodes: %v", nodes)
+	}
+	roles := map[string]string{}
+	for _, n := range nodes {
+		m := n.(map[string]any)
+		if m["healthy"] != true {
+			t.Fatalf("unhealthy node in converged topology: %v", m)
+		}
+		roles[m["url"].(string)] = m["role"].(string)
+	}
+	if roles[p.url] != "primary" || roles[r.url] != "replica" {
+		t.Fatalf("node roles: %v", roles)
+	}
+
+	resp, err := http.Get(rsrv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var metrics map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("metrics body: %v", err)
+	}
+	for _, key := range []string{"reads_replica", "reads_primary_fallback", "reads_unroutable",
+		"primary_forwards", "proxy_errors", "failovers", "demotions", "repoints", "nodes"} {
+		if _, ok := metrics[key]; !ok {
+			t.Fatalf("metrics missing %q: %v", key, metrics)
+		}
+	}
+}
+
+// TestNoWritableUpstream pins fail-fast behavior: with every upstream
+// down, writes and reads answer 503 immediately instead of hanging,
+// and the router reports itself degraded.
+func TestNoWritableUpstream(t *testing.T) {
+	primary := newFakeNode(t, fakePrimaryHealth(5))
+	replica := newFakeNode(t, fakeReplicaHealth(primary.url(), 5, 0.1))
+	_, rsrv := startRouter(t, Config{
+		Primary: primary.url(), Replicas: []string{replica.url()},
+		Poll: 50 * time.Millisecond, FailAfter: 2, NoFailover: true,
+	})
+	waitUntil(t, 10*time.Second, "router convergence", func() bool {
+		return routerHealth(t, rsrv.URL)["status"] == "ok"
+	})
+
+	primary.setDown(true)
+	replica.setDown(true)
+	waitUntil(t, 10*time.Second, "router to notice the outage", func() bool {
+		return routerHealth(t, rsrv.URL)["status"] == "degraded"
+	})
+
+	code, _, body := enrollVia(t, rsrv.URL, "x", make([]float64, testFeatures))
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "no writable upstream") {
+		t.Fatalf("write with no upstream: %d %s", code, body)
+	}
+	code, _, body = identifyVia(t, rsrv.URL, make([]float64, testFeatures), "1")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "staleness bound") {
+		t.Fatalf("read with no upstream: %d %s", code, body)
+	}
+}
+
+// TestDecodeUpstreamHealth pins the strict-on-known/tolerant-on-unknown
+// decode contract the router's polls depend on.
+func TestDecodeUpstreamHealth(t *testing.T) {
+	good := `{"status":"ok","role":"replica","writable":false,"subjects":7,
+		"replica":{"primary":"http://p:1","connected":true,"seq":7,"primary_seq":9,
+		"seq_lag":2,"staleness_seconds":0.25},"some_future_field":{"x":1}}`
+	h, err := DecodeUpstreamHealth([]byte(good))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.DerivedRole() != "replica" || h.Seq() != 7 || h.Staleness() != 250*time.Millisecond {
+		t.Fatalf("decoded: %+v", h)
+	}
+
+	// Role inference for pre-promote-era documents that carry no role.
+	h2, err := DecodeUpstreamHealth([]byte(`{"status":"ok","writable":true,"live":{"seq":4}}`))
+	if err != nil {
+		t.Fatalf("decode legacy: %v", err)
+	}
+	if h2.DerivedRole() != "primary" || h2.Seq() != 4 {
+		t.Fatalf("legacy derived: %+v", h2)
+	}
+	h3, err := DecodeUpstreamHealth([]byte(`{"status":"ok"}`))
+	if err != nil || h3.DerivedRole() != "static" {
+		t.Fatalf("static derived: %+v, %v", h3, err)
+	}
+
+	for name, bad := range map[string]string{
+		"empty":          ``,
+		"not json":       `<html>gateway error</html>`,
+		"wrong type":     `[1,2,3]`,
+		"bad status":     `{"status":"on-fire"}`,
+		"bad role":       `{"status":"ok","role":"emperor"}`,
+		"negative seq":   `{"status":"ok","replica":{"seq":-1}}`,
+		"negative stale": `{"status":"ok","replica":{"staleness_seconds":-0.5}}`,
+		"trailing data":  `{"status":"ok"}{"status":"ok"}`,
+		"truncated":      `{"status":"ok","replica":{"seq":`,
+	} {
+		if _, err := DecodeUpstreamHealth([]byte(bad)); err == nil {
+			t.Fatalf("%s: decode succeeded on %q", name, bad)
+		}
+	}
+}
+
+// TestReplicationSurfaceProxies pins that the replication endpoints
+// pass through to the primary — an external replica can bootstrap
+// through the router's address.
+func TestReplicationSurfaceProxies(t *testing.T) {
+	p := startPrimary(t, 4)
+	_, rsrv := startRouter(t, fastRouter(p.url))
+	waitUntil(t, 10*time.Second, "router to see the primary", func() bool {
+		return routerHealth(t, rsrv.URL)["primary"] == p.url
+	})
+
+	// A replica bootstrapped against the ROUTER address converges.
+	r := startReplicaNode(t, rsrv.URL)
+	waitUntil(t, 10*time.Second, "through-router replica catch-up", func() bool {
+		return r.rep.Stats().Seq >= p.eng.Stats().Seq
+	})
+	for i := 0; i < 4; i++ {
+		if r.rep.Index(fmt.Sprintf("subj-%02d", i)) < 0 {
+			t.Fatalf("through-router replica missing subj-%02d", i)
+		}
+	}
+}

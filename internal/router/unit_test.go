@@ -1,0 +1,112 @@
+package router
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTimeoutClamps pins the poll/control timeout derivations: polls
+// are floored at 250ms so sub-100ms test intervals don't flake, and
+// control calls get 4× the poll interval clamped into [2s, 10s].
+func TestTimeoutClamps(t *testing.T) {
+	mk := func(poll time.Duration) *Router {
+		rt, err := New(Config{Primary: "http://127.0.0.1:1", Poll: poll})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return rt
+	}
+	if got := mk(20 * time.Millisecond).pollTimeout(); got != 250*time.Millisecond {
+		t.Errorf("pollTimeout(20ms) = %v, want the 250ms floor", got)
+	}
+	if got := mk(2 * time.Second).pollTimeout(); got != 2*time.Second {
+		t.Errorf("pollTimeout(2s) = %v, want the interval itself", got)
+	}
+	if got := mk(50 * time.Millisecond).controlTimeout(); got != 2*time.Second {
+		t.Errorf("controlTimeout(50ms poll) = %v, want the 2s floor", got)
+	}
+	if got := mk(time.Second).controlTimeout(); got != 4*time.Second {
+		t.Errorf("controlTimeout(1s poll) = %v, want 4×poll", got)
+	}
+	if got := mk(30 * time.Second).controlTimeout(); got != 10*time.Second {
+		t.Errorf("controlTimeout(30s poll) = %v, want the 10s cap", got)
+	}
+}
+
+// TestDerivedRole pins the role inference for upstreams predating the
+// explicit role field: writable → primary, replica block → replica,
+// neither → static; an explicit role always wins.
+func TestDerivedRole(t *testing.T) {
+	cases := []struct {
+		h    UpstreamHealth
+		want string
+	}{
+		{UpstreamHealth{Role: "fenced", Writable: true}, "fenced"},
+		{UpstreamHealth{Writable: true}, "primary"},
+		{UpstreamHealth{Replica: &ReplicaHealth{}}, "replica"},
+		{UpstreamHealth{}, "static"},
+	}
+	for _, c := range cases {
+		if got := c.h.DerivedRole(); got != c.want {
+			t.Errorf("DerivedRole(%+v) = %q, want %q", c.h, got, c.want)
+		}
+	}
+}
+
+// TestPickWritablesOrders pins the adoption order: highest replicated
+// seq first, URL as the deterministic tiebreak.
+func TestPickWritablesOrders(t *testing.T) {
+	rt, err := New(Config{
+		Primary:  "http://b.example:1",
+		Replicas: []string{"http://a.example:1", "http://c.example:1", "http://d.example:1"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	set := func(u string, writable bool, seq int64) {
+		n := rt.nodes[u]
+		n.ok = true
+		n.health = fakePrimaryHealth(seq)
+		n.health.Writable = writable
+	}
+	set("http://b.example:1", true, 5)
+	set("http://a.example:1", true, 9)
+	set("http://c.example:1", true, 9)
+	set("http://d.example:1", false, 99) // not writable: excluded
+	got := rt.pickWritables()
+	want := []string{"http://a.example:1", "http://c.example:1", "http://b.example:1"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("pickWritables() = %v, want %v", got, want)
+	}
+}
+
+// TestProxyErrorAnswers502 kills the adopted primary's socket out from
+// under the router: the shared proxy's error handler must answer 502
+// and count the failure, not hang or panic.
+func TestProxyErrorAnswers502(t *testing.T) {
+	// A long poll interval: the immediate first round adopts the fake,
+	// and no second round can notice the socket dying before the
+	// request below hits the stale table.
+	n := newFakeNode(t, fakePrimaryHealth(1))
+	rt, srv := startRouter(t, Config{Primary: n.url(), Poll: time.Minute})
+
+	waitUntil(t, 5*time.Second, "primary adopted", func() bool {
+		return routerHealth(t, srv.URL)["primary"] == n.url()
+	})
+	n.srv.Close() // the routing table still names it
+
+	resp, err := http.Post(srv.URL+"/v1/enroll", "application/json",
+		strings.NewReader(`{"id":"x","fingerprint":[1]}`))
+	if err != nil {
+		t.Fatalf("POST through the router: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("proxy to a dead upstream answered %d, want 502", resp.StatusCode)
+	}
+	if got := rt.proxyErrors.Load(); got == 0 {
+		t.Error("proxyErrors counter did not move")
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+// This file holds the topology control endpoints: the
+// promote/demote/repoint surface a router (internal/router) drives
+// during failover. They are ordinary handlers on the same mux as the
+// data plane — no separate admin port — because the router already
+// holds the serving address of every node it manages.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// promoteResponse confirms a promotion (or reports one already done).
+type promoteResponse struct {
+	// Role is the server's role after the call ("primary").
+	Role string `json:"role"`
+	// Seq is the engine's head mutation sequence at promotion time —
+	// the next write gets Seq+1, continuing the replicated history.
+	Seq int64 `json:"seq"`
+	// AlreadyPrimary marks an idempotent no-op: the server was primary
+	// before the call (a duplicate promote from a retrying router).
+	AlreadyPrimary bool `json:"already_primary,omitempty"`
+}
+
+// demoteResponse confirms a demotion (or reports one already done).
+type demoteResponse struct {
+	// Role is the server's role after the call ("fenced").
+	Role string `json:"role"`
+	// AlreadyFenced marks an idempotent no-op.
+	AlreadyFenced bool `json:"already_fenced,omitempty"`
+}
+
+// repointRequest is the POST /v1/repoint body.
+type repointRequest struct {
+	// Primary is the new upstream base URL to tail.
+	Primary string `json:"primary"`
+}
+
+// repointResponse confirms an upstream retarget.
+type repointResponse struct {
+	// Primary echoes the new upstream base URL.
+	Primary string `json:"primary"`
+}
+
+// handlePromote serves POST /v1/promote: flip a replica into a writable
+// primary. The replication tail is detached cleanly (see
+// replicate.Replica.Detach) and the local engine — which keeps serving
+// reads throughout — becomes the write surface; its mutation sequence
+// continues from the replicated head, so post-promotion writes extend
+// the same history the old primary was writing. Idempotent: promoting a
+// primary answers 200 with already_primary. A server with nothing to
+// promote (static read-only, or fenced) answers 409.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mControl.observe(start, failed) }()
+
+	// The whole transition runs under the write lock: a concurrent
+	// duplicate promote serializes behind it and takes the idempotent
+	// branch, so the detach fires exactly once. Detach is fast — it
+	// breaks the in-flight stream and joins the tail goroutine — so the
+	// read paths stall only momentarily.
+	s.roleMu.Lock()
+	switch {
+	case s.mutable != nil:
+		seq := s.mutable.Stats().Seq
+		s.roleMu.Unlock()
+		failed = false
+		writeJSON(w, http.StatusOK, promoteResponse{Role: "primary", Seq: seq, AlreadyPrimary: true})
+		return
+	case s.replica == nil:
+		fenced := s.fenced
+		s.roleMu.Unlock()
+		msg := "server is not a replica (static read-only store)"
+		if fenced {
+			msg = "server is fenced; restart it with -replica-of to rejoin before promoting"
+		}
+		writeJSON(w, http.StatusConflict, errorResponse{Error: msg})
+		return
+	}
+	eng, err := s.replica.Detach()
+	if err != nil {
+		s.roleMu.Unlock()
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: fmt.Sprintf("detaching replica: %v", err)})
+		return
+	}
+	s.mutable = eng
+	s.replica = nil
+	s.promotions.Add(1)
+	seq := eng.Stats().Seq
+	s.roleMu.Unlock()
+
+	failed = false
+	writeJSON(w, http.StatusOK, promoteResponse{Role: "primary", Seq: seq})
+}
+
+// handleDemote serves POST /v1/demote: fence a primary out of write
+// mode — the split-brain guard a router applies to a healed old primary
+// that comes back after a sibling was promoted. Fencing is one-way for
+// the life of the process (rejoining the topology as a replica means a
+// restart with -replica-of, which re-bootstraps against the new
+// primary's history); reads keep working on the fenced data. Idempotent:
+// demoting a fenced server answers 200 with already_fenced. A server
+// that was never a primary answers 409.
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mControl.observe(start, failed) }()
+
+	s.roleMu.Lock()
+	switch {
+	case s.fenced:
+		s.roleMu.Unlock()
+		failed = false
+		writeJSON(w, http.StatusOK, demoteResponse{Role: "fenced", AlreadyFenced: true})
+		return
+	case s.mutable == nil:
+		s.roleMu.Unlock()
+		writeJSON(w, http.StatusConflict,
+			errorResponse{Error: "server is not a primary (nothing to demote)"})
+		return
+	}
+	s.mutable = nil
+	s.fenced = true
+	s.demotions.Add(1)
+	s.roleMu.Unlock()
+
+	failed = false
+	writeJSON(w, http.StatusOK, demoteResponse{Role: "fenced"})
+}
+
+// handleRepoint serves POST /v1/repoint: retarget a replica's upstream
+// at a new primary — the post-failover topology change a router sends
+// to the surviving siblings of a promoted replica. The in-flight stream
+// breaks immediately and the tail reconnects against the new upstream;
+// the sequence scheme decides resume versus re-bootstrap. Only a
+// replica can be repointed; anything else answers 409.
+func (s *Server) handleRepoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	failed := true
+	defer func() { s.mControl.observe(start, failed) }()
+
+	var req repointRequest
+	if !decodeBody(w, r, s.cfg.MaxBodyBytes, &req) {
+		return
+	}
+	if req.Primary == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing primary URL"})
+		return
+	}
+	rep := s.replicaRef()
+	if rep == nil {
+		writeJSON(w, http.StatusConflict,
+			errorResponse{Error: "server is not a replica (nothing to repoint)"})
+		return
+	}
+	if err := rep.Repoint(req.Primary); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, repointResponse{Primary: req.Primary})
+}

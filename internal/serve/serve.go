@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -135,12 +136,21 @@ func (m *endpointMetrics) snapshot() map[string]any {
 // Server is the HTTP identification service over one attacker session.
 type Server struct {
 	atk     *attacker.Attacker
-	mutable gallery.Mutable // non-nil only for a writable server
 	cfg     Config
 	started time.Time
 
-	source  *replicate.Source  // primary-side replication mount (nil unless cfg.Live)
-	replica *replicate.Replica // replica lag reporting (nil unless cfg.Replica)
+	source *replicate.Source // replication mount (nil unless cfg.Live or cfg.Replica)
+
+	// The server's role can change at runtime: POST /v1/promote flips a
+	// replica into a writable primary, POST /v1/demote fences a primary
+	// out of write mode. roleMu guards the transition; the hot paths
+	// take the read side once per request.
+	roleMu     sync.RWMutex
+	mutable    gallery.Mutable    // non-nil only while the server accepts writes
+	replica    *replicate.Replica // non-nil only while the server follows a primary
+	fenced     bool               // true once demoted: writes refused for good
+	promotions atomic.Int64
+	demotions  atomic.Int64
 
 	inflight chan struct{}
 	draining chan struct{} // closed once, when graceful shutdown begins
@@ -153,6 +163,7 @@ type Server struct {
 	mEnroll    endpointMetrics
 	mDelete    endpointMetrics
 	mReplicate endpointMetrics
+	mControl   endpointMetrics
 }
 
 // New builds a service over a session with a non-empty gallery. A
@@ -178,14 +189,54 @@ func New(atk *attacker.Attacker, cfg Config) (*Server, error) {
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		draining: make(chan struct{}),
 	}
-	if cfg.Live != nil {
+	switch {
+	case cfg.Live != nil:
 		s.source = replicate.NewSource(cfg.Live)
+	case cfg.Replica != nil:
+		// A replica re-exports the replication surface over its own
+		// engine: downstream replicas may chain off it, and after a
+		// promotion the surface keeps serving without a restart. The
+		// provider indirection follows the replica's engine across
+		// re-bootstrap swaps.
+		s.source = replicate.NewSourceFunc(cfg.Replica.Engine)
 	}
 	return s, nil
 }
 
 // Writable reports whether the server accepts online mutations.
-func (s *Server) Writable() bool { return s.mutable != nil }
+func (s *Server) Writable() bool { return s.writeSurface() != nil }
+
+// writeSurface reads the current mutable gallery under the role lock.
+func (s *Server) writeSurface() gallery.Mutable {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.mutable
+}
+
+// replicaRef reads the current replica handle under the role lock.
+func (s *Server) replicaRef() *replicate.Replica {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	return s.replica
+}
+
+// Role names the server's current position in a replicated topology:
+// "primary" (accepting writes), "replica" (tailing a primary),
+// "fenced" (demoted out of write mode to prevent split-brain), or
+// "static" (a read-only server over an immutable store).
+func (s *Server) Role() string {
+	s.roleMu.RLock()
+	defer s.roleMu.RUnlock()
+	switch {
+	case s.mutable != nil:
+		return "primary"
+	case s.replica != nil:
+		return "replica"
+	case s.fenced:
+		return "fenced"
+	}
+	return "static"
+}
 
 // Addr returns the configured listen address.
 func (s *Server) Addr() string { return s.cfg.Addr }
@@ -212,6 +263,12 @@ func (s *Server) Handler() http.Handler {
 	// from "no such route" (404).
 	mux.HandleFunc("POST /v1/enroll", s.handleEnroll)
 	mux.HandleFunc("DELETE /v1/subjects/{id}", s.handleDelete)
+	// Topology control: promotion, demotion, and upstream repoint (see
+	// promote.go). Routed unconditionally for the same 405-vs-404
+	// legibility as the write endpoints.
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/demote", s.handleDemote)
+	mux.HandleFunc("POST /v1/repoint", s.handleRepoint)
 	return mux
 }
 
@@ -557,14 +614,22 @@ type deleteResponse struct {
 	Subjects int    `json:"subjects"`
 }
 
-// requireWritable answers 405 on a read-only server.
-func (s *Server) requireWritable(w http.ResponseWriter) bool {
-	if s.mutable == nil {
-		writeJSON(w, http.StatusMethodNotAllowed,
-			errorResponse{Error: "server is read-only (start with -writable over a live gallery)"})
-		return false
+// requireWritable answers 405 on a read-only server and returns the
+// write surface to use otherwise — resolved once, so a concurrent
+// demotion cannot yank it mid-handler.
+func (s *Server) requireWritable(w http.ResponseWriter) (gallery.Mutable, bool) {
+	s.roleMu.RLock()
+	m, fenced := s.mutable, s.fenced
+	s.roleMu.RUnlock()
+	if m == nil {
+		msg := "server is read-only (start with -writable over a live gallery)"
+		if fenced {
+			msg = "server was demoted (fenced); writes refused to prevent split-brain — restart with -replica-of to rejoin"
+		}
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: msg})
+		return nil, false
 	}
-	return true
+	return m, true
 }
 
 func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
@@ -572,7 +637,8 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	failed := true
 	defer func() { s.mEnroll.observe(start, failed) }()
 
-	if !s.requireWritable(w) {
+	m, ok := s.requireWritable(w)
+	if !ok {
 		return
 	}
 	var req enrollRequest
@@ -592,14 +658,14 @@ func (s *Server) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	if err := s.mutable.Enroll(req.ID, req.Fingerprint); err != nil {
+	if err := m.Enroll(req.ID, req.Fingerprint); err != nil {
 		writeMutationError(w, err)
 		return
 	}
 	failed = false
 	writeJSON(w, http.StatusCreated, enrollResponse{
 		ID:        req.ID,
-		Subjects:  s.mutable.Len(),
+		Subjects:  m.Len(),
 		ElapsedMS: msSince(start),
 	})
 }
@@ -609,7 +675,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	failed := true
 	defer func() { s.mDelete.observe(start, failed) }()
 
-	if !s.requireWritable(w) {
+	m, ok := s.requireWritable(w)
+	if !ok {
 		return
 	}
 	id := r.PathValue("id")
@@ -617,12 +684,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	if err := s.mutable.Delete(id); err != nil {
+	if err := m.Delete(id); err != nil {
 		writeMutationError(w, err)
 		return
 	}
 	failed = false
-	writeJSON(w, http.StatusOK, deleteResponse{ID: id, Subjects: s.mutable.Len()})
+	writeJSON(w, http.StatusOK, deleteResponse{ID: id, Subjects: m.Len()})
 }
 
 // writeMutationError maps write-path failures to HTTP statuses:
@@ -683,45 +750,52 @@ func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	mutable, rep := s.writeSurface(), s.replicaRef()
 	endpoints := map[string]any{
 		"identify":        s.mIdentify.snapshot(),
 		"batch":           s.mBatch.snapshot(),
 		"identify_stream": s.mStream.snapshot(),
 		"gallery":         s.mGallery.snapshot(),
 		"healthz":         s.mHealth.snapshot(),
+		"control":         s.mControl.snapshot(),
 	}
 	resp := map[string]any{
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"inflight":       len(s.inflight),
 		"max_inflight":   s.cfg.MaxInflight,
-		"writable":       s.mutable != nil,
+		"writable":       mutable != nil,
+		"role":           s.Role(),
+		"promotions":     s.promotions.Load(),
+		"demotions":      s.demotions.Load(),
 		"endpoints":      endpoints,
 	}
-	if s.mutable != nil {
+	if mutable != nil {
 		endpoints["enroll"] = s.mEnroll.snapshot()
 		endpoints["delete"] = s.mDelete.snapshot()
 	}
 	if s.source != nil {
 		endpoints["replicate"] = s.mReplicate.snapshot()
 	}
-	if st, ok := s.liveStats(); ok {
+	if st, ok := s.liveStats(mutable, rep); ok {
 		resp["live"] = liveJSON(st)
 	}
-	if s.replica != nil {
-		resp["replica"] = replicaJSON(s.replica.Stats())
+	if rep != nil {
+		resp["replica"] = replicaJSON(rep.Stats())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // liveStats resolves the live engine's counters for whichever role the
 // server plays: writable primary (the mutable gallery), read replica
-// (the replica's engine), or read-only live mount (cfg.Live).
-func (s *Server) liveStats() (gallery.MutableStats, bool) {
+// (the replica's engine), or read-only live mount (cfg.Live). The
+// caller passes the surfaces it already resolved so one request sees
+// one consistent role.
+func (s *Server) liveStats(mutable gallery.Mutable, rep *replicate.Replica) (gallery.MutableStats, bool) {
 	switch {
-	case s.mutable != nil:
-		return s.mutable.Stats(), true
-	case s.replica != nil:
-		return s.replica.Engine().Stats(), true
+	case mutable != nil:
+		return mutable.Stats(), true
+	case rep != nil:
+		return rep.Engine().Stats(), true
 	case s.cfg.Live != nil:
 		return s.cfg.Live.Stats(), true
 	}
@@ -771,21 +845,25 @@ func liveJSON(st gallery.MutableStats) map[string]any {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.mHealth.observe(start, false) }()
+	mutable, rep := s.writeSurface(), s.replicaRef()
 	resp := map[string]any{
 		"status":         "ok",
 		"subjects":       s.atk.Gallery().Len(),
 		"features":       s.atk.Gallery().Features(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
-		"writable":       s.mutable != nil,
+		"writable":       mutable != nil,
+		"role":           s.Role(),
+		"promotions":     s.promotions.Load(),
+		"demotions":      s.demotions.Load(),
 	}
-	if st, ok := s.liveStats(); ok {
+	if st, ok := s.liveStats(mutable, rep); ok {
 		// Compaction visibility for operators: a live server's health
 		// report carries the engine's generation, sequence position,
 		// overlay size, and whether a fold is running right now.
 		resp["live"] = liveJSON(st)
 	}
-	if s.replica != nil {
-		rs := s.replica.Stats()
+	if rep != nil {
+		rs := rep.Stats()
 		resp["replica"] = replicaJSON(rs)
 		if !rs.Connected {
 			// Still serving (possibly stale) local data, but operators

@@ -1,0 +1,39 @@
+package brainprint
+
+// The routing facade: a replica-aware HTTP front tier over a primary +
+// N read-replica topology. The router health-polls every upstream,
+// sends reads to replicas under a per-request staleness bound (falling
+// back to the primary when no replica qualifies), forwards writes and
+// the replication surface to the primary, and on primary loss promotes
+// the most-caught-up replica, repoints the surviving siblings at it,
+// and fences a healed old primary before it can split-brain the
+// topology. See internal/router and docs/ROUTER.md for the routing
+// policy and failure matrix.
+
+import "brainprint/internal/router"
+
+// Router is the replica-aware front tier. Build one with NewRouter and
+// run it with ListenAndServe, or mount Handler on your own server and
+// run Watch alongside it.
+type Router = router.Router
+
+// RouterConfig tunes a router: the upstream topology, the health-poll
+// cadence, the failover threshold, and the default read staleness
+// bound.
+type RouterConfig = router.Config
+
+// RouterHeaderMaxStaleness is the request header a client sets to
+// bound how stale a routed read may be, in (fractional) seconds; it
+// overrides the router's configured default for that request.
+const RouterHeaderMaxStaleness = router.HeaderMaxStaleness
+
+// RouterHeaderUpstream is the response header the router stamps with
+// the base URL of the upstream that served the request.
+const RouterHeaderUpstream = router.HeaderUpstream
+
+// NewRouter validates the topology and builds a router. Its routing
+// table starts empty; the first health-poll round (immediate on
+// Watch/ListenAndServe entry) populates it.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	return router.New(cfg)
+}

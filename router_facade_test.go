@@ -1,0 +1,33 @@
+package brainprint_test
+
+import (
+	"testing"
+
+	"brainprint"
+)
+
+// TestFacadeRouter exercises the root-package router wrappers the way
+// an embedding program would: build from a RouterConfig, reject a bad
+// topology, and keep the re-exported header names aligned with the
+// wire protocol documented in docs/ROUTER.md.
+func TestFacadeRouter(t *testing.T) {
+	rt, err := brainprint.NewRouter(brainprint.RouterConfig{
+		Primary:  "http://127.0.0.1:7311",
+		Replicas: []string{"http://127.0.0.1:7312"},
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	if rt.Handler() == nil {
+		t.Fatal("Handler() returned nil")
+	}
+	if _, err := brainprint.NewRouter(brainprint.RouterConfig{}); err == nil {
+		t.Fatal("NewRouter with no primary returned nil error")
+	}
+	if brainprint.RouterHeaderMaxStaleness != "X-Max-Staleness-Seconds" {
+		t.Errorf("RouterHeaderMaxStaleness = %q", brainprint.RouterHeaderMaxStaleness)
+	}
+	if brainprint.RouterHeaderUpstream != "X-Brainprint-Upstream" {
+		t.Errorf("RouterHeaderUpstream = %q", brainprint.RouterHeaderUpstream)
+	}
+}
