@@ -34,7 +34,7 @@ import (
 // runGallery dispatches the gallery subcommands.
 func runGallery(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, live, compact, index, query, info, or probe)")
+		return fmt.Errorf("gallery: missing subcommand (want enroll, shard, live, compact, defend, index, query, info, or probe)")
 	}
 	switch args[0] {
 	case "enroll":
@@ -45,6 +45,8 @@ func runGallery(args []string, out io.Writer) error {
 		return galleryLive(args[1:], out)
 	case "compact":
 		return galleryCompact(args[1:], out)
+	case "defend":
+		return galleryDefend(args[1:], out)
 	case "index":
 		return galleryIndex(args[1:], out)
 	case "query":
@@ -54,7 +56,7 @@ func runGallery(args []string, out io.Writer) error {
 	case "probe":
 		return galleryProbe(args[1:], out)
 	default:
-		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, live, compact, index, query, info, or probe)", args[0])
+		return fmt.Errorf("gallery: unknown subcommand %q (want enroll, shard, live, compact, defend, index, query, info, or probe)", args[0])
 	}
 }
 
@@ -80,6 +82,7 @@ func galleryLive(args []string, out io.Writer) error {
 	db := fs.String("db", "", "live gallery directory to create (required)")
 	features := fs.Int("features", 0, "create an empty live gallery with this dimensionality instead of seeding from -from")
 	shards := fs.Int("shards", 0, "shard count compaction writes (0 = inherit from -from, or 1 when empty)")
+	spec := fs.String("defense", "", "anonymization pipeline applied at every base build (e.g. 'ksame(k=5)'); persisted in the manifest and inherited at reopen")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -89,7 +92,11 @@ func galleryLive(args []string, out io.Writer) error {
 	if (*from == "") == (*features == 0) {
 		return fmt.Errorf("gallery live: exactly one of -from and -features is required")
 	}
-	opts := brainprint.LiveGalleryOptions{Shards: *shards}
+	defDesc, err := brainprint.ParseDefenseDescriptor(*spec)
+	if err != nil {
+		return fmt.Errorf("gallery live: %w", err)
+	}
+	opts := brainprint.LiveGalleryOptions{Shards: *shards, Defense: defDesc}
 	if *from == "" {
 		e, err := brainprint.CreateLiveGallery(*db, *features, opts)
 		if err != nil {
@@ -142,6 +149,77 @@ func galleryCompact(args []string, out io.Writer) error {
 	if before.RecoveredTornBytes > 0 {
 		fmt.Fprintf(out, "recovered a torn write-ahead log tail (%d bytes truncated)\n", before.RecoveredTornBytes)
 	}
+	return nil
+}
+
+// galleryDefend applies an anonymization pipeline to an enrolled
+// gallery database and writes the defended release as a sharded store
+// whose manifest records the pipeline — so `gallery info`, /healthz,
+// and /v1/gallery on the release all report how it was anonymized.
+// The source database is never modified. The transform is
+// deterministic: the same source, spec, and seed produce a
+// byte-identical release at any -parallelism.
+func galleryDefend(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("brainprint gallery defend", flag.ContinueOnError)
+	db := fs.String("db", "", "gallery file or shard manifest to defend (required)")
+	outPath := fs.String("out", "", "shard manifest of the defended release to write (required)")
+	spec := fs.String("defense", "", "pipeline spec, steps joined with '+' (required), e.g. 'ksame(k=5)' or 'suppress(top=20)+noise(laplace,eps=0.5,seed=7)'")
+	shards := fs.Int("shards", 0, "shard count of the release (0 = inherit the source layout)")
+	quantize := fs.Bool("quantize", false, "derive int8 scalar-quantization parameters for the release")
+	par := fs.Int("parallelism", 0, "worker count (0 = all cores, 1 = serial); the release is identical at any setting")
+	force := fs.Bool("force", false, "overwrite an existing manifest")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	if *db == "" || *outPath == "" {
+		return fmt.Errorf("gallery defend: -db and -out are required")
+	}
+	d, err := brainprint.ParseDefenseDescriptor(*spec)
+	if err != nil {
+		return fmt.Errorf("gallery defend: %w", err)
+	}
+	if d == nil {
+		return fmt.Errorf("gallery defend: -defense is required (spec %q resolves to the undefended pipeline)", *spec)
+	}
+	if !*force {
+		if _, err := os.Stat(*outPath); err == nil {
+			return fmt.Errorf("gallery defend: %s already exists (use -force to overwrite)", *outPath)
+		}
+	}
+	src, err := openStore(*db, out)
+	if err != nil {
+		return err
+	}
+	var snap *brainprint.Gallery
+	if idx := src.FeatureIndex(); idx != nil {
+		snap = brainprint.NewGalleryIndexed(idx)
+	} else {
+		snap = brainprint.NewGallery(src.Features())
+	}
+	for gi, id := range src.IDs() {
+		if err := snap.EnrollNormalized(id, src.Fingerprint(gi)); err != nil {
+			return err
+		}
+	}
+	defended, err := brainprint.ApplyDefense(snap, d, *par)
+	if err != nil {
+		return err
+	}
+	n := *shards
+	if n <= 0 {
+		n = src.Shards()
+	}
+	store, err := brainprint.NewGalleryStore(defended, n, *quantize)
+	if err != nil {
+		return err
+	}
+	store.SetDefense(d)
+	if err := store.WriteFiles(*outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "defended %d subjects (%d features each) from %s into %s (%d shards%s)\n",
+		defended.Len(), defended.Features(), *db, *outPath, n, quantSuffix(*quantize))
+	fmt.Fprintf(out, "  defense: %s\n", d)
 	return nil
 }
 
@@ -632,6 +710,9 @@ func galleryInfo(args []string, out io.Writer) error {
 	if g.HasQuant() {
 		fmt.Fprintf(out, "  quantized:      int8 scalar scan with exact float64 rescore\n")
 	}
+	if d := g.Defense(); d != nil {
+		fmt.Fprintf(out, "  defense:        %s\n", d)
+	}
 	if g.HasANNIndex() {
 		fmt.Fprintf(out, "  ann index:      IVF sidecar, %d cells (queries scan exactly unless -ann/-nprobe)\n",
 			g.ANNIndex().Cells())
@@ -695,6 +776,9 @@ func liveInfo(dir string, out io.Writer) error {
 	fmt.Fprintf(out, "  subjects:       %d (%d base, %d overlay, %d tombstones pending)\n",
 		e.Len(), st.BaseRecords, st.MemRecords, st.Tombstones)
 	fmt.Fprintf(out, "  features:       %d\n", e.Features())
+	if d := e.Defense(); d != nil {
+		fmt.Fprintf(out, "  defense:        %s (applied at every compaction)\n", d)
+	}
 	if idx := e.FeatureIndex(); idx != nil {
 		fmt.Fprintf(out, "  feature index:  %d raw-space rows (probes may be full connectome vectors)\n", len(idx))
 	} else {

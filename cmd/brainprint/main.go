@@ -10,7 +10,8 @@
 // Usage:
 //
 //	brainprint [-experiment <name>|all] [flags]
-//	brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
+//	brainprint gallery enroll|shard|live|compact|defend|query|info|probe [flags]
+//	brainprint defense sweep [flags]
 //	brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [flags]
 //	brainprint router -primary url [-replicas url,url...] [flags]
 //
@@ -42,20 +43,28 @@ import (
 // from what run dispatches.
 var usageText = fmt.Sprintf(`usage:
   brainprint [-experiment %s|all] [flags]
-  brainprint gallery enroll|shard|live|compact|query|info|probe [flags]
+  brainprint gallery enroll|shard|live|compact|defend|query|info|probe [flags]
+  brainprint defense sweep [flags]
   brainprint serve -db gallery.bpg|store.bpm|live-dir [-writable] [-replica-of url] [flags]
   brainprint router -primary url [-replicas url,url...] [flags]
   brainprint loadgen -targets url[,url...] [flags]
 
 run 'brainprint -help', 'brainprint gallery <subcommand> -help',
-'brainprint serve -help', 'brainprint router -help' or
-'brainprint loadgen -help' for the flags of each form`,
+'brainprint defense sweep -help', 'brainprint serve -help',
+'brainprint router -help' or 'brainprint loadgen -help' for the flags
+of each form`,
 	strings.Join(brainprint.ExperimentNames(), "|"))
 
 func main() {
 	args := os.Args[1:]
 	if len(args) > 0 && args[0] == "gallery" {
 		if err := runGallery(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
+			fail(err)
+		}
+		return
+	}
+	if len(args) > 0 && args[0] == "defense" {
+		if err := runDefense(args[1:], os.Stdout); err != nil && !errors.Is(err, flag.ErrHelp) {
 			fail(err)
 		}
 		return

@@ -104,7 +104,7 @@ func TestUsageFromRegistry(t *testing.T) {
 			t.Errorf("usage text is missing experiment %q:\n%s", name, usageText)
 		}
 	}
-	for _, want := range []string{"defense", "gallery enroll|shard|live|compact|query|info|probe", "serve -db", "-writable"} {
+	for _, want := range []string{"defense", "gallery enroll|shard|live|compact|defend|query|info|probe", "defense sweep", "serve -db", "-writable"} {
 		if !strings.Contains(usageText, want) {
 			t.Errorf("usage text is missing %q", want)
 		}

@@ -1,0 +1,114 @@
+package brainprint
+
+// The gallery defense facade: composable anonymization transforms
+// (k-same microaggregation, feature suppression/generalization,
+// calibrated DP noise) applied to enrolled galleries, plus the
+// attack-vs-utility sweep that measures what each pipeline buys and
+// costs. See internal/defense for the transform engine and DESIGN.md
+// §12 for the composition and determinism contract.
+
+import (
+	"context"
+
+	"brainprint/internal/defense"
+	"brainprint/internal/experiments"
+)
+
+// DefenseDescriptor is a validated anonymization pipeline: an ordered
+// list of transform steps applied to a gallery's enrolled vectors.
+// Build one with ParseDefenseDescriptor (or literally), apply it with
+// ApplyDefense or persist it through LiveGalleryOptions.Defense; the
+// shard manifest carries it so defended stores are self-describing.
+type DefenseDescriptor = defense.Descriptor
+
+// DefenseStep is one transform of a defense pipeline.
+type DefenseStep = defense.Step
+
+// DefenseKind discriminates the transform families of a DefenseStep.
+type DefenseKind = defense.Kind
+
+// DefenseMechanism selects the noise distribution of a KindNoise step.
+type DefenseMechanism = defense.Mechanism
+
+// Defense transform kinds and noise mechanisms.
+const (
+	// DefenseKSame replaces each record with its k-group centroid
+	// (MDAV microaggregation) — every released vector is shared by at
+	// least k subjects.
+	DefenseKSame = defense.KindKSame
+	// DefenseSuppress zeroes (or bucket-generalizes) the most
+	// identifying features.
+	DefenseSuppress = defense.KindSuppress
+	// DefenseNoise adds calibrated Gaussian or Laplace noise per
+	// feature, scaled by observed sensitivity and ε.
+	DefenseNoise = defense.KindNoise
+	// DefenseGaussian is the (ε, δ)-calibrated Gaussian mechanism.
+	DefenseGaussian = defense.Gaussian
+	// DefenseLaplace is the ε-calibrated Laplace mechanism.
+	DefenseLaplace = defense.Laplace
+)
+
+// DefaultDefenseDelta is the δ a Gaussian noise step uses when the
+// descriptor leaves it zero.
+const DefaultDefenseDelta = defense.DefaultDelta
+
+// Typed defense-descriptor errors, matched with errors.Is.
+var (
+	// ErrDefenseDescriptorVersion: unsupported descriptor codec version.
+	ErrDefenseDescriptorVersion = defense.ErrDescriptorVersion
+	// ErrDefenseDescriptorCorrupt: the encoded descriptor is
+	// structurally broken (truncated, trailing bytes, bounds).
+	ErrDefenseDescriptorCorrupt = defense.ErrDescriptorCorrupt
+	// ErrDefenseDescriptorInvalid: a step's parameters are out of
+	// domain (k < 2, ε ≤ 0, unsorted indices, …).
+	ErrDefenseDescriptorInvalid = defense.ErrDescriptorInvalid
+	// ErrDefenseDescriptorSyntax: the textual spec failed to parse.
+	ErrDefenseDescriptorSyntax = defense.ErrDescriptorSyntax
+)
+
+// ParseDefenseDescriptor parses the textual pipeline spec accepted by
+// the CLI's -defense flags — steps joined with '+', each
+// "kind(key=value,...)":
+//
+//	ksame(k=5)
+//	suppress(top=20,buckets=4) + noise(laplace,eps=0.5,seed=7)
+//
+// "none" (or the empty string) parses to nil, the undefended pipeline.
+// The result is validated; String() round-trips the canonical form.
+func ParseDefenseDescriptor(spec string) (*DefenseDescriptor, error) { return defense.Parse(spec) }
+
+// ApplyDefense runs a defense pipeline over an enrolled gallery and
+// returns the defended gallery (the input is never mutated; a nil or
+// empty descriptor returns it unchanged). The transform is
+// deterministic — bit-identical output at any parallelism setting —
+// so enroll-time and compaction-time application of the same pipeline
+// to the same records agree exactly.
+func ApplyDefense(g *Gallery, d *DefenseDescriptor, parallelism int) (*Gallery, error) {
+	return defense.Apply(g, d, parallelism)
+}
+
+// GalleryDefenseConfig parameterizes RunGalleryDefenseSweep; zero
+// values mean the documented defaults (1000 subjects, 96 features,
+// k-same k ∈ {2, 5, 10}, gaussian ε ∈ {20, 8, 2}).
+type GalleryDefenseConfig = experiments.GalleryDefenseConfig
+
+// GalleryDefenseRow is one cell of the defense sweep: a pipeline with
+// its attack accuracy, vulnerable-population fraction, and utility
+// metrics.
+type GalleryDefenseRow = experiments.GalleryDefenseRow
+
+// GalleryDefenseResult is the full attack-vs-utility grid; Render
+// prints it as a table and MonotoneByStrength checks the CI gate
+// invariant.
+type GalleryDefenseResult = experiments.GalleryDefenseResult
+
+// RunGalleryDefenseSweep runs the gallery anonymization
+// attack-vs-utility sweep: a seeded synthetic cohort is enrolled,
+// defended under each (kind, strength) pipeline, and re-attacked with
+// ranked top-k identification; each cell reports privacy (top-1/top-k
+// accuracy, uniquely-vulnerable fraction) next to utility
+// (task-prediction accuracy, aggregate-query error). Also registered
+// as the "gallery-defense" experiment.
+func RunGalleryDefenseSweep(ctx context.Context, cfg GalleryDefenseConfig) (*GalleryDefenseResult, error) {
+	return experiments.GalleryDefenseSweep(ctx, cfg)
+}

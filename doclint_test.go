@@ -36,6 +36,7 @@ var docAuditedPackages = []string{
 	"internal/parallel",
 	"internal/replicate",
 	"internal/router",
+	"internal/defense",
 }
 
 // TestExportedIdentifiersDocumented walks the audited packages and

@@ -169,7 +169,7 @@ func ExampleExperiments() {
 	spec, _ := brainprint.LookupExperiment("defense")
 	fmt.Printf("defense needs HCP: %v\n", spec.NeedsHCP)
 	// Output:
-	// fig1 fig2 fig5 fig6 table1 fig7 fig8 fig9 table2 defense
+	// fig1 fig2 fig5 fig6 table1 fig7 fig8 fig9 table2 defense gallery-defense
 	// defense needs HCP: true
 }
 

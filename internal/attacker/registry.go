@@ -55,6 +55,24 @@ type Input struct {
 	// (default: the session's feature budget, 4×Trials resampling
 	// splits — the CLI's historical stabilizing multiplier — and Seed).
 	Performance *core.PerformanceConfig
+	// DefenseSubjects is the gallery-defense sweep cohort size
+	// (default 1000).
+	DefenseSubjects int
+	// DefenseFeatures is the gallery-defense sweep fingerprint
+	// dimensionality (default 96).
+	DefenseFeatures int
+	// DefenseClusters is the gallery-defense sweep task-label count
+	// (default 8).
+	DefenseClusters int
+	// DefenseTopK is the gallery-defense sweep ranked-list depth
+	// (default 5).
+	DefenseTopK int
+	// DefenseKSameKs is the gallery-defense k-same strength grid
+	// (default 2, 5, 10).
+	DefenseKSameKs []int
+	// DefenseEpsilons is the gallery-defense DP-noise ε grid (default
+	// 20, 8, 2).
+	DefenseEpsilons []float64
 }
 
 // withDefaults resolves the zero values against the session config.
@@ -180,6 +198,21 @@ var registry = []Experiment{
 		Name: "defense", Synopsis: "targeted vs uniform release-noise defense (§4)", NeedsHCP: true,
 		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
 			return experiments.DefenseSweep(ctx, in.HCP, in.Sigmas, in.DefenseTopFeatures, a.cfg, in.Seed)
+		},
+	},
+	{
+		Name: "gallery-defense", Synopsis: "gallery anonymization attack-vs-utility sweep (k-same, DP noise)",
+		run: func(ctx context.Context, a *Attacker, in Input) (Result, error) {
+			return experiments.GalleryDefenseSweep(ctx, experiments.GalleryDefenseConfig{
+				Subjects:    in.DefenseSubjects,
+				Features:    in.DefenseFeatures,
+				Clusters:    in.DefenseClusters,
+				TopK:        in.DefenseTopK,
+				KSameKs:     in.DefenseKSameKs,
+				Epsilons:    in.DefenseEpsilons,
+				Parallelism: a.cfg.Parallelism,
+				Seed:        in.Seed,
+			})
 		},
 	},
 }

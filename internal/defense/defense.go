@@ -1,11 +1,23 @@
-// Package defense implements the countermeasure the paper's §4 sketches:
-// because the attack localizes identity to a small set of
-// high-leverage connectome features, a data publisher can add noise to
-// exactly those features before release, spending a distortion budget
-// where it buys the most privacy. The package provides targeted
-// (leverage-guided) and uniform perturbation with matched total
-// distortion so the two strategies can be compared fairly, plus the
-// privacy/utility bookkeeping used by the defense experiment.
+// Package defense implements gallery-side anonymization: the
+// countermeasure side of the paper's attack/defense arms race.
+//
+// Two layers live here. The release-noise layer (this file) is the
+// countermeasure the paper's §4 sketches: because the attack localizes
+// identity to a small set of high-leverage connectome features, a data
+// publisher can add noise to exactly those features before release,
+// spending a distortion budget where it buys the most privacy; Protect
+// provides targeted (leverage-guided) and uniform perturbation at
+// matched total distortion.
+//
+// The transform layer (descriptor.go, transform.go) is the persistent
+// counterpart: composable, deterministic gallery transforms — k-same
+// MDAV microaggregation, feature suppression/generalization, and
+// calibrated Gaussian/Laplace DP noise — described by a Descriptor
+// that the shard manifest persists and the live engine re-applies at
+// every compaction, so a defended gallery stays defended across WAL
+// replay, reopen, and replication. Apply is bit-identical at any
+// parallelism setting; see DESIGN.md §12 for the determinism argument
+// and composition rules.
 package defense
 
 import (

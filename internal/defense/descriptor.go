@@ -1,0 +1,555 @@
+package defense
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The defense descriptor is the durable record of which anonymization
+// pipeline produced a gallery: an ordered list of transform steps, each
+// with its parameters, serialized into the shard manifest (flag bit 1)
+// so a defended store re-applies the same pipeline at every live
+// compaction and reports what it did through `gallery info`, /healthz,
+// and /v1/gallery. The binary layout, version 1 (all integers
+// little-endian, floats as IEEE-754 bits):
+//
+//	version  uint16  1
+//	steps    uint16  step count (1..16)
+//	step (×steps, in application order):
+//	  kind      uint8    1 = ksame, 2 = suppress, 3 = noise
+//	  mechanism uint8    0 = gaussian, 1 = laplace (noise only)
+//	  k         uint32   k-same group size
+//	  top       uint32   suppress: top-variance feature budget
+//	  buckets   uint32   suppress: generalization buckets (0 = zero out)
+//	  epsilon   float64  noise: privacy budget ε
+//	  delta     float64  noise: gaussian δ (0 = DefaultDelta)
+//	  seed      uint64   noise: per-step RNG root
+//	  nidx      uint32   suppress: explicit index count (0 = top-variance)
+//	  idx       [nidx]uint32  strictly ascending feature indices
+//
+// The encoding is canonical: Decode(Encode(d)) is the identity and a
+// decoded descriptor re-encodes to the same bytes, which the fuzz
+// target (FuzzDecodeDefenseDescriptor) pins. The blob carries no
+// checksum of its own — it lives inside the manifest header, which is
+// already CRC-protected as a whole.
+
+// DescriptorVersion is the defense descriptor format version this
+// package reads and writes.
+const DescriptorVersion = 1
+
+const (
+	// maxSteps bounds a descriptor's pipeline length so a corrupt blob
+	// cannot drive an absurd allocation.
+	maxSteps = 16
+	// maxSuppressIndices bounds one suppress step's explicit index list.
+	maxSuppressIndices = 1 << 20
+	// stepFixedLen is the per-step encoded length before the index list.
+	stepFixedLen = 1 + 1 + 4 + 4 + 4 + 8 + 8 + 8 + 4
+)
+
+// DefaultDelta is the δ the gaussian mechanism falls back to when a
+// noise step leaves Delta zero.
+const DefaultDelta = 1e-5
+
+// Typed descriptor errors, matched with errors.Is.
+var (
+	// ErrDescriptorVersion means the blob uses an unsupported descriptor
+	// format version.
+	ErrDescriptorVersion = errors.New("defense: unsupported descriptor version")
+	// ErrDescriptorCorrupt means the blob is truncated, carries trailing
+	// bytes, or violates a structural bound.
+	ErrDescriptorCorrupt = errors.New("defense: corrupt descriptor")
+	// ErrDescriptorInvalid means a structurally well-formed descriptor
+	// carries semantically invalid parameters (k < 2, ε ≤ 0, …).
+	ErrDescriptorInvalid = errors.New("defense: invalid descriptor")
+	// ErrDescriptorSyntax means a textual descriptor spec failed to
+	// parse.
+	ErrDescriptorSyntax = errors.New("defense: bad descriptor syntax")
+)
+
+// Kind identifies one transform family.
+type Kind uint8
+
+// Transform kinds, in the order a typical pipeline composes them.
+const (
+	// KindKSame replaces each fingerprint with the centroid of its
+	// MDAV microaggregation group of at least K records, so every
+	// released vector is shared by K-or-more subjects (k-anonymity for
+	// fingerprints).
+	KindKSame Kind = 1
+	// KindSuppress zeroes (or bucket-generalizes) a feature subset:
+	// either the top-variance features or an explicit index list.
+	KindSuppress Kind = 2
+	// KindNoise adds calibrated per-feature Gaussian or Laplace noise
+	// with sensitivity taken from the observed per-feature range.
+	KindNoise Kind = 3
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindKSame:
+		return "ksame"
+	case KindSuppress:
+		return "suppress"
+	case KindNoise:
+		return "noise"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Mechanism selects the noise distribution of a KindNoise step.
+type Mechanism uint8
+
+// Noise mechanisms.
+const (
+	// Gaussian draws N(0, σ_f²) per feature with
+	// σ_f = sens_f · sqrt(2·ln(1.25/δ)) / ε.
+	Gaussian Mechanism = 0
+	// Laplace draws Lap(0, b_f) per feature with b_f = sens_f / ε.
+	Laplace Mechanism = 1
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case Gaussian:
+		return "gaussian"
+	case Laplace:
+		return "laplace"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", uint8(m))
+	}
+}
+
+// Step is one transform in a defense pipeline. Only the fields of its
+// Kind are meaningful; the rest stay zero (the codec and String enforce
+// that canonical form).
+type Step struct {
+	// Kind selects the transform family.
+	Kind Kind
+	// K is the k-same minimum group size (≥ 2).
+	K int
+	// TopFeatures is the suppress step's top-variance feature budget,
+	// used when Indices is empty.
+	TopFeatures int
+	// Indices is the suppress step's explicit feature list, strictly
+	// ascending; it overrides TopFeatures when non-empty.
+	Indices []int
+	// Buckets is the suppress generalization granularity: 0 zeroes the
+	// selected features, b > 0 snaps each value to the midpoint of its
+	// bucket over the feature's observed range split into b buckets.
+	Buckets int
+	// Mechanism is the noise distribution.
+	Mechanism Mechanism
+	// Epsilon is the noise privacy budget ε (> 0; smaller is stronger).
+	Epsilon float64
+	// Delta is the gaussian mechanism's δ (0 means DefaultDelta).
+	Delta float64
+	// Seed is the noise step's RNG root; per-record streams derive from
+	// it so results are bit-identical at any parallelism.
+	Seed int64
+}
+
+// Strength maps a step onto a scalar "more is stronger" axis — the
+// coordinate the sweep's monotonicity gate orders cells by: k for
+// k-same, the suppressed-feature count for suppression, and 1/ε for
+// noise.
+func (s Step) Strength() float64 {
+	switch s.Kind {
+	case KindKSame:
+		return float64(s.K)
+	case KindSuppress:
+		if len(s.Indices) > 0 {
+			return float64(len(s.Indices))
+		}
+		return float64(s.TopFeatures)
+	case KindNoise:
+		if s.Epsilon > 0 {
+			return 1 / s.Epsilon
+		}
+		return math.Inf(1)
+	default:
+		return 0
+	}
+}
+
+// validate checks one step's semantic invariants.
+func (s Step) validate(i int) error {
+	switch s.Kind {
+	case KindKSame:
+		if s.K < 2 {
+			return fmt.Errorf("%w: step %d: ksame needs k >= 2, got %d", ErrDescriptorInvalid, i, s.K)
+		}
+		if s.TopFeatures != 0 || len(s.Indices) != 0 || s.Buckets != 0 || s.Mechanism != 0 || s.Epsilon != 0 || s.Delta != 0 || s.Seed != 0 {
+			return fmt.Errorf("%w: step %d: ksame carries foreign parameters", ErrDescriptorInvalid, i)
+		}
+	case KindSuppress:
+		if len(s.Indices) == 0 && s.TopFeatures <= 0 {
+			return fmt.Errorf("%w: step %d: suppress needs top-variance budget or explicit indices", ErrDescriptorInvalid, i)
+		}
+		if len(s.Indices) > 0 && s.TopFeatures != 0 {
+			return fmt.Errorf("%w: step %d: suppress has both a top-variance budget and explicit indices", ErrDescriptorInvalid, i)
+		}
+		if len(s.Indices) > maxSuppressIndices {
+			return fmt.Errorf("%w: step %d: %d suppress indices (max %d)", ErrDescriptorInvalid, i, len(s.Indices), maxSuppressIndices)
+		}
+		for j, idx := range s.Indices {
+			if idx < 0 || idx > math.MaxUint32 {
+				return fmt.Errorf("%w: step %d: suppress index %d out of range", ErrDescriptorInvalid, i, idx)
+			}
+			if j > 0 && idx <= s.Indices[j-1] {
+				return fmt.Errorf("%w: step %d: suppress indices not strictly ascending at %d", ErrDescriptorInvalid, i, idx)
+			}
+		}
+		if s.Buckets < 0 {
+			return fmt.Errorf("%w: step %d: negative bucket count %d", ErrDescriptorInvalid, i, s.Buckets)
+		}
+		if s.K != 0 || s.Mechanism != 0 || s.Epsilon != 0 || s.Delta != 0 || s.Seed != 0 {
+			return fmt.Errorf("%w: step %d: suppress carries foreign parameters", ErrDescriptorInvalid, i)
+		}
+	case KindNoise:
+		if s.Mechanism != Gaussian && s.Mechanism != Laplace {
+			return fmt.Errorf("%w: step %d: unknown noise mechanism %d", ErrDescriptorInvalid, i, uint8(s.Mechanism))
+		}
+		if !(s.Epsilon > 0) || math.IsInf(s.Epsilon, 0) {
+			return fmt.Errorf("%w: step %d: noise needs a finite epsilon > 0, got %v", ErrDescriptorInvalid, i, s.Epsilon)
+		}
+		if s.Delta < 0 || s.Delta >= 1 || math.IsNaN(s.Delta) {
+			return fmt.Errorf("%w: step %d: delta %v outside [0, 1)", ErrDescriptorInvalid, i, s.Delta)
+		}
+		if s.Mechanism == Laplace && s.Delta != 0 {
+			return fmt.Errorf("%w: step %d: laplace takes no delta", ErrDescriptorInvalid, i)
+		}
+		if s.K != 0 || s.TopFeatures != 0 || len(s.Indices) != 0 || s.Buckets != 0 {
+			return fmt.Errorf("%w: step %d: noise carries foreign parameters", ErrDescriptorInvalid, i)
+		}
+	default:
+		return fmt.Errorf("%w: step %d: unknown kind %d", ErrDescriptorInvalid, i, uint8(s.Kind))
+	}
+	return nil
+}
+
+// Descriptor is an ordered defense pipeline: Apply runs the steps
+// front to back, and the manifest persists the whole list so a live
+// store keeps re-applying it at every compaction.
+type Descriptor struct {
+	// Steps is the pipeline in application order (1..16 steps).
+	Steps []Step
+}
+
+// Validate checks the descriptor's semantic invariants — step count,
+// per-kind parameter ranges, ascending suppress indices — returning
+// ErrDescriptorInvalid on the first violation.
+func (d *Descriptor) Validate() error {
+	if len(d.Steps) == 0 {
+		return fmt.Errorf("%w: empty pipeline", ErrDescriptorInvalid)
+	}
+	if len(d.Steps) > maxSteps {
+		return fmt.Errorf("%w: %d steps (max %d)", ErrDescriptorInvalid, len(d.Steps), maxSteps)
+	}
+	for i, s := range d.Steps {
+		if err := s.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SuppressedFeatures returns how many feature slots the pipeline's
+// suppress steps cover in total — the count dims-mismatch diagnostics
+// name so a geometry dispute on a defended store points at the defense
+// configuration instead of a bare number.
+func (d *Descriptor) SuppressedFeatures() int {
+	if d == nil {
+		return 0
+	}
+	total := 0
+	for _, s := range d.Steps {
+		if s.Kind != KindSuppress {
+			continue
+		}
+		if len(s.Indices) > 0 {
+			total += len(s.Indices)
+		} else {
+			total += s.TopFeatures
+		}
+	}
+	return total
+}
+
+// String renders the pipeline in the textual spec syntax Parse accepts,
+// e.g. "ksame(k=5)+noise(gaussian,eps=0.5)". String∘Parse and
+// Parse∘String are identities on valid specs.
+func (d *Descriptor) String() string {
+	if d == nil || len(d.Steps) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(d.Steps))
+	for i, s := range d.Steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// String renders one step in the spec syntax.
+func (s Step) String() string {
+	switch s.Kind {
+	case KindKSame:
+		return fmt.Sprintf("ksame(k=%d)", s.K)
+	case KindSuppress:
+		var b strings.Builder
+		b.WriteString("suppress(")
+		if len(s.Indices) > 0 {
+			b.WriteString("idx=")
+			for j, idx := range s.Indices {
+				if j > 0 {
+					b.WriteByte(';')
+				}
+				b.WriteString(strconv.Itoa(idx))
+			}
+		} else {
+			fmt.Fprintf(&b, "top=%d", s.TopFeatures)
+		}
+		if s.Buckets > 0 {
+			fmt.Fprintf(&b, ",buckets=%d", s.Buckets)
+		}
+		b.WriteByte(')')
+		return b.String()
+	case KindNoise:
+		var b strings.Builder
+		fmt.Fprintf(&b, "noise(%s,eps=%s", s.Mechanism, strconv.FormatFloat(s.Epsilon, 'g', -1, 64))
+		if s.Delta != 0 {
+			fmt.Fprintf(&b, ",delta=%s", strconv.FormatFloat(s.Delta, 'g', -1, 64))
+		}
+		if s.Seed != 0 {
+			fmt.Fprintf(&b, ",seed=%d", s.Seed)
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(s.Kind))
+	}
+}
+
+// EncodeDescriptor renders a validated descriptor into the version-1
+// binary blob the shard manifest embeds. A nil descriptor (the
+// undefended pipeline) encodes to an empty blob.
+func EncodeDescriptor(d *Descriptor) ([]byte, error) {
+	if d == nil {
+		return nil, nil
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 4+len(d.Steps)*stepFixedLen)
+	buf = binary.LittleEndian.AppendUint16(buf, DescriptorVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(d.Steps)))
+	for _, s := range d.Steps {
+		buf = append(buf, byte(s.Kind), byte(s.Mechanism))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.K))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.TopFeatures))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Buckets))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Epsilon))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Delta))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Seed))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Indices)))
+		for _, idx := range s.Indices {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(idx))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeDescriptor parses a version-1 descriptor blob, rejecting
+// truncation, trailing bytes, structural bound violations
+// (ErrDescriptorCorrupt), unsupported versions (ErrDescriptorVersion),
+// and semantically invalid parameters (ErrDescriptorInvalid). A
+// successfully decoded descriptor re-encodes to the identical bytes.
+func DecodeDescriptor(blob []byte) (*Descriptor, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	if len(blob) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte blob", ErrDescriptorCorrupt, len(blob))
+	}
+	version := binary.LittleEndian.Uint16(blob)
+	if version != DescriptorVersion {
+		return nil, fmt.Errorf("%w %d (supported: %d)", ErrDescriptorVersion, version, DescriptorVersion)
+	}
+	steps := int(binary.LittleEndian.Uint16(blob[2:]))
+	if steps == 0 || steps > maxSteps {
+		return nil, fmt.Errorf("%w: implausible step count %d", ErrDescriptorCorrupt, steps)
+	}
+	d := &Descriptor{Steps: make([]Step, 0, steps)}
+	off := 4
+	for i := 0; i < steps; i++ {
+		if len(blob)-off < stepFixedLen {
+			return nil, fmt.Errorf("%w: truncated in step %d", ErrDescriptorCorrupt, i)
+		}
+		s := Step{
+			Kind:        Kind(blob[off]),
+			Mechanism:   Mechanism(blob[off+1]),
+			K:           int(binary.LittleEndian.Uint32(blob[off+2:])),
+			TopFeatures: int(binary.LittleEndian.Uint32(blob[off+6:])),
+			Buckets:     int(binary.LittleEndian.Uint32(blob[off+10:])),
+			Epsilon:     math.Float64frombits(binary.LittleEndian.Uint64(blob[off+14:])),
+			Delta:       math.Float64frombits(binary.LittleEndian.Uint64(blob[off+22:])),
+			Seed:        int64(binary.LittleEndian.Uint64(blob[off+30:])),
+		}
+		nidx := int(binary.LittleEndian.Uint32(blob[off+38:]))
+		off += stepFixedLen
+		if nidx > maxSuppressIndices {
+			return nil, fmt.Errorf("%w: step %d names %d suppress indices (max %d)", ErrDescriptorCorrupt, i, nidx, maxSuppressIndices)
+		}
+		if len(blob)-off < 4*nidx {
+			return nil, fmt.Errorf("%w: truncated in step %d index list", ErrDescriptorCorrupt, i)
+		}
+		if nidx > 0 {
+			s.Indices = make([]int, nidx)
+			for j := range s.Indices {
+				s.Indices[j] = int(binary.LittleEndian.Uint32(blob[off+4*j:]))
+			}
+			off += 4 * nidx
+		}
+		d.Steps = append(d.Steps, s)
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDescriptorCorrupt, len(blob)-off)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Parse reads the textual descriptor spec the CLI accepts: steps joined
+// with '+', each "kind(key=value,...)". Examples:
+//
+//	ksame(k=5)
+//	suppress(top=20,buckets=4)
+//	suppress(idx=0;3;17)
+//	noise(laplace,eps=0.5,seed=7)
+//	ksame(k=2)+noise(gaussian,eps=2)
+//
+// "none" (or the empty string) parses to nil — no defense.
+func Parse(spec string) (*Descriptor, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	d := &Descriptor{}
+	for _, part := range strings.Split(spec, "+") {
+		s, err := parseStep(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		d.Steps = append(d.Steps, s)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseStep reads one "kind(args)" clause.
+func parseStep(part string) (Step, error) {
+	open := strings.IndexByte(part, '(')
+	if open < 0 || !strings.HasSuffix(part, ")") {
+		return Step{}, fmt.Errorf("%w: step %q is not kind(args)", ErrDescriptorSyntax, part)
+	}
+	kind, args := part[:open], part[open+1:len(part)-1]
+	var s Step
+	switch kind {
+	case "ksame":
+		s.Kind = KindKSame
+	case "suppress":
+		s.Kind = KindSuppress
+	case "noise":
+		s.Kind = KindNoise
+	default:
+		return Step{}, fmt.Errorf("%w: unknown kind %q (want ksame, suppress, or noise)", ErrDescriptorSyntax, kind)
+	}
+	for _, arg := range strings.Split(args, ",") {
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(arg, "=")
+		if !ok {
+			// A bare word is a noise mechanism name.
+			if s.Kind == KindNoise && (arg == "gaussian" || arg == "laplace") {
+				if arg == "laplace" {
+					s.Mechanism = Laplace
+				}
+				continue
+			}
+			return Step{}, fmt.Errorf("%w: argument %q is not key=value", ErrDescriptorSyntax, arg)
+		}
+		if err := s.setArg(key, val); err != nil {
+			return Step{}, err
+		}
+	}
+	return s, nil
+}
+
+// setArg assigns one parsed key=value onto the step.
+func (s *Step) setArg(key, val string) error {
+	switch key {
+	case "k":
+		return parseInt(val, &s.K)
+	case "top":
+		return parseInt(val, &s.TopFeatures)
+	case "buckets":
+		return parseInt(val, &s.Buckets)
+	case "idx":
+		for _, tok := range strings.Split(val, ";") {
+			var idx int
+			if err := parseInt(tok, &idx); err != nil {
+				return err
+			}
+			s.Indices = append(s.Indices, idx)
+		}
+		sort.Ints(s.Indices)
+		return nil
+	case "eps":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad float %q", ErrDescriptorSyntax, val)
+		}
+		s.Epsilon = f
+		return nil
+	case "delta":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad float %q", ErrDescriptorSyntax, val)
+		}
+		s.Delta = f
+		return nil
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad integer %q", ErrDescriptorSyntax, val)
+		}
+		s.Seed = n
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown parameter %q", ErrDescriptorSyntax, key)
+	}
+}
+
+// parseInt reads a non-negative int spec argument.
+func parseInt(val string, out *int) error {
+	n, err := strconv.Atoi(strings.TrimSpace(val))
+	if err != nil {
+		return fmt.Errorf("%w: bad integer %q", ErrDescriptorSyntax, val)
+	}
+	*out = n
+	return nil
+}

@@ -1,0 +1,205 @@
+package defense
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampleDescriptors covers every kind, both mechanisms, and multi-step
+// composition.
+func sampleDescriptors() []*Descriptor {
+	return []*Descriptor{
+		{Steps: []Step{{Kind: KindKSame, K: 2}}},
+		{Steps: []Step{{Kind: KindKSame, K: 1000}}},
+		{Steps: []Step{{Kind: KindSuppress, TopFeatures: 20}}},
+		{Steps: []Step{{Kind: KindSuppress, TopFeatures: 8, Buckets: 4}}},
+		{Steps: []Step{{Kind: KindSuppress, Indices: []int{0, 3, 17}}}},
+		{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2, Delta: 1e-6, Seed: 7}}},
+		{Steps: []Step{{Kind: KindNoise, Mechanism: Laplace, Epsilon: 0.5, Seed: 9}}},
+		{Steps: []Step{
+			{Kind: KindSuppress, TopFeatures: 10},
+			{Kind: KindKSame, K: 5},
+			{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 8},
+		}},
+	}
+}
+
+func TestDescriptorCodecRoundTrip(t *testing.T) {
+	for _, d := range sampleDescriptors() {
+		blob, err := EncodeDescriptor(d)
+		if err != nil {
+			t.Fatalf("encode %s: %v", d, err)
+		}
+		got, err := DecodeDescriptor(blob)
+		if err != nil {
+			t.Fatalf("decode %s: %v", d, err)
+		}
+		if got.String() != d.String() {
+			t.Errorf("round trip changed the descriptor: %s -> %s", d, got)
+		}
+		reblob, err := EncodeDescriptor(got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", got, err)
+		}
+		if string(reblob) != string(blob) {
+			t.Errorf("%s: re-encode is not byte-identical", d)
+		}
+	}
+}
+
+func TestDescriptorNilEncodesEmpty(t *testing.T) {
+	blob, err := EncodeDescriptor(nil)
+	if err != nil {
+		t.Fatalf("encode nil: %v", err)
+	}
+	if len(blob) != 0 {
+		t.Fatalf("nil descriptor encoded to %d bytes, want 0", len(blob))
+	}
+	d, err := DecodeDescriptor(nil)
+	if err != nil {
+		t.Fatalf("decode nil: %v", err)
+	}
+	if d != nil {
+		t.Fatalf("decode of empty blob = %v, want nil", d)
+	}
+}
+
+func TestDescriptorParseStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"ksame(k=5)",
+		"suppress(top=20)",
+		"suppress(top=8,buckets=4)",
+		"suppress(idx=0;3;17)",
+		"noise(gaussian,eps=2,seed=7)",
+		"noise(laplace,eps=0.5,seed=9)",
+		"suppress(top=10)+ksame(k=5)+noise(gaussian,eps=8)",
+	}
+	for _, spec := range specs {
+		d, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		re, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", d.String(), spec, err)
+		}
+		if re.String() != d.String() {
+			t.Errorf("canonical form unstable: %q -> %q -> %q", spec, d, re)
+		}
+	}
+	for _, none := range []string{"", "none", " none "} {
+		d, err := Parse(none)
+		if err != nil {
+			t.Fatalf("parse %q: %v", none, err)
+		}
+		if d != nil {
+			t.Errorf("parse %q = %v, want nil (the undefended pipeline)", none, d)
+		}
+	}
+}
+
+func TestDescriptorValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Descriptor
+	}{
+		{"ksame k=1", Descriptor{Steps: []Step{{Kind: KindKSame, K: 1}}}},
+		{"ksame with epsilon", Descriptor{Steps: []Step{{Kind: KindKSame, K: 2, Epsilon: 1}}}},
+		{"suppress nothing", Descriptor{Steps: []Step{{Kind: KindSuppress}}}},
+		{"suppress both top and idx", Descriptor{Steps: []Step{{Kind: KindSuppress, TopFeatures: 3, Indices: []int{1}}}}},
+		{"suppress unsorted idx", Descriptor{Steps: []Step{{Kind: KindSuppress, Indices: []int{5, 3}}}}},
+		{"suppress duplicate idx", Descriptor{Steps: []Step{{Kind: KindSuppress, Indices: []int{3, 3}}}}},
+		{"noise eps=0", Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian}}}},
+		{"noise negative eps", Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian, Epsilon: -1}}}},
+		{"laplace with delta", Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Laplace, Epsilon: 1, Delta: 0.1}}}},
+		{"delta out of range", Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 1, Delta: 1}}}},
+		{"unknown kind", Descriptor{Steps: []Step{{Kind: Kind(99)}}}},
+		{"no steps", Descriptor{}},
+	}
+	for _, tc := range cases {
+		if err := tc.d.Validate(); !errors.Is(err, ErrDescriptorInvalid) {
+			t.Errorf("%s: Validate() = %v, want ErrDescriptorInvalid", tc.name, err)
+		}
+	}
+}
+
+func TestDescriptorParseSyntaxErrors(t *testing.T) {
+	for _, spec := range []string{
+		"ksame",            // missing arguments
+		"ksame(k=two)",     // non-numeric
+		"ksame(k=5",        // unbalanced paren
+		"bogus(k=5)",       // unknown kind
+		"noise(eps=1,q=2)", // unknown key
+		"ksame(k=5)+",      // trailing separator
+	} {
+		if _, err := Parse(spec); !errors.Is(err, ErrDescriptorSyntax) && !errors.Is(err, ErrDescriptorInvalid) {
+			t.Errorf("Parse(%q) = %v, want a syntax or validation error", spec, err)
+		}
+	}
+}
+
+func TestDescriptorDecodeRejectsCorruption(t *testing.T) {
+	d := &Descriptor{Steps: []Step{
+		{Kind: KindSuppress, Indices: []int{1, 4, 9}},
+		{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2, Seed: 3},
+	}}
+	blob, err := EncodeDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix length must fail cleanly, never
+	// panic or succeed.
+	for cut := 1; cut < len(blob); cut++ {
+		if _, err := DecodeDescriptor(blob[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeDescriptor(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A foreign version is a version error.
+	bad := append([]byte(nil), blob...)
+	bad[0], bad[1] = 0xFF, 0xFF
+	if _, err := DecodeDescriptor(bad); !errors.Is(err, ErrDescriptorVersion) {
+		t.Errorf("foreign version: %v, want ErrDescriptorVersion", err)
+	}
+}
+
+func TestDescriptorSuppressedFeatures(t *testing.T) {
+	var nilDesc *Descriptor
+	if n := nilDesc.SuppressedFeatures(); n != 0 {
+		t.Errorf("nil descriptor suppresses %d features, want 0", n)
+	}
+	d := &Descriptor{Steps: []Step{
+		{Kind: KindSuppress, TopFeatures: 20},
+		{Kind: KindSuppress, Indices: []int{0, 1}},
+		{Kind: KindKSame, K: 2},
+	}}
+	if n := d.SuppressedFeatures(); n != 22 {
+		t.Errorf("SuppressedFeatures() = %d, want 22", n)
+	}
+}
+
+func TestStepStrengthOrdering(t *testing.T) {
+	weak := Step{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 20}
+	strong := Step{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2}
+	if weak.Strength() >= strong.Strength() {
+		t.Errorf("strength(eps=20)=%v not below strength(eps=2)=%v", weak.Strength(), strong.Strength())
+	}
+	if s := (Step{Kind: KindKSame, K: 7}).Strength(); s != 7 {
+		t.Errorf("ksame strength = %v, want 7", s)
+	}
+}
+
+func TestDescriptorStringNames(t *testing.T) {
+	d := &Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Laplace, Epsilon: 0.5, Seed: 7}}}
+	if s := d.String(); !strings.Contains(s, "laplace") {
+		t.Errorf("String() = %q, want the mechanism named", s)
+	}
+	var nilDesc *Descriptor
+	if s := nilDesc.String(); s != "none" {
+		t.Errorf("nil String() = %q, want \"none\"", s)
+	}
+}

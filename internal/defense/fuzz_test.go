@@ -1,0 +1,65 @@
+package defense
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedDescriptor builds a valid two-step descriptor blob for the
+// fuzz corpus.
+func fuzzSeedDescriptor(t *testing.F) []byte {
+	t.Helper()
+	blob, err := EncodeDescriptor(&Descriptor{Steps: []Step{
+		{Kind: KindSuppress, Indices: []int{1, 4, 9}},
+		{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2, Delta: 1e-6, Seed: 7},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// FuzzDecodeDefenseDescriptor is the reject-or-roundtrip contract of
+// the descriptor codec: DecodeDescriptor must never panic, and
+// whatever it accepts must re-encode to the identical bytes (the
+// canonical-form invariant the shard manifest CRC depends on).
+func FuzzDecodeDefenseDescriptor(f *testing.F) {
+	valid := fuzzSeedDescriptor(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-3]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[6] ^= 0xFF // corrupt a step's kind byte
+	f.Add(flipped)
+	f.Add(append(append([]byte(nil), valid...), 0xAA)) // trailing byte
+	ksame, err := EncodeDescriptor(&Descriptor{Steps: []Step{{Kind: KindKSame, K: 5}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ksame)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		d, err := DecodeDescriptor(blob)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			if len(blob) != 0 {
+				t.Fatalf("nil descriptor decoded from %d bytes", len(blob))
+			}
+			return
+		}
+		// Everything accepted satisfies the semantic invariants…
+		if err := d.Validate(); err != nil {
+			t.Fatalf("decoded descriptor fails Validate: %v", err)
+		}
+		// …and re-encodes byte-identically.
+		re, err := EncodeDescriptor(d)
+		if err != nil {
+			t.Fatalf("accepted descriptor fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, blob) {
+			t.Fatalf("re-encode differs:\n in:  %x\n out: %x", blob, re)
+		}
+	})
+}

@@ -1,0 +1,384 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"brainprint/internal/gallery"
+	"brainprint/internal/parallel"
+)
+
+// Gallery transforms. Apply runs a descriptor's pipeline over a
+// gallery's stored fingerprints and returns a fresh defended gallery
+// with the same IDs, enrollment order, and geometry. Every transform is
+// a pure function of (ordered record list, descriptor), bit-identical
+// at any parallelism setting:
+//
+//   - k-same group selection is a serial greedy loop with index
+//     tie-breaks; only the distance evaluations fan out, each worker
+//     writing a disjoint range of the distance buffer.
+//   - Suppression's variance ranking is computed per feature into
+//     disjoint slots and ordered by (variance desc, feature asc).
+//   - Noise derives one RNG stream per record from
+//     parallel.DeriveSeed(step seed, step index, record index), so the
+//     draws a record sees never depend on scheduling.
+//
+// Because the inputs are the ordered records alone, applying a
+// descriptor at enroll time and applying it at compaction time to the
+// same record sequence produce byte-identical galleries — the
+// equivalence the live engine's defended-compaction test pins.
+
+// Apply runs the descriptor's transform pipeline over g and returns the
+// defended gallery (g itself when the descriptor is nil or empty — no
+// defense is the identity). The input gallery is never mutated. Stored
+// vectors are transformed in gallery space and stored verbatim, without
+// re-normalization: defended vectors are deliberately not z-scored
+// (a k-same centroid has sub-unit variance), and the scan scores them
+// as stored.
+func Apply(g *gallery.Gallery, d *Descriptor, parallelism int) (*gallery.Gallery, error) {
+	if d == nil || len(d.Steps) == 0 {
+		return g, nil
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n, f := g.Len(), g.Features()
+	if n == 0 {
+		return g, nil
+	}
+	vecs := make([]float64, n*f)
+	for i := 0; i < n; i++ {
+		copy(vecs[i*f:(i+1)*f], g.Fingerprint(i))
+	}
+	for si, s := range d.Steps {
+		switch s.Kind {
+		case KindKSame:
+			applyKSame(vecs, n, f, s.K, parallelism)
+		case KindSuppress:
+			if err := applySuppress(vecs, n, f, s, parallelism); err != nil {
+				return nil, err
+			}
+		case KindNoise:
+			applyNoise(vecs, n, f, s, si, parallelism)
+		}
+	}
+	var out *gallery.Gallery
+	if idx := g.FeatureIndex(); idx != nil {
+		out = gallery.WithFeatureIndex(idx)
+	} else {
+		out = gallery.New(f)
+	}
+	for i, id := range g.IDs() {
+		if err := out.EnrollNormalized(id, vecs[i*f:(i+1)*f]); err != nil {
+			return nil, fmt.Errorf("defense: rebuilding defended gallery: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// applyKSame microaggregates the records with MDAV (maximum distance to
+// average vector) and replaces every record with its group's centroid,
+// so each released vector is shared by at least k subjects. The
+// selection loop is serial — centroid, farthest record r (ties to the
+// lower index), r's k−1 nearest records (ties to the lower index), then
+// the same from the record farthest from r — which makes the grouping a
+// pure function of the record order; only the distance sweeps fan out.
+func applyKSame(vecs []float64, n, f, k, parallelism int) {
+	if k >= n {
+		group := make([]int, n)
+		for i := range group {
+			group[i] = i
+		}
+		replaceWithCentroid(vecs, f, group)
+		return
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var groups [][]int
+	dist := make([]float64, n)
+	centroid := make([]float64, f)
+
+	// distTo fills dist[p] with the squared distance from remaining[p]
+	// to point, workers owning disjoint ranges of dist.
+	distTo := func(point []float64) {
+		parallel.ForWith(parallelism, len(remaining), 64, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				dist[p] = sqDist(vecs[remaining[p]*f:(remaining[p]+1)*f], point)
+			}
+		})
+	}
+	// farthest returns the position in remaining with the largest
+	// distance in dist, ties to the lower record index.
+	farthest := func() int {
+		best := 0
+		for p := 1; p < len(remaining); p++ {
+			if dist[p] > dist[best] || (dist[p] == dist[best] && remaining[p] < remaining[best]) {
+				best = p
+			}
+		}
+		return best
+	}
+	// takeGroup removes the group of remaining[seedPos] plus its k−1
+	// nearest records (by the current dist buffer, ties to the lower
+	// record index) from remaining and records it.
+	takeGroup := func(seedPos int) {
+		type cand struct {
+			pos int
+			d   float64
+		}
+		cands := make([]cand, 0, len(remaining)-1)
+		for p := range remaining {
+			if p != seedPos {
+				cands = append(cands, cand{pos: p, d: dist[p]})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d != cands[b].d {
+				return cands[a].d < cands[b].d
+			}
+			return remaining[cands[a].pos] < remaining[cands[b].pos]
+		})
+		member := map[int]bool{seedPos: true}
+		group := []int{remaining[seedPos]}
+		for _, c := range cands[:k-1] {
+			member[c.pos] = true
+			group = append(group, remaining[c.pos])
+		}
+		groups = append(groups, group)
+		kept := remaining[:0]
+		for p, rec := range remaining {
+			if !member[p] {
+				kept = append(kept, rec)
+			}
+		}
+		remaining = kept
+	}
+
+	for len(remaining) >= 3*k {
+		centroidOf(vecs, f, remaining, centroid)
+		distTo(centroid)
+		r := farthest()
+		rVec := append([]float64(nil), vecs[remaining[r]*f:(remaining[r]+1)*f]...)
+		distTo(rVec)
+		takeGroup(r)
+		distTo(rVec)
+		s := farthest()
+		sVec := append([]float64(nil), vecs[remaining[s]*f:(remaining[s]+1)*f]...)
+		distTo(sVec)
+		takeGroup(s)
+	}
+	if len(remaining) >= 2*k {
+		centroidOf(vecs, f, remaining, centroid)
+		distTo(centroid)
+		r := farthest()
+		rVec := append([]float64(nil), vecs[remaining[r]*f:(remaining[r]+1)*f]...)
+		distTo(rVec)
+		takeGroup(r)
+	}
+	if len(remaining) > 0 {
+		groups = append(groups, append([]int(nil), remaining...))
+	}
+	for _, group := range groups {
+		replaceWithCentroid(vecs, f, group)
+	}
+}
+
+// centroidOf writes the mean vector of the listed records into out.
+func centroidOf(vecs []float64, f int, records []int, out []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	for _, rec := range records {
+		v := vecs[rec*f : (rec+1)*f]
+		for j, x := range v {
+			out[j] += x
+		}
+	}
+	inv := 1 / float64(len(records))
+	for j := range out {
+		out[j] *= inv
+	}
+}
+
+// replaceWithCentroid overwrites every listed record with the group
+// centroid.
+func replaceWithCentroid(vecs []float64, f int, group []int) {
+	c := make([]float64, f)
+	centroidOf(vecs, f, group, c)
+	for _, rec := range group {
+		copy(vecs[rec*f:(rec+1)*f], c)
+	}
+}
+
+// sqDist returns the squared Euclidean distance between two vectors.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// applySuppress zeroes or bucket-generalizes the selected features:
+// the explicit index list when given, otherwise the TopFeatures
+// highest-variance features of the population (ties to the lower
+// feature index) — variance is where identity lives, so suppressing the
+// most variable features is the generalization counterpart of the
+// paper's targeted-noise defense.
+func applySuppress(vecs []float64, n, f int, s Step, parallelism int) error {
+	selected := s.Indices
+	if len(selected) > 0 {
+		for _, idx := range selected {
+			if idx >= f {
+				return fmt.Errorf("%w: suppress index %d outside %d features (defense suppresses %d features)",
+					gallery.ErrDimMismatch, idx, f, len(selected))
+			}
+		}
+	} else {
+		if s.TopFeatures > f {
+			return fmt.Errorf("%w: defense suppresses %d features but the gallery has only %d",
+				gallery.ErrDimMismatch, s.TopFeatures, f)
+		}
+		variance := make([]float64, f)
+		parallel.ForWith(parallelism, f, 16, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				var sum, sumSq float64
+				for i := 0; i < n; i++ {
+					x := vecs[i*f+j]
+					sum += x
+					sumSq += x * x
+				}
+				mean := sum / float64(n)
+				variance[j] = sumSq/float64(n) - mean*mean
+			}
+		})
+		order := make([]int, f)
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if variance[order[a]] != variance[order[b]] {
+				return variance[order[a]] > variance[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		selected = order[:s.TopFeatures]
+	}
+	if s.Buckets == 0 {
+		parallel.ForWith(parallelism, n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for _, j := range selected {
+					vecs[i*f+j] = 0
+				}
+			}
+		})
+		return nil
+	}
+	// Generalization: snap each value to the midpoint of its bucket over
+	// the feature's observed range. A constant feature stays put.
+	lo, hi := featureRanges(vecs, n, f, selected, parallelism)
+	parallel.ForWith(parallelism, n, 64, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			for sj, j := range selected {
+				width := (hi[sj] - lo[sj]) / float64(s.Buckets)
+				if width <= 0 {
+					continue
+				}
+				b := math.Floor((vecs[i*f+j] - lo[sj]) / width)
+				if b >= float64(s.Buckets) {
+					b = float64(s.Buckets) - 1
+				}
+				vecs[i*f+j] = lo[sj] + (b+0.5)*width
+			}
+		}
+	})
+	return nil
+}
+
+// featureRanges computes the observed [min, max] of each selected
+// feature over the population, each feature's slot written by exactly
+// one worker.
+func featureRanges(vecs []float64, n, f int, selected []int, parallelism int) (lo, hi []float64) {
+	lo = make([]float64, len(selected))
+	hi = make([]float64, len(selected))
+	parallel.ForWith(parallelism, len(selected), 8, func(slo, shi int) {
+		for sj := slo; sj < shi; sj++ {
+			j := selected[sj]
+			mn, mx := vecs[j], vecs[j]
+			for i := 1; i < n; i++ {
+				x := vecs[i*f+j]
+				if x < mn {
+					mn = x
+				}
+				if x > mx {
+					mx = x
+				}
+			}
+			lo[sj], hi[sj] = mn, mx
+		}
+	})
+	return lo, hi
+}
+
+// applyNoise adds calibrated per-feature noise: the sensitivity of
+// feature j is its observed range over the population, the Laplace
+// scale is sens/ε, and the Gaussian σ is sens·sqrt(2·ln(1.25/δ))/ε
+// (the analytic calibration of the Gaussian mechanism). Each record
+// draws from its own derived RNG stream, so the noise a record receives
+// is independent of parallelism and of every other record.
+func applyNoise(vecs []float64, n, f int, s Step, stepIdx, parallelism int) {
+	all := make([]int, f)
+	for j := range all {
+		all[j] = j
+	}
+	lo, hi := featureRanges(vecs, n, f, all, parallelism)
+	scale := make([]float64, f)
+	delta := s.Delta
+	if delta == 0 {
+		delta = DefaultDelta
+	}
+	gaussFactor := math.Sqrt(2*math.Log(1.25/delta)) / s.Epsilon
+	for j := range scale {
+		sens := hi[j] - lo[j]
+		if s.Mechanism == Gaussian {
+			scale[j] = sens * gaussFactor
+		} else {
+			scale[j] = sens / s.Epsilon
+		}
+	}
+	parallel.ForWith(parallelism, n, 16, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			rng := rand.New(rand.NewSource(parallel.DeriveSeed(s.Seed, int64(stepIdx), int64(i))))
+			v := vecs[i*f : (i+1)*f]
+			for j := range v {
+				if scale[j] == 0 {
+					continue
+				}
+				if s.Mechanism == Gaussian {
+					v[j] += scale[j] * rng.NormFloat64()
+				} else {
+					v[j] += laplaceDraw(rng, scale[j])
+				}
+			}
+		}
+	})
+}
+
+// laplaceDraw samples Lap(0, b) by inverse transform, resampling the
+// (measure-zero) degenerate uniform draw.
+func laplaceDraw(rng *rand.Rand, b float64) float64 {
+	for {
+		u := rng.Float64() - 0.5
+		if m := 1 - 2*math.Abs(u); m > 0 {
+			if u < 0 {
+				return b * math.Log(m)
+			}
+			return -b * math.Log(m)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"brainprint/internal/gallery"
+)
+
+// testGallery enrolls n seeded random vectors of f features as
+// verbatim (non-z-scored) fingerprints.
+func testGallery(t testing.TB, seed int64, n, f int) *gallery.Gallery {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := gallery.New(f)
+	v := make([]float64, f)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if err := g.EnrollNormalized(fmt.Sprintf("sub-%04d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// galleriesEqual compares two galleries bit for bit.
+func galleriesEqual(a, b *gallery.Gallery) bool {
+	if a.Len() != b.Len() || a.Features() != b.Features() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.ID(i) != b.ID(i) {
+			return false
+		}
+		av, bv := a.Fingerprint(i), b.Fingerprint(i)
+		for j := range av {
+			if math.Float64bits(av[j]) != math.Float64bits(bv[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApplyNilDescriptorIsIdentity(t *testing.T) {
+	g := testGallery(t, 1, 30, 8)
+	got, err := Apply(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != g {
+		t.Error("nil descriptor did not return the input gallery")
+	}
+}
+
+func TestApplyDeterministicAcrossParallelism(t *testing.T) {
+	g := testGallery(t, 2, 257, 24)
+	for _, d := range []*Descriptor{
+		{Steps: []Step{{Kind: KindKSame, K: 5}}},
+		{Steps: []Step{{Kind: KindSuppress, TopFeatures: 6, Buckets: 3}}},
+		{Steps: []Step{{Kind: KindNoise, Mechanism: Laplace, Epsilon: 1, Seed: 11}}},
+		{Steps: []Step{
+			{Kind: KindSuppress, TopFeatures: 4},
+			{Kind: KindKSame, K: 3},
+			{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 4, Seed: 5},
+		}},
+	} {
+		serial, err := Apply(g, d, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", d, err)
+		}
+		wide, err := Apply(g, d, 0)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", d, err)
+		}
+		if !galleriesEqual(serial, wide) {
+			t.Errorf("%s: parallel output differs from serial", d)
+		}
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	g := testGallery(t, 3, 40, 10)
+	before := make([][]float64, g.Len())
+	for i := range before {
+		before[i] = append([]float64(nil), g.Fingerprint(i)...)
+	}
+	if _, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindKSame, K: 4}}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range before {
+		got := g.Fingerprint(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("record %d feature %d mutated: %v -> %v", i, j, want[j], got[j])
+			}
+		}
+	}
+}
+
+func TestKSameGroupSizesAndMeanPreservation(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 7} {
+		g := testGallery(t, 4, 103, 12)
+		out, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindKSame, K: k}}}, 0)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		// Every released vector must be shared by at least k records.
+		counts := map[string]int{}
+		for i := 0; i < out.Len(); i++ {
+			counts[fmt.Sprint(out.Fingerprint(i))]++
+		}
+		for vec, c := range counts {
+			if c < k {
+				t.Errorf("k=%d: a released vector is shared by only %d records (%s…)", k, c, vec[:20])
+			}
+		}
+		// Microaggregation preserves per-feature population sums.
+		f := g.Features()
+		for j := 0; j < f; j++ {
+			var orig, def float64
+			for i := 0; i < g.Len(); i++ {
+				orig += g.Fingerprint(i)[j]
+				def += out.Fingerprint(i)[j]
+			}
+			if math.Abs(orig-def) > 1e-9*float64(g.Len()) {
+				t.Errorf("k=%d: feature %d mean drifted: %v vs %v", k, j, orig, def)
+			}
+		}
+	}
+}
+
+func TestKSameDegenerateGlobalCentroid(t *testing.T) {
+	g := testGallery(t, 5, 6, 4)
+	out, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindKSame, K: 10}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := out.Fingerprint(0)
+	for i := 1; i < out.Len(); i++ {
+		v := out.Fingerprint(i)
+		for j := range v {
+			if v[j] != first[j] {
+				t.Fatalf("k above population: record %d differs from the global centroid", i)
+			}
+		}
+	}
+}
+
+func TestSuppressZeroesAndBuckets(t *testing.T) {
+	g := testGallery(t, 6, 50, 16)
+	out, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindSuppress, Indices: []int{2, 7}}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < out.Len(); i++ {
+		v := out.Fingerprint(i)
+		if v[2] != 0 || v[7] != 0 {
+			t.Fatalf("record %d: suppressed features not zeroed: %v %v", i, v[2], v[7])
+		}
+		if v[0] != g.Fingerprint(i)[0] {
+			t.Fatalf("record %d: untargeted feature changed", i)
+		}
+	}
+	// Bucket generalization: a bucketed feature takes at most `buckets`
+	// distinct values.
+	out, err = Apply(g, &Descriptor{Steps: []Step{{Kind: KindSuppress, TopFeatures: 3, Buckets: 4}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for j := 0; j < g.Features(); j++ {
+		vals := map[float64]bool{}
+		for i := 0; i < out.Len(); i++ {
+			vals[out.Fingerprint(i)[j]] = true
+		}
+		if len(vals) <= 4 {
+			changed++
+		}
+	}
+	if changed < 3 {
+		t.Errorf("top-3 bucketized features: only %d features have ≤4 distinct values", changed)
+	}
+}
+
+func TestSuppressIndexOutOfRange(t *testing.T) {
+	g := testGallery(t, 7, 10, 8)
+	_, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindSuppress, Indices: []int{3, 99}}}}, 0)
+	if !errors.Is(err, gallery.ErrDimMismatch) {
+		t.Fatalf("out-of-range suppress index: %v, want ErrDimMismatch", err)
+	}
+	_, err = Apply(g, &Descriptor{Steps: []Step{{Kind: KindSuppress, TopFeatures: 20}}}, 0)
+	if !errors.Is(err, gallery.ErrDimMismatch) {
+		t.Fatalf("top-count above dimensionality: %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestNoisePerturbsEveryVaryingFeature(t *testing.T) {
+	g := testGallery(t, 8, 60, 12)
+	out, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2, Seed: 1}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < g.Len(); i++ {
+		a, b := g.Fingerprint(i), out.Fingerprint(i)
+		for j := range a {
+			if a[j] == b[j] {
+				same++
+			}
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d feature values survived the noise unchanged", same)
+	}
+	// The seed pins the draw: re-applying gives the identical gallery.
+	again, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2, Seed: 1}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !galleriesEqual(out, again) {
+		t.Error("same seed produced a different noise draw")
+	}
+	// A different seed produces a different draw.
+	other, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 2, Seed: 2}}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if galleriesEqual(out, other) {
+		t.Error("different seeds produced the identical noise draw")
+	}
+}
+
+func TestApplyRejectsInvalidDescriptor(t *testing.T) {
+	g := testGallery(t, 9, 10, 4)
+	_, err := Apply(g, &Descriptor{Steps: []Step{{Kind: KindKSame, K: 1}}}, 0)
+	if !errors.Is(err, ErrDescriptorInvalid) {
+		t.Fatalf("Apply accepted an invalid descriptor: %v", err)
+	}
+}
+
+// BenchmarkDefendEnroll measures the enroll-time transform: a full
+// ksame(k=5)+noise pipeline over a 2000×96 gallery.
+func BenchmarkDefendEnroll(b *testing.B) {
+	g := testGallery(b, 10, 2000, 96)
+	d := &Descriptor{Steps: []Step{
+		{Kind: KindKSame, K: 5},
+		{Kind: KindNoise, Mechanism: Gaussian, Epsilon: 8, Seed: 1},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Apply(g, d, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

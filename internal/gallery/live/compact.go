@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"brainprint/internal/defense"
 	"brainprint/internal/gallery"
 	"brainprint/internal/gallery/shard"
 )
@@ -108,13 +109,23 @@ func (e *Engine) Compact() error {
 	e.mu.Unlock()
 
 	// Phase 2 (no lock): build and persist the new generation's base.
+	// A defended engine folds the snapshot through its anonymization
+	// pipeline first and stamps the descriptor into the fresh manifest,
+	// so the defense survives the generation switch (and any replica
+	// bootstrapped from these files). See DESIGN.md §12 for what
+	// re-application means for each transform kind.
 	var newBase *shard.Store
 	if snap.Len() > 0 {
+		if snap, err = defense.Apply(snap, e.opts.Defense, 0); err != nil {
+			e.abortFreeze()
+			return err
+		}
 		newBase, err = shard.FromGallery(snap, e.opts.Shards, false)
 		if err != nil {
 			e.abortFreeze()
 			return err
 		}
+		newBase.SetDefense(e.opts.Defense)
 		if err := newBase.WriteFiles(filepath.Join(e.dir, genName(newGen, "bpm"))); err != nil {
 			e.abortFreeze()
 			return err

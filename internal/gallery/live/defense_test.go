@@ -1,0 +1,193 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"brainprint/internal/defense"
+	"brainprint/internal/gallery"
+	"brainprint/internal/gallery/shard"
+)
+
+// defenseTestDescriptor is the pipeline the equivalence tests apply —
+// microaggregation plus seeded noise, covering both the idempotent and
+// the RNG-driven transform families.
+func defenseTestDescriptor() *defense.Descriptor {
+	return &defense.Descriptor{Steps: []defense.Step{
+		{Kind: defense.KindKSame, K: 3},
+		{Kind: defense.KindNoise, Mechanism: defense.Gaussian, Epsilon: 8, Seed: 7},
+	}}
+}
+
+// TestDefendedCompactionMatchesEnrollTimeTransform is the
+// enroll-vs-compact equivalence gate: folding a write-ahead log through
+// a defended live engine must produce byte-identical base files to
+// defending the same records offline (enroll-time) and sharding them
+// directly — at parallelism 1 and at full parallelism. The WAL keeps
+// raw records; the defense applies at the snapshot fold, so the two
+// paths meet at the same bits.
+func TestDefendedCompactionMatchesEnrollTimeTransform(t *testing.T) {
+	const features, subjects, shards = 24, 57, 2
+	d := defenseTestDescriptor()
+	group := randomGroup(11, features, subjects)
+	ids := subjectIDs(subjects)
+	deleted := map[string]bool{ids[5]: true, ids[40]: true}
+
+	// Path A: live engine with the defense option, WAL enrollment (plus
+	// two deletions), one compaction.
+	liveDir := filepath.Join(t.TempDir(), "live")
+	e, err := Create(liveDir, features, nil, Options{NoSync: true, Shards: shards, Defense: d})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer e.Close()
+	for j, id := range ids {
+		if err := e.Enroll(id, group.Col(j)); err != nil {
+			t.Fatalf("Enroll(%q): %v", id, err)
+		}
+	}
+	for id := range deleted {
+		if err := e.Delete(id); err != nil {
+			t.Fatalf("Delete(%q): %v", id, err)
+		}
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	liveManifest := readFileT(t, filepath.Join(liveDir, genName(1, "bpm")))
+	liveShards := make([][]byte, shards)
+	for s := range liveShards {
+		liveShards[s] = readFileT(t, filepath.Join(liveDir, fmt.Sprintf("live.g0001.s%03d.bpg", s)))
+	}
+
+	// Path B: the same surviving records normalized identically, the
+	// pipeline applied at enroll time, sharded and written directly.
+	for _, parallelism := range []int{1, 0} {
+		offline := gallery.New(features)
+		for j, id := range ids {
+			if deleted[id] {
+				continue
+			}
+			if err := offline.Enroll(id, group.Col(j)); err != nil {
+				t.Fatalf("offline Enroll(%q): %v", id, err)
+			}
+		}
+		defended, err := defense.Apply(offline, d, parallelism)
+		if err != nil {
+			t.Fatalf("Apply(parallelism=%d): %v", parallelism, err)
+		}
+		store, err := shard.FromGallery(defended, shards, false)
+		if err != nil {
+			t.Fatalf("FromGallery: %v", err)
+		}
+		store.SetDefense(d)
+		offDir := t.TempDir()
+		if err := store.WriteFiles(filepath.Join(offDir, genName(1, "bpm"))); err != nil {
+			t.Fatalf("WriteFiles: %v", err)
+		}
+		if got := readFileT(t, filepath.Join(offDir, genName(1, "bpm"))); !bytes.Equal(got, liveManifest) {
+			t.Errorf("parallelism=%d: manifest bytes differ from the compacted live base", parallelism)
+		}
+		for s := range liveShards {
+			got := readFileT(t, filepath.Join(offDir, fmt.Sprintf("live.g0001.s%03d.bpg", s)))
+			if !bytes.Equal(got, liveShards[s]) {
+				t.Errorf("parallelism=%d: shard %d bytes differ from the compacted live base", parallelism, s)
+			}
+		}
+	}
+}
+
+// TestDefenseDescriptorSurvivesReopenAndCompaction checks the
+// persistence loop: the descriptor rides the manifest, a reopen
+// without the option inherits it, and the next compaction stays
+// defended.
+func TestDefenseDescriptorSurvivesReopenAndCompaction(t *testing.T) {
+	const features, subjects = 12, 20
+	d := defenseTestDescriptor()
+	dir := filepath.Join(t.TempDir(), "live")
+	e, err := Create(dir, features, nil, Options{NoSync: true, Defense: d})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	group := randomGroup(12, features, subjects)
+	for j, id := range subjectIDs(subjects) {
+		if err := e.Enroll(id, group.Col(j)); err != nil {
+			t.Fatalf("Enroll: %v", err)
+		}
+	}
+	if err := e.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen with a zero Options: the manifest's descriptor is
+	// inherited.
+	e2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer e2.Close()
+	got := e2.Defense()
+	if got == nil || got.String() != d.String() {
+		t.Fatalf("reopened Defense() = %v, want %v", got, d)
+	}
+	// Another enrollment and compaction keeps the manifest defended.
+	extra := randomGroup(13, features, 1)
+	if err := e2.Enroll("late-arrival", extra.Col(0)); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := e2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	m, err := shard.Open(filepath.Join(dir, genName(2, "bpm")))
+	if err != nil {
+		t.Fatalf("open generation-2 manifest: %v", err)
+	}
+	if m.Defense() == nil || m.Defense().String() != d.String() {
+		t.Fatalf("generation-2 manifest Defense() = %v, want %v", m.Defense(), d)
+	}
+}
+
+// readFileT reads a file or fails the test.
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return b
+}
+
+// BenchmarkKSameCompact measures a defended compaction: folding a
+// 2000-record overlay through a ksame(k=5) pipeline into a fresh
+// 4-shard base (transform plus file writes).
+func BenchmarkKSameCompact(b *testing.B) {
+	const features, subjects = 256, 2000
+	d := &defense.Descriptor{Steps: []defense.Step{{Kind: defense.KindKSame, K: 5}}}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := Create(filepath.Join(b.TempDir(), "live"), features, nil,
+			Options{NoSync: true, Shards: 4, Defense: d})
+		if err != nil {
+			b.Fatalf("Create: %v", err)
+		}
+		group := randomGroup(54, features, subjects)
+		for j := 0; j < subjects; j++ {
+			if err := e.Enroll(fmt.Sprintf("s-%06d", j), group.Col(j)); err != nil {
+				b.Fatalf("Enroll: %v", err)
+			}
+		}
+		b.StartTimer()
+		if err := e.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		e.Close()
+		b.StartTimer()
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"brainprint/internal/defense"
 	"brainprint/internal/gallery"
 	"brainprint/internal/gallery/shard"
 )
@@ -81,6 +82,17 @@ type Options struct {
 	// safety, the classic trade. Only for bulk loads and tests; the
 	// default (false) syncs every commit.
 	NoSync bool
+	// Defense is the anonymization pipeline every base build passes its
+	// snapshot through (defense.Apply): the seed snapshot of
+	// CreateFromStore and every compaction's fold. The descriptor is
+	// persisted in each base's manifest, and Open inherits it from the
+	// loaded base when this field is nil — so a defended live gallery
+	// (and any replica bootstrapped from its generation files) keeps
+	// re-applying its pipeline across reopens without the caller
+	// re-passing it. On an empty-created directory the descriptor
+	// becomes durable at the first compaction; until then it lives only
+	// in this option. See DESIGN.md §12 for the composition rule.
+	Defense *defense.Descriptor
 }
 
 // withDefaults resolves zero values.
@@ -252,10 +264,20 @@ func CreateFromStore(dir string, src *shard.Store, opts Options) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
+	// A defended source's pipeline carries over unless the caller gave
+	// one; either way the seed snapshot passes through it, exactly like
+	// a compaction's fold would.
+	if e.opts.Defense == nil {
+		e.opts.Defense = src.Defense()
+	}
+	if snap, err = defense.Apply(snap, e.opts.Defense, 0); err != nil {
+		return nil, err
+	}
 	base, err := shard.FromGallery(snap, e.opts.Shards, false)
 	if err != nil {
 		return nil, err
 	}
+	base.SetDefense(e.opts.Defense)
 	if err := base.WriteFiles(filepath.Join(dir, genName(0, "bpm"))); err != nil {
 		return nil, err
 	}
@@ -311,6 +333,13 @@ func Open(dir string, opts Options) (*Engine, error) {
 			// 4-shard live gallery and compacting would silently fold
 			// the base into a single shard.
 			opts.Shards = base.Shards()
+		}
+		if opts.Defense == nil {
+			// Inherit the persisted anonymization pipeline: without
+			// this, reopening a defended live gallery (or a replica's
+			// bootstrapped copy of one) and compacting would silently
+			// stop defending the fold.
+			opts.Defense = base.Defense()
 		}
 	}
 	var e *Engine
@@ -681,6 +710,11 @@ func (e *Engine) Precision() gallery.ScanPrecision {
 }
 
 var _ gallery.PrecisionSetter = (*Engine)(nil)
+
+// Defense returns the anonymization pipeline every base build passes
+// its snapshot through, nil for an undefended engine. The caller must
+// not mutate the result.
+func (e *Engine) Defense() *defense.Descriptor { return e.opts.Defense }
 
 // ---- stats ----
 

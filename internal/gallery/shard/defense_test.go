@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"brainprint/internal/defense"
+	"brainprint/internal/gallery"
+)
+
+// defendedStoreFiles writes a 2-shard defended store under dir and
+// returns the manifest path and the descriptor.
+func defendedStoreFiles(t *testing.T, dir string, features int) (string, *defense.Descriptor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	g := gallery.New(features)
+	v := make([]float64, features)
+	for i := 0; i < 24; i++ {
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		if err := g.EnrollNormalized(fmt.Sprintf("sub-%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := &defense.Descriptor{Steps: []defense.Step{
+		{Kind: defense.KindSuppress, TopFeatures: 5},
+		{Kind: defense.KindKSame, K: 4},
+	}}
+	defended, err := defense.Apply(g, d, 0)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	s, err := FromGallery(defended, 2, false)
+	if err != nil {
+		t.Fatalf("FromGallery: %v", err)
+	}
+	s.SetDefense(d)
+	manifest := filepath.Join(dir, "cohort.bpm")
+	if err := s.WriteFiles(manifest); err != nil {
+		t.Fatalf("WriteFiles: %v", err)
+	}
+	return manifest, d
+}
+
+// TestManifestDefenseRoundTrip checks that the descriptor rides the
+// manifest through WriteFiles and Open unchanged.
+func TestManifestDefenseRoundTrip(t *testing.T) {
+	manifest, d := defendedStoreFiles(t, t.TempDir(), 16)
+	s, err := Open(manifest)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got := s.Defense()
+	if got == nil || got.String() != d.String() {
+		t.Fatalf("reopened Defense() = %v, want %v", got, d)
+	}
+	// An undefended store keeps a nil descriptor and its manifest stays
+	// readable.
+	g := gallery.New(8)
+	if err := g.EnrollNormalized("only", make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FromGallery(g, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPath := filepath.Join(t.TempDir(), "plain.bpm")
+	if err := plain.WriteFiles(plainPath); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(plainPath)
+	if err != nil {
+		t.Fatalf("Open plain: %v", err)
+	}
+	if reopened.Defense() != nil {
+		t.Fatalf("undefended store reopened with Defense() = %v", reopened.Defense())
+	}
+}
+
+// TestDefendedDimsMismatchNamesSuppressedFeatures checks the defended
+// diagnosis: when a shard file's dimensionality disagrees with a
+// defended manifest, the fault names how many features the pipeline
+// suppresses — pointing the operator at the defense configuration, not
+// a bare number.
+func TestDefendedDimsMismatchNamesSuppressedFeatures(t *testing.T) {
+	dir := t.TempDir()
+	manifest, _ := defendedStoreFiles(t, dir, 16)
+
+	// Regenerate shard 0 with the wrong dimensionality, as if rebuilt
+	// without the defense pipeline.
+	wrong := gallery.New(12)
+	if err := wrong.EnrollNormalized("sub-000", make([]float64, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wrong.WriteFile(filepath.Join(dir, "cohort.s000.bpg")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Open(manifest)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Open after shard swap: %v, want a partial error", err)
+	}
+	if len(pe.Faults) != 1 {
+		t.Fatalf("got %d faults, want 1", len(pe.Faults))
+	}
+	fault := pe.Faults[0]
+	if !errors.Is(fault.Err, gallery.ErrDimMismatch) {
+		t.Fatalf("fault %v does not unwrap to ErrDimMismatch", fault.Err)
+	}
+	if msg := fault.Err.Error(); !strings.Contains(msg, "suppresses 5 features") {
+		t.Fatalf("fault message %q does not name the suppressed-feature count", msg)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"os"
 
+	"brainprint/internal/defense"
 	"brainprint/internal/gallery"
 )
 
@@ -26,9 +27,13 @@ import (
 //	  features     uint32   fingerprint dimensionality (> 0)
 //	  indexLen     uint32   feature-index length (0 = none, else == features)
 //	  flags        uint32   bit 0: quantization parameters present
+//	                        bit 1: defense descriptor present
 //	  featureIndex [indexLen]uint32
 //	  scale        [features]float64   only when flag bit 0 is set
 //	  offset       [features]float64   only when flag bit 0 is set
+//	  defenseLen   uint32              only when flag bit 1 is set
+//	  defense      [defenseLen]byte    defense descriptor blob
+//	                                   (defense.EncodeDescriptor)
 //	  headerCRC    uint32   over every preceding header byte
 //	entry (×N, one per shard, in shard order):
 //	  nameLen      uint16
@@ -59,6 +64,16 @@ const (
 	// flagQuantized marks a manifest that carries int8 scalar
 	// quantization parameters (per-feature scale and offset).
 	flagQuantized = 1 << 0
+
+	// flagDefended marks a manifest that carries a defense descriptor —
+	// the anonymization pipeline the store's records were built through,
+	// persisted so defended galleries survive reopen, compaction, and
+	// replication (see internal/defense and DESIGN.md §12).
+	flagDefended = 1 << 1
+
+	// maxDefenseBlob bounds the descriptor blob length so a corrupt
+	// manifest cannot drive an absurd allocation before the CRC is read.
+	maxDefenseBlob = 1 << 24
 )
 
 // Typed manifest and store errors, matched with errors.Is. Truncation,
@@ -127,6 +142,9 @@ type Manifest struct {
 	// Quant holds the quantization parameters, nil when the store was
 	// built without -quantize.
 	Quant *Quant
+	// Defense is the anonymization pipeline the store's records were
+	// built through, nil for an undefended store.
+	Defense *defense.Descriptor
 	// Shards lists every shard in routing order.
 	Shards []Meta
 }
@@ -146,6 +164,18 @@ func (m *Manifest) encode() ([]byte, error) {
 	if m.Quant != nil {
 		flags |= flagQuantized
 	}
+	var defBlob []byte
+	if m.Defense != nil {
+		var err error
+		defBlob, err = defense.EncodeDescriptor(m.Defense)
+		if err != nil {
+			return nil, err
+		}
+		if len(defBlob) > maxDefenseBlob {
+			return nil, fmt.Errorf("shard: defense descriptor blob is %d bytes (max %d)", len(defBlob), maxDefenseBlob)
+		}
+		flags |= flagDefended
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, flags)
 	for _, idx := range m.FeatureIndex {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(idx))
@@ -161,6 +191,10 @@ func (m *Manifest) encode() ([]byte, error) {
 		for _, o := range m.Quant.Offset {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o))
 		}
+	}
+	if defBlob != nil {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(defBlob)))
+		buf = append(buf, defBlob...)
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 	for i, sh := range m.Shards {
@@ -210,18 +244,42 @@ func decodeManifest(r io.Reader) (*Manifest, error) {
 	if indexLen != 0 && indexLen != features {
 		return nil, fmt.Errorf("%w: feature index length %d != %d features", gallery.ErrDimMismatch, indexLen, features)
 	}
+	if flags&^uint32(flagQuantized|flagDefended) != 0 {
+		return nil, fmt.Errorf("shard: unknown manifest flags %#x", flags)
+	}
 	quantLen := 0
 	if flags&flagQuantized != 0 {
 		quantLen = 16 * int(features)
 	}
-	rest, err := readN(br, 4*int(indexLen)+quantLen+4, "manifest header body")
+	rest, err := readN(br, 4*int(indexLen)+quantLen, "manifest header body")
 	if err != nil {
 		return nil, err
 	}
-	stored := binary.LittleEndian.Uint32(rest[len(rest)-4:])
+	var defLenBuf, defBlob []byte
+	if flags&flagDefended != 0 {
+		defLenBuf, err = readN(br, 4, "manifest defense descriptor length")
+		if err != nil {
+			return nil, err
+		}
+		defLen := binary.LittleEndian.Uint32(defLenBuf)
+		if defLen == 0 || defLen > maxDefenseBlob {
+			return nil, fmt.Errorf("shard: implausible defense descriptor length %d in manifest", defLen)
+		}
+		defBlob, err = readN(br, int(defLen), "manifest defense descriptor")
+		if err != nil {
+			return nil, err
+		}
+	}
+	crcBuf, err := readN(br, 4, "manifest header checksum")
+	if err != nil {
+		return nil, err
+	}
+	stored := binary.LittleEndian.Uint32(crcBuf)
 	crc := crc32.NewIEEE()
 	crc.Write(fixed)
-	crc.Write(rest[:len(rest)-4])
+	crc.Write(rest)
+	crc.Write(defLenBuf)
+	crc.Write(defBlob)
 	if crc.Sum32() != stored {
 		return nil, fmt.Errorf("%w in manifest header", gallery.ErrChecksum)
 	}
@@ -249,6 +307,13 @@ func decodeManifest(r io.Reader) (*Manifest, error) {
 			}
 		}
 		m.Quant = q
+	}
+	if flags&flagDefended != 0 {
+		d, err := defense.DecodeDescriptor(defBlob)
+		if err != nil {
+			return nil, fmt.Errorf("shard: manifest defense descriptor: %w", err)
+		}
+		m.Defense = d
 	}
 
 	m.Shards = make([]Meta, 0, shards)

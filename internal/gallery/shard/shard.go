@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 
+	"brainprint/internal/defense"
 	"brainprint/internal/gallery"
 	"brainprint/internal/gallery/ivf"
 )
@@ -51,6 +52,7 @@ type Store struct {
 	features     int
 	featureIndex []int
 	quant        *Quant
+	defense      *defense.Descriptor
 	prec         gallery.ScanPrecision
 	manifest     bool
 
@@ -239,6 +241,7 @@ func (s *Store) WriteFiles(manifestPath string) error {
 		Features:     s.features,
 		FeatureIndex: s.featureIndex,
 		Quant:        s.quant,
+		Defense:      s.defense,
 		Shards:       make([]Meta, len(s.galleries)),
 	}
 	for i, g := range s.galleries {
@@ -330,6 +333,7 @@ func openShards(m *Manifest, dir string) (*Store, error) {
 	s := newStore(m.Features, m.FeatureIndex, galleries, m.Shards, faults)
 	s.manifest = true
 	s.quant = m.Quant
+	s.defense = m.Defense
 	if s.quant != nil {
 		if err := s.SetQuantized(true); err != nil {
 			return nil, err
@@ -375,10 +379,17 @@ func loadShard(m *Manifest, i int, path string) (*gallery.Gallery, error) {
 	}
 	// Dims before size and CRC: a regenerated or swapped shard fails
 	// all three, and "dims mismatch" is the actionable diagnosis — not
-	// a raw size, checksum, or decode error.
+	// a raw size, checksum, or decode error. On a defended store the
+	// message also names the suppressed-feature count: a geometry
+	// dispute there usually means a shard regenerated without the
+	// defense pipeline.
 	if g.Features() != m.Features {
-		return nil, fmt.Errorf("%w: shard file has %d features, manifest expects %d (%w)",
-			ErrShardCorrupt, g.Features(), m.Features, gallery.ErrDimMismatch)
+		detail := ""
+		if n := m.Defense.SuppressedFeatures(); n > 0 {
+			detail = fmt.Sprintf("; the manifest's defense pipeline suppresses %d features", n)
+		}
+		return nil, fmt.Errorf("%w: shard file has %d features, manifest expects %d%s (%w)",
+			ErrShardCorrupt, g.Features(), m.Features, detail, gallery.ErrDimMismatch)
 	}
 	if g.Len() != m.Shards[i].Records {
 		return nil, fmt.Errorf("%w: shard file has %d records, manifest expects %d",
@@ -459,6 +470,18 @@ func (s *Store) LoadedShards() int { return len(s.galleries) - len(s.faults) }
 // Faults returns the shards that failed to load, in manifest order
 // (empty for a fully healthy store).
 func (s *Store) Faults() []Fault { return s.faults }
+
+// Defense returns the anonymization pipeline the store's records were
+// built through, nil for an undefended store. The caller must not
+// mutate the result.
+func (s *Store) Defense() *defense.Descriptor { return s.defense }
+
+// SetDefense records the anonymization pipeline the store's records
+// were built through, so WriteFiles persists it in the manifest. It
+// labels the records; it does not transform them — the caller (the
+// live engine's compaction, `gallery defend`) applies defense.Apply to
+// the snapshot before sharding it.
+func (s *Store) SetDefense(d *defense.Descriptor) { s.defense = d }
 
 // Quantized reports whether the int8 quantized scan path is active —
 // equivalent to Precision() == gallery.ScanInt8.

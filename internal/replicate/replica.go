@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"brainprint/internal/defense"
 	"brainprint/internal/gallery"
 	"brainprint/internal/gallery/live"
 	"brainprint/internal/linalg"
@@ -637,6 +638,13 @@ func (r *Replica) Features() int { return r.Engine().Features() }
 
 // FeatureIndex returns the raw-space feature indices, or nil.
 func (r *Replica) FeatureIndex() []int { return r.Engine().FeatureIndex() }
+
+// Defense returns the anonymization pipeline the replicated base
+// store was built under, or nil. Replicas copy the primary's
+// generation files byte-for-byte, so the descriptor travels with the
+// manifest and /healthz on a replica reports the same pipeline as the
+// primary.
+func (r *Replica) Defense() *defense.Descriptor { return r.Engine().Defense() }
 
 // IDs returns the visible subject IDs in canonical order.
 func (r *Replica) IDs() []string { return r.Engine().IDs() }

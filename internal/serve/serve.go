@@ -39,6 +39,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"brainprint/internal/defense"
+
 	"brainprint/internal/attacker"
 	"brainprint/internal/gallery"
 	"brainprint/internal/gallery/live"
@@ -723,6 +725,25 @@ type shardedEngine interface {
 	Quantized() bool
 }
 
+// defendedEngine is the optional anonymization surface a defended
+// engine (sharded store or live engine) adds: the descriptor of the
+// pipeline its released vectors went through. The service reports it
+// on /healthz and /v1/gallery so clients can tell a defended release
+// from a raw one.
+type defendedEngine interface {
+	Defense() *defense.Descriptor
+}
+
+// defenseString resolves the engine's defense descriptor spec ("" when
+// the engine is undefended or has no defense surface).
+func defenseString(g gallery.Engine) string {
+	d, ok := g.(defendedEngine)
+	if !ok || d.Defense() == nil {
+		return ""
+	}
+	return d.Defense().String()
+}
+
 func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.mGallery.observe(start, false) }()
@@ -745,6 +766,9 @@ func (s *Server) handleGallery(w http.ResponseWriter, r *http.Request) {
 	if as, ok := g.(gallery.ANNSetter); ok {
 		resp["ann_index"] = as.HasANNIndex()
 		resp["nprobe"] = as.ANNProbe()
+	}
+	if spec := defenseString(g); spec != "" {
+		resp["defense"] = spec
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -886,6 +910,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if as, ok := s.atk.Gallery().(gallery.ANNSetter); ok {
 		resp["ann_index"] = as.HasANNIndex()
 		resp["nprobe"] = as.ANNProbe()
+	}
+	if spec := defenseString(s.atk.Gallery()); spec != "" {
+		resp["defense"] = spec
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
